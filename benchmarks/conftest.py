@@ -1,0 +1,44 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one figure or section-level claim of the
+paper and reports its rows through the ``reporter`` fixture.  Collected
+tables are printed in the terminal summary (outside pytest's capture),
+so ``pytest benchmarks/ --benchmark-only`` shows both pytest-benchmark
+timings and the paper-style result tables.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.analysis.reporting import TextTable
+
+_TABLES: List[str] = []
+
+
+class Reporter:
+    """Collects rendered tables for the end-of-run summary."""
+
+    def table(self, table: TextTable) -> None:
+        _TABLES.append(table.render())
+
+    def text(self, text: str) -> None:
+        _TABLES.append(text)
+
+
+@pytest.fixture
+def reporter() -> Reporter:
+    return Reporter()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "paper-reproduction result tables")
+    for rendered in _TABLES:
+        terminalreporter.write_line("")
+        for line in rendered.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

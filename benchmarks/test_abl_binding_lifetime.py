@@ -1,0 +1,81 @@
+"""Ablation — correspondent binding lifetime vs. mobile-host movement.
+
+The §3.2 advisory carries a lifetime; the trade-off it encodes:
+
+* a long lifetime maximizes In-DE traffic but keeps tunneling to a
+  *stale* care-of address after the mobile host moves (those packets
+  are lost until the binding expires and the CH falls back to the
+  home agent);
+* a short lifetime loses little on movement but triangles more often.
+
+The ablation streams datagrams through one mid-stream move for several
+lifetimes and reports delivered / lost-to-stale-binding / triangled
+counts.  (The home agent re-advises after the binding expires, so long
+lifetimes lose a contiguous window of packets.)
+"""
+
+from repro.analysis import MH_HOME_ADDRESS, TextTable, build_scenario
+from repro.mobileip import Awareness
+
+LIFETIMES = [2.0, 8.0, 30.0]
+STREAM = 20
+INTERVAL = 1.0
+MOVE_AT = 6.5
+
+
+def run_lifetime(lifetime: float, seed: int):
+    scenario = build_scenario(seed=seed, ch_awareness=Awareness.MOBILE_AWARE,
+                              notify_correspondents=True)
+    scenario.ha.advisory_lifetime = lifetime
+    scenario.net.add_domain("visited2", "10.5.0.0/16", attach_at=3)
+    sim = scenario.sim
+
+    got = []
+    mh_sock = scenario.mh.stack.udp_socket(7000)
+    mh_sock.on_receive(lambda d, s, ip, p: got.append(d))
+    ch_sock = scenario.ch.stack.udp_socket()
+
+    for index in range(STREAM):
+        sim.events.schedule(
+            index * INTERVAL,
+            lambda i=index: ch_sock.sendto(i, 100, MH_HOME_ADDRESS, 7000),
+        )
+    sim.events.schedule(MOVE_AT, lambda: scenario.mh.move_to(scenario.net,
+                                                             "visited2"))
+    sim.run_for(STREAM * INTERVAL + 30)
+    return {
+        "delivered": len(got),
+        "lost": STREAM - len(got),
+        "in_de": scenario.ch.direct_tunneled,
+        "triangled": scenario.ha.packets_tunneled,
+    }
+
+
+def run_ablation():
+    return {lifetime: run_lifetime(lifetime, 8401) for lifetime in LIFETIMES}
+
+
+def test_abl_binding_lifetime(benchmark, reporter):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = TextTable(
+        f"Ablation: binding lifetime ({STREAM} packets @ {INTERVAL}s, "
+        f"move at t={MOVE_AT}s)",
+        ["binding lifetime (s)", "delivered", "lost to stale binding",
+         "sent In-DE", "sent via HA"],
+    )
+    for lifetime, r in results.items():
+        table.add_row(lifetime, r["delivered"], r["lost"], r["in_de"],
+                      r["triangled"])
+    reporter.table(table)
+
+    short, medium, long_ = (results[l] for l in LIFETIMES)
+    # Short lifetimes lose no more than longer ones on the move...
+    assert short["lost"] <= medium["lost"] <= long_["lost"]
+    # ...but triangle more when nothing is moving.
+    assert short["triangled"] >= medium["triangled"] >= long_["triangled"]
+    # Longer lifetimes maximize direct traffic.
+    assert long_["in_de"] >= medium["in_de"] >= short["in_de"]
+    # Everyone recovers eventually: losses are bounded by the stale
+    # window (lifetime / send interval).
+    for lifetime in LIFETIMES:
+        assert results[lifetime]["lost"] <= lifetime / INTERVAL + 2

@@ -1,0 +1,72 @@
+"""Figure 2 — Problem with Source Address Filtering.
+
+Reproduces: with the visited domain's boundary router doing §3.1
+source-address checks, the mobile host's Out-DH replies are discarded
+and "never reach the correspondent host"; with a permissive boundary
+the same packets arrive.  The table is a 2x2 of (filtering, mode) ->
+delivery ratio.
+"""
+
+from repro.analysis import MH_HOME_ADDRESS, TextTable, build_scenario
+from repro.core import ProbeStrategy
+from repro.core.modes import AddressPlan, OutMode, build_outgoing
+from repro.mobileip import Awareness
+from repro.netsim.packet import IPProto
+from repro.transport import UDPDatagram
+
+PACKETS = 10
+
+
+def run_cell(filtering: bool, mode: OutMode, seed: int):
+    """Send PACKETS home-address datagrams MH -> CH in a fixed mode."""
+    scenario = build_scenario(
+        seed=seed,
+        ch_awareness=Awareness.CONVENTIONAL,
+        visited_filtering=filtering,
+        strategy=ProbeStrategy.AGGRESSIVE_FIRST,
+    )
+    plan = AddressPlan(MH_HOME_ADDRESS, scenario.mh.care_of,
+                       scenario.ha_ip, scenario.ch_ip)
+    received = []
+    sock = scenario.ch.stack.udp_socket(6000)
+    sock.on_receive(lambda d, s, ip, p: received.append(d))
+    for index in range(PACKETS):
+        datagram = UDPDatagram(6001, 6000, index, 100)
+        packet = build_outgoing(mode, plan, payload=datagram,
+                                payload_size=datagram.size, proto=IPProto.UDP)
+        scenario.mh.ip_send(packet, bypass_overrides=True)
+    scenario.sim.run_for(30)
+    drops = sum(
+        count for reason, count in scenario.sim.trace.drops_by_reason.items()
+        if "source-address-filter" in reason or "transit" in reason
+    )
+    return len(received) / PACKETS, drops
+
+
+def run_figure_2():
+    results = {}
+    for filtering in (True, False):
+        for mode in (OutMode.OUT_DH, OutMode.OUT_IE):
+            results[(filtering, mode)] = run_cell(filtering, mode, seed=1002)
+    return results
+
+
+def test_fig02_source_filtering(benchmark, reporter):
+    results = benchmark(run_figure_2)
+    table = TextTable(
+        "Figure 2: Source-address filtering vs. Out-DH",
+        ["visited boundary", "outgoing mode", "delivery ratio", "filter drops"],
+    )
+    for (filtering, mode), (ratio, drops) in results.items():
+        table.add_row(
+            "filtering" if filtering else "permissive", mode.value, ratio, drops
+        )
+    reporter.table(table)
+
+    # The paper's claims: Out-DH dies under filtering, works without;
+    # Out-IE (Figure 3's cure) is immune either way.
+    assert results[(True, OutMode.OUT_DH)][0] == 0.0
+    assert results[(False, OutMode.OUT_DH)][0] == 1.0
+    assert results[(True, OutMode.OUT_IE)][0] == 1.0
+    assert results[(False, OutMode.OUT_IE)][0] == 1.0
+    assert results[(True, OutMode.OUT_DH)][1] >= PACKETS

@@ -1,0 +1,93 @@
+"""Figures 6-9 — the four packet-format diagrams.
+
+These figures are address tables; the benchmark regenerates each one
+from the implementation by building every mode's packet and printing
+the header fields observed on the wire, then cross-checks the observed
+addresses against the figure.  (Sizes are included because §3.3 uses
+these same formats for its overhead arithmetic.)
+"""
+
+from repro.analysis import TextTable
+from repro.core.modes import (
+    AddressPlan,
+    InMode,
+    OutMode,
+    build_incoming_direct,
+    build_outgoing,
+    classify_incoming,
+    classify_outgoing,
+)
+from repro.netsim import IPAddress
+from repro.netsim.packet import IPProto
+
+PLAN = AddressPlan(
+    home=IPAddress("10.1.0.10"),        # MH
+    care_of=IPAddress("10.2.0.2"),      # COA
+    home_agent=IPAddress("10.1.0.1"),   # HA
+    correspondent=IPAddress("10.3.0.2"),  # CH
+)
+PAYLOAD = 100
+
+
+def describe(packet):
+    if packet.is_encapsulated:
+        inner = packet.innermost
+        return (str(packet.src), str(packet.dst),
+                str(inner.src), str(inner.dst), packet.wire_size)
+    return ("-", "-", str(packet.src), str(packet.dst), packet.wire_size)
+
+
+def run_formats():
+    out_rows = []
+    for mode in OutMode:
+        packet = build_outgoing(mode, PLAN, payload_size=PAYLOAD,
+                                proto=IPProto.UDP)
+        assert classify_outgoing(packet, PLAN) is mode
+        out_rows.append((mode.value,) + describe(packet))
+    in_rows = []
+    for mode in InMode:
+        packet = build_incoming_direct(mode, PLAN, payload_size=PAYLOAD,
+                                       proto=IPProto.UDP)
+        assert classify_incoming(packet, PLAN) is mode
+        in_rows.append((mode.value,) + describe(packet))
+    return out_rows, in_rows
+
+
+def test_fig06_to_09_packet_formats(benchmark, reporter):
+    out_rows, in_rows = benchmark(run_formats)
+
+    out_table = TextTable(
+        "Figures 6/7: Outgoing packet formats (s/d = outer, S/D = inner)",
+        ["mode", "s (outer src)", "d (outer dst)", "S", "D", "wire bytes"],
+    )
+    for row in out_rows:
+        out_table.add_row(*row)
+    reporter.table(out_table)
+
+    in_table = TextTable(
+        "Figures 8/9: Incoming packet formats (s/d = outer, S/D = inner)",
+        ["mode", "s (outer src)", "d (outer dst)", "S", "D", "wire bytes"],
+    )
+    for row in in_rows:
+        in_table.add_row(*row)
+    reporter.table(in_table)
+
+    rows = {row[0]: row for row in out_rows + in_rows}
+    mh, coa = str(PLAN.home), str(PLAN.care_of)
+    ha, ch = str(PLAN.home_agent), str(PLAN.correspondent)
+
+    # Figure 6: unencapsulated outgoing, S in {MH, COA}, D = CH.
+    assert rows["Out-DH"][1:5] == ("-", "-", mh, ch)
+    assert rows["Out-DT"][1:5] == ("-", "-", coa, ch)
+    # Figure 7: s = COA always; d in {HA, CH}; S = MH; D = CH.
+    assert rows["Out-IE"][1:5] == (coa, ha, mh, ch)
+    assert rows["Out-DE"][1:5] == (coa, ch, mh, ch)
+    # Figure 8: unencapsulated incoming, D in {COA, MH-on-segment}.
+    assert rows["In-DT"][1:5] == ("-", "-", ch, coa)
+    assert rows["In-DH"][1:5] == ("-", "-", ch, mh)
+    # Figure 9: d = COA always; s in {HA, CH}; S = CH; D = MH.
+    assert rows["In-IE"][1:5] == (ha, coa, ch, mh)
+    assert rows["In-DE"][1:5] == (ch, coa, ch, mh)
+    # §3.3: encapsulated forms carry exactly 20 extra bytes (IP-in-IP).
+    for enc, plain in (("Out-IE", "Out-DH"), ("In-IE", "In-DH")):
+        assert rows[enc][5] == rows[plain][5] + 20

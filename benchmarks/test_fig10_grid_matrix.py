@@ -1,0 +1,56 @@
+"""Figure 10 — the Internet Mobility 4x4 grid, regenerated empirically.
+
+Runs all sixteen (In, Out) combinations as real conversations on the
+simulator (the same machinery as tests/integration/test_grid_matrix.py)
+and prints the resulting grid next to the paper's classification.  The
+series the paper reports — which cells converse and which do not — must
+match exactly: 7 useful + 3 valid-but-unlikely cells work, the 6 dark
+cells do not.
+"""
+
+from repro.analysis import TextTable
+from repro.core.grid import GRID, CellClass
+from repro.core.modes import InMode, OutMode
+
+import sys
+import os
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+from integration.test_grid_matrix import run_cell  # noqa: E402
+
+
+def run_matrix():
+    outcomes = {}
+    for in_mode in InMode:
+        for out_mode in OutMode:
+            arrived, visible_src, sent_to = run_cell(in_mode, out_mode,
+                                                     seed=1010)
+            outcomes[(in_mode, out_mode)] = arrived and visible_src == sent_to
+    return outcomes
+
+
+def test_fig10_grid_matrix(benchmark, reporter):
+    outcomes = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    table = TextTable(
+        "Figure 10: empirical 4x4 grid (conversation works?) vs. paper",
+        ["in \\ out"] + [mode.value for mode in OutMode],
+    )
+    for in_mode in InMode:
+        cells = []
+        for out_mode in OutMode:
+            worked = outcomes[(in_mode, out_mode)]
+            paper = GRID.cell(in_mode, out_mode).cell_class
+            mark = {
+                CellClass.USEFUL: "useful",
+                CellClass.VALID_UNLIKELY: "valid~",
+                CellClass.INAPPLICABLE: "dark",
+            }[paper]
+            cells.append(f"{'OK' if worked else 'FAIL'} ({mark})")
+        table.add_row(in_mode.value, *cells)
+    reporter.table(table)
+
+    working = sum(1 for viable in outcomes.values() if viable)
+    assert working == 10    # 7 useful + 3 valid-but-unlikely
+    for (in_mode, out_mode), viable in outcomes.items():
+        assert viable == GRID.cell(in_mode, out_mode).works_with_tcp

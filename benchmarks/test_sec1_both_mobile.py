@@ -1,0 +1,153 @@
+"""§1 — "the same techniques and optimizations apply equally well if
+both hosts are mobile."
+
+Two mobile hosts, both away from home, converse three ways:
+
+* both conventional: the double triangle — each direction transits the
+  *other* host's home agent (every packet crosses the backbone twice);
+* one-sided optimization: A knows B's binding (In-DE toward B) but not
+  vice versa;
+* both smart: each knows the other's binding — direct tunnels both
+  ways, no home agent touched.
+
+The table reports round-trip latency and home-agent workload per
+arrangement.
+"""
+
+from repro.analysis import TextTable
+from repro.core import ProbeStrategy
+from repro.mobileip import CorrespondentHost, HomeAgent, MobileHost
+from repro.netsim import Internet, IPAddress, Simulator
+
+HOME_A = IPAddress("10.1.0.10")
+HOME_B = IPAddress("10.7.0.10")
+
+
+def build_world(seed: int):
+    sim = Simulator(seed=seed)
+    net = Internet(sim, backbone_size=6)
+    home_a = net.add_domain("home-a", "10.1.0.0/16", attach_at=0)
+    home_b = net.add_domain("home-b", "10.7.0.0/16", attach_at=1)
+    net.add_domain("visit-a", "10.2.0.0/16", attach_at=4)
+    net.add_domain("visit-b", "10.8.0.0/16", attach_at=5)
+
+    ha_a = HomeAgent("ha-a", sim, home_network=home_a.prefix)
+    ha_a_ip = net.add_host("home-a", ha_a)
+    ha_b = HomeAgent("ha-b", sim, home_network=home_b.prefix)
+    ha_b_ip = net.add_host("home-b", ha_b)
+
+    mh_a = MobileHost("mh-a", sim, home_address=HOME_A,
+                      home_network=home_a.prefix, home_agent_address=ha_a_ip,
+                      strategy=ProbeStrategy.CONSERVATIVE_FIRST)
+    mh_a.attach_home(net, "home-a")
+    mh_b = MobileHost("mh-b", sim, home_address=HOME_B,
+                      home_network=home_b.prefix, home_agent_address=ha_b_ip,
+                      strategy=ProbeStrategy.CONSERVATIVE_FIRST)
+    mh_b.attach_home(net, "home-b")
+    mh_a.move_to(net, "visit-a")
+    mh_b.move_to(net, "visit-b")
+    sim.run(until=sim.now + 5)
+    return sim, ha_a, ha_b, mh_a, mh_b
+
+
+def measure_rtt(sim, mh_a, mh_b):
+    sock_b = mh_b.stack.udp_socket(7000)
+    sock_b.on_receive(
+        lambda d, s, ip, p: sock_b.sendto("echo", s, ip, p,
+                                          src_override=HOME_B))
+    sock_a = mh_a.stack.udp_socket()
+    times = []
+    start = {}
+    # B echoes back to A's sending port, so listen on that same socket.
+    sock_a.on_receive(lambda d, s, ip, p: times.append(sim.now - start["t"]))
+
+    def probe():
+        start["t"] = sim.now
+        sock_a.sendto("ping", 100, HOME_B, 7000, src_override=HOME_A)
+
+    probe()            # warm-up (ARP along every leg)
+    sim.run(until=sim.now + 20)
+    times.clear()
+    probe()
+    sim.run(until=sim.now + 20)
+    return times[0] if times else None
+
+
+def run_arrangements():
+    rows = []
+
+    # Both conventional: double triangle.
+    sim, ha_a, ha_b, mh_a, mh_b = build_world(9101)
+    rtt = measure_rtt(sim, mh_a, mh_b)
+    rows.append(("both conventional (double triangle)", rtt,
+                 ha_a.packets_tunneled + ha_b.packets_tunneled))
+
+    # One-sided: A knows B's binding (learned as mobile-aware hosts do).
+    sim, ha_a, ha_b, mh_a, mh_b = build_world(9102)
+    mh_a.engine.learn(HOME_B, mobile_aware=True)
+    # A binding cache on the MH side is the CH machinery; emulate the
+    # §5 In-DE sender by teaching A's engine that Out-DE works and
+    # giving it B's care-of as the correspondent "address" via a CH
+    # binding-style shortcut: tunnel directly to B's care-of.
+    # The clean way within the implementation: A sends Out-DE to B's
+    # *home* address; the outer goes to B directly only if A knows the
+    # care-of — which is CorrespondentHost behaviour.  Mobile hosts are
+    # also correspondents (§1), so reuse that: install a route override
+    # equivalent by pointing A's tunnel at the care-of address.
+    from repro.netsim.node import VirtualRoute
+
+    def a_override(packet):
+        if packet.dst == HOME_B and packet.src == HOME_A:
+            return VirtualRoute(
+                handler=lambda p: mh_a.tunnel.send_encapsulated(
+                    p, mh_a.care_of, mh_b.care_of),
+                name="In-DE-toward-B",
+            )
+        return None
+
+    mh_a.route_overrides.insert(0, a_override)
+    rtt = measure_rtt(sim, mh_a, mh_b)
+    rows.append(("A knows B's binding (one-sided)", rtt,
+                 ha_a.packets_tunneled + ha_b.packets_tunneled))
+
+    # Both smart: each tunnels directly to the other's care-of address.
+    sim, ha_a, ha_b, mh_a, mh_b = build_world(9103)
+
+    def override_for(sender, peer_home, peer_coa, own_home):
+        def override(packet):
+            if packet.dst == peer_home and packet.src == own_home:
+                return VirtualRoute(
+                    handler=lambda p: sender.tunnel.send_encapsulated(
+                        p, sender.care_of, peer_coa),
+                    name="In-DE-direct",
+                )
+            return None
+        return override
+
+    mh_a.route_overrides.insert(
+        0, override_for(mh_a, HOME_B, mh_b.care_of, HOME_A))
+    mh_b.route_overrides.insert(
+        0, override_for(mh_b, HOME_A, mh_a.care_of, HOME_B))
+    rtt = measure_rtt(sim, mh_a, mh_b)
+    rows.append(("both know bindings (direct tunnels)", rtt,
+                 ha_a.packets_tunneled + ha_b.packets_tunneled))
+    return rows
+
+
+def test_sec1_both_mobile(benchmark, reporter):
+    rows = benchmark.pedantic(run_arrangements, rounds=1, iterations=1)
+    table = TextTable(
+        "§1: Both hosts mobile — RTT per optimization level",
+        ["arrangement", "RTT (s)", "HA-tunneled packets (both agents)"],
+    )
+    for label, rtt, tunneled in rows:
+        table.add_row(label, rtt, tunneled)
+    reporter.table(table)
+
+    double, one_sided, direct = rows
+    assert all(rtt is not None for _label, rtt, _t in rows)
+    # Each optimization level strictly improves the round trip.
+    assert direct[1] < one_sided[1] < double[1]
+    # The fully-optimized arrangement bypasses both home agents for the
+    # measured probe (tunneled counts include only the warm-up).
+    assert direct[2] <= one_sided[2] <= double[2]

@@ -1,0 +1,93 @@
+"""§2 — Connection durability across movement.
+
+Reproduces: "maintain communication associations (such as TCP
+connections) even if the point of attachment changes during their
+lifetime."  A telnet session runs while the mobile host moves to a new
+domain mid-stream, once for each of the grid's useful cells' sending
+arrangements: the home-address modes survive; the temporary-address
+arrangement (In-DT/Out-DT) breaks.
+"""
+
+from repro.analysis import MH_HOME_ADDRESS, TextTable, build_scenario
+from repro.apps import TelnetServer, TelnetSession
+from repro.core import ProbeStrategy
+from repro.core.policy import Disposition, MobilityPolicyTable
+from repro.mobileip import Awareness
+
+KEYSTROKES = 8
+
+
+def run_session(label: str, seed: int, bound_to_care_of: bool = False,
+                policy_disposition=None, ch_awareness=Awareness.CONVENTIONAL,
+                visited_filtering=True, give_binding=False):
+    policy = None
+    if policy_disposition is not None:
+        policy = MobilityPolicyTable(default=policy_disposition)
+    scenario = build_scenario(seed=seed, ch_awareness=ch_awareness,
+                              policy=policy, visited_filtering=visited_filtering)
+    TelnetServer(scenario.ch.stack)
+    if give_binding:
+        scenario.ch.learn_binding(MH_HOME_ADDRESS, scenario.mh.care_of, 300.0)
+    scenario.net.add_domain("visited2", "10.5.0.0/16", attach_at=3,
+                            source_filtering=visited_filtering,
+                            forbid_transit=visited_filtering)
+    session = TelnetSession(
+        scenario.mh.stack, scenario.ch_ip, think_time=1.0,
+        keystrokes=KEYSTROKES,
+        bound_ip=scenario.mh.care_of if bound_to_care_of else None,
+    )
+
+    def move():
+        scenario.mh.move_to(scenario.net, "visited2")
+        if give_binding:
+            scenario.ch.learn_binding(MH_HOME_ADDRESS, scenario.mh.care_of, 300.0)
+
+    scenario.sim.events.schedule(3.5, move)
+    scenario.sim.run_for(250)
+    return {
+        "label": label,
+        "survived": session.survived,
+        "echoes": session.echoes_received,
+        "mean_rtt": session.mean_echo_rtt(),
+    }
+
+
+def run_durability():
+    return [
+        run_session("In-IE/Out-IE (conservative)", 2001,
+                    policy_disposition=Disposition.HOME_ONLY),
+        run_session("In-IE/Out-DH (permissive net)", 2002,
+                    policy_disposition=Disposition.OPTIMISTIC,
+                    visited_filtering=False),
+        run_session("In-DE/Out-DH (aware CH)", 2003,
+                    policy_disposition=Disposition.OPTIMISTIC,
+                    ch_awareness=Awareness.MOBILE_AWARE,
+                    visited_filtering=False, give_binding=True),
+        run_session("In-IE/Out-* (adaptive, filtered)", 2004),
+        run_session("In-DT/Out-DT (no Mobile IP)", 2005,
+                    bound_to_care_of=True, visited_filtering=False),
+    ]
+
+
+def test_sec2_connection_durability(benchmark, reporter):
+    rows = benchmark.pedantic(run_durability, rounds=1, iterations=1)
+    table = TextTable(
+        "§2: Telnet session across a mid-stream move "
+        f"({KEYSTROKES} keystrokes)",
+        ["arrangement", "survived move", "echoes received", "mean echo RTT (s)"],
+    )
+    for row in rows:
+        table.add_row(row["label"], row["survived"], row["echoes"],
+                      row["mean_rtt"] if row["mean_rtt"] is not None else "-")
+    reporter.table(table)
+
+    by_label = {row["label"]: row for row in rows}
+    # Every Mobile IP arrangement survives with all echoes delivered.
+    for label, row in by_label.items():
+        if "Out-DT" not in label:
+            assert row["survived"], label
+            assert row["echoes"] == KEYSTROKES, label
+    # The no-Mobile-IP arrangement breaks.
+    out_dt = by_label["In-DT/Out-DT (no Mobile IP)"]
+    assert not out_dt["survived"]
+    assert out_dt["echoes"] < KEYSTROKES

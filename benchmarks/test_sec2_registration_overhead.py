@@ -1,0 +1,104 @@
+"""§2 — Registration: the control-plane cost of a move.
+
+    "After the mobile host has connected to the visited network ... it
+    registers its new location with its home agent. ... If the mobile
+    host moves again to a different point of attachment on the
+    Internet, then it must again inform its home agent of its new
+    location."
+
+The benchmark measures what a move costs before any data can flow the
+Mobile IP way: registration completion time (one round trip to the
+home agent, so it grows with distance from home), control bytes, and
+the end-to-end service blackout seen by an inbound stream (§2's
+transition window).
+"""
+
+from repro.analysis import MH_HOME_ADDRESS, TextTable, ascii_series, build_scenario
+from repro.mobileip import Awareness
+
+BACKBONE = 7
+
+
+def run_move(visited_attach: int, seed: int):
+    scenario = build_scenario(seed=seed, backbone_size=BACKBONE,
+                              visited_attach=1,   # start near home
+                              ch_awareness=Awareness.CONVENTIONAL,
+                              mobile_starts_away=False)
+    scenario.net.add_domain("next-stop", "10.5.0.0/16",
+                            attach_at=visited_attach)
+    sim = scenario.sim
+    scenario.mh.move_to(scenario.net, "visited")
+    sim.run_for(5)
+
+    # Inbound stream every 200ms; measure the blackout around the move.
+    arrivals = []
+    sock = scenario.mh.stack.udp_socket(7000)
+    sock.on_receive(lambda d, s, ip, p: arrivals.append((d, sim.now)))
+    ch_sock = scenario.ch.stack.udp_socket()
+
+    def stream(step=[0]):
+        if step[0] >= 100:
+            return
+        step[0] += 1
+        ch_sock.sendto(step[0], 60, MH_HOME_ADDRESS, 7000)
+        sim.events.schedule(0.2, stream)
+
+    stream()
+    move_at = sim.now + 4.0
+    registered_at = {}
+
+    def move():
+        scenario.mh.move_to(scenario.net, "next-stop")
+        scenario.mh.on_registered = (
+            lambda reply: registered_at.setdefault("t", sim.now))
+
+    sim.events.schedule(4.0, move)
+    sim.run_for(40)
+
+    registration_time = registered_at.get("t", float("inf")) - move_at
+    before = [t for _d, t in arrivals if t < move_at]
+    after = [t for _d, t in arrivals if t > move_at]
+    blackout = (after[0] - move_at) if after else float("inf")
+    return {
+        "registration_time": registration_time,
+        "blackout": blackout,
+        "attempts": scenario.mh.registration_attempts,
+    }
+
+
+def run_sweep():
+    rows = []
+    for attach in (1, 3, 6):
+        distance = attach  # home is at 0
+        rows.append((distance, run_move(attach, seed=9200 + attach)))
+    return rows
+
+
+def test_sec2_registration_overhead(benchmark, reporter):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = TextTable(
+        "§2: Cost of a move vs. distance from home (inbound stream @200ms)",
+        ["new domain distance from home", "registration time (s)",
+         "inbound blackout (s)", "registration attempts"],
+    )
+    for distance, r in rows:
+        table.add_row(distance, r["registration_time"], r["blackout"],
+                      r["attempts"])
+    reporter.table(table)
+    reporter.text(ascii_series(
+        "§2 (shape): registration round-trip vs. distance from home",
+        labels=[f"dist {distance}" for distance, _r in rows],
+        values=[r["registration_time"] for _d, r in rows],
+        unit="s",
+    ))
+
+    results = dict(rows)
+    # Registration time grows with distance from home...
+    times = [results[d]["registration_time"] for d in (1, 3, 6)]
+    assert times[0] < times[1] < times[2]
+    # ...and stays a sub-second, single-attempt affair on a healthy net.
+    for distance in (1, 3, 6):
+        assert results[distance]["registration_time"] < 1.0
+    # The inbound blackout is bounded by registration + one stream gap.
+    for distance in (1, 3, 6):
+        assert results[distance]["blackout"] < 2.0

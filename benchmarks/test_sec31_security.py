@@ -1,0 +1,92 @@
+"""§3.1 — Source-address trust and the security motivation.
+
+Reproduces the section's three-way story around an NFS server that
+trusts by source address:
+
+1. a spoofed request from outside, claiming an inside address, is
+   dropped by the filtering boundary router (the defense that also
+   kills Out-DH);
+2. the same spoof **succeeds** when the boundary is permissive — "we
+   effectively allow any machine on the Internet to impersonate any
+   machine in our organization";
+3. the legitimate mobile host gets service back via the reverse tunnel
+   (Out-IE), spoof protection intact.
+"""
+
+from repro.analysis import MH_HOME_ADDRESS, TextTable, build_scenario
+from repro.apps import NFSClient, NFSServer
+from repro.netsim import IPAddress, Node
+from repro.transport import TransportStack
+
+
+def stage(seed: int, home_filtering: bool):
+    scenario = build_scenario(seed=seed, ch_awareness=None,
+                              home_filtering=home_filtering)
+    server_node = Node("nfs", scenario.sim)
+    server_ip = scenario.net.add_host("home", server_node)
+    server = NFSServer(TransportStack(server_node),
+                       exports=[scenario.home.prefix])
+    return scenario, server, server_ip
+
+
+def rpc(scenario, client_stack, server_ip, src_override=None, retries=1):
+    client = NFSClient(client_stack, server_ip, max_retries=retries)
+    results = []
+    client.call("read", "/export/payroll", results.append,
+                src_override=src_override)
+    scenario.sim.run_for(30)
+    if not results or results[0] is None:
+        return "timeout"
+    return "granted" if results[0].ok else "denied"
+
+
+def run_security():
+    rows = []
+    for home_filtering in (True, False):
+        # 1/2. Spoofed request from an attacker in the visited domain.
+        scenario, server, server_ip = stage(3001 + home_filtering, home_filtering)
+        attacker = Node("attacker", scenario.sim)
+        scenario.net.add_host("visited", attacker)
+        # Attacker's own site must not stop the spoof for the test to
+        # isolate the *home* boundary's behaviour.
+        scenario.visited.boundary.engine.rules.clear()
+        rpc(scenario, TransportStack(attacker), server_ip,
+            src_override=IPAddress("10.1.0.99"))
+        # §3.1: the attacker never sees replies (they go to the spoofed
+        # address), but the attack *executed* if the server granted it.
+        outcome = "server-executed" if server.requests_granted else "blocked"
+        rows.append((
+            "spoofed inside-source request",
+            "filtering" if home_filtering else "permissive",
+            outcome,
+            server.requests_granted,
+        ))
+    # 3. Legitimate mobile host via reverse tunnel, filtering on.
+    scenario, server, server_ip = stage(3003, home_filtering=True)
+    outcome = rpc(scenario, scenario.mh.stack, server_ip,
+                  src_override=MH_HOME_ADDRESS, retries=3)
+    rows.append((
+        "mobile host via Out-IE reverse tunnel",
+        "filtering",
+        outcome,
+        server.requests_granted,
+    ))
+    return rows
+
+
+def test_sec31_security(benchmark, reporter):
+    rows = benchmark.pedantic(run_security, rounds=1, iterations=1)
+    table = TextTable(
+        "§3.1: NFS source-address trust vs. boundary policy",
+        ["request", "home boundary", "outcome", "server grants"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    reporter.table(table)
+
+    outcomes = {(row[0], row[1]): row[2] for row in rows}
+    assert outcomes[("spoofed inside-source request", "filtering")] == "blocked"
+    assert outcomes[
+        ("spoofed inside-source request", "permissive")] == "server-executed"
+    assert outcomes[
+        ("mobile host via Out-IE reverse tunnel", "filtering")] == "granted"

@@ -1,0 +1,113 @@
+"""§3.2 — Minimize Latency: RTT of every delivery arrangement.
+
+Reproduces the section's ordering argument with a full round-trip
+latency table over the delivery arrangements available to one
+conversation, for a *nearby* and a *far* correspondent:
+
+* nearby CH: In-DH < In-DE < In-IE, with a large In-IE penalty
+  (Figure 4's situation);
+* far CH: the In-IE penalty is small — "the extra distance added by
+  indirect delivery is small compared to the distance that the packets
+  would travel anyway" (Figures 2/3's situation).
+"""
+
+from repro.analysis import MH_HOME_ADDRESS, TextTable, build_scenario
+from repro.core import ProbeStrategy
+from repro.mobileip import Awareness
+
+BACKBONE = 7
+
+
+def measure_rtt(scenario, reply_src=MH_HOME_ADDRESS):
+    sim = scenario.sim
+    mh_sock = scenario.mh.stack.udp_socket(7000)
+    mh_sock.on_receive(
+        lambda d, s, ip, p: mh_sock.sendto("echo", s, ip, p,
+                                           src_override=reply_src)
+    )
+    ch_sock = scenario.ch.stack.udp_socket()
+    times = []
+    start = {}
+    ch_sock.on_receive(lambda d, s, ip, p: times.append(sim.now - start["t"]))
+
+    def probe():
+        start["t"] = sim.now
+        ch_sock.sendto("ping", 100, MH_HOME_ADDRESS, 7000)
+
+    # Warm-up (ARP, caches), then measure.
+    probe()
+    sim.run_for(10)
+    times.clear()
+    probe()
+    sim.run_for(10)
+    return times[0] if times else None
+
+
+def arrangements(ch_attach, same_segment, seed):
+    rows = []
+
+    def scenario_for(awareness, strategy):
+        return build_scenario(
+            seed=seed, backbone_size=BACKBONE, ch_attach=ch_attach,
+            ch_in_visited_lan=same_segment, ch_awareness=awareness,
+            visited_filtering=False, strategy=strategy,
+        )
+
+    # In-IE / Out-IE — most conservative.
+    conservative = scenario_for(Awareness.CONVENTIONAL,
+                                ProbeStrategy.CONSERVATIVE_FIRST)
+    conservative.mh.engine.cache.upgrade_after = 10**9  # stay at Out-IE
+    rows.append(("In-IE/Out-IE", measure_rtt(conservative)))
+
+    # In-IE / Out-DH — direct replies.
+    half = scenario_for(Awareness.CONVENTIONAL, ProbeStrategy.AGGRESSIVE_FIRST)
+    rows.append(("In-IE/Out-DH", measure_rtt(half)))
+
+    # Smart correspondent with a binding.  Off-segment it tunnels
+    # directly (In-DE); on the mobile host's own segment it prefers the
+    # one-hop In-DH automatically (§7.2), so the arrangement label
+    # follows the wire behaviour.
+    smart = scenario_for(Awareness.MOBILE_AWARE, ProbeStrategy.AGGRESSIVE_FIRST)
+    smart.ch.learn_binding(MH_HOME_ADDRESS, smart.mh.care_of, 600.0)
+    label = "In-DH/Out-DH" if same_segment else "In-DE/Out-DH"
+    rows.append((label, measure_rtt(smart)))
+    return rows
+
+
+def run_sweep():
+    return {
+        "far CH (attach 0, at home's end)": arrangements(0, False, 3201),
+        "near CH (attach 5, next to visited)": arrangements(5, False, 3202),
+        "same segment CH": arrangements(0, True, 3203),
+    }
+
+
+def test_sec32_latency_sweep(benchmark, reporter):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = TextTable(
+        "§3.2: Round-trip latency by delivery arrangement and CH position",
+        ["correspondent position", "arrangement", "RTT (s)"],
+    )
+    for position, rows in results.items():
+        for arrangement, rtt in rows:
+            table.add_row(position, arrangement, rtt)
+    reporter.table(table)
+
+    def rtts(position):
+        return dict(results[position])
+
+    near = rtts("near CH (attach 5, next to visited)")
+    far = rtts("far CH (attach 0, at home's end)")
+    same = rtts("same segment CH")
+
+    # Ordering for the nearby correspondent: each step helps a lot.
+    assert near["In-DE/Out-DH"] < near["In-IE/Out-DH"] < near["In-IE/Out-IE"]
+    # Same-segment is the fastest arrangement of all.
+    assert same["In-DH/Out-DH"] < near["In-DE/Out-DH"]
+    assert same["In-DH/Out-DH"] < same["In-IE/Out-DH"] / 50
+    # For the far correspondent the In-IE penalty is modest (<60%)...
+    far_penalty = far["In-IE/Out-IE"] / far["In-DE/Out-DH"]
+    assert far_penalty < 1.6
+    # ...while for the near correspondent it is severe (>3x).
+    near_penalty = near["In-IE/Out-IE"] / near["In-DE/Out-DH"]
+    assert near_penalty > 3.0

@@ -1,0 +1,100 @@
+"""§6.4 — Multicast: local join vs. tunneling from home.
+
+Reproduces: "Tunneling multicast packets from the home network to the
+visited network is ... a little self-defeating.  It would be better if
+the multicast application were able to join the multicast group through
+its real physical interface on the current local network."
+
+Both delivery styles are run against the same stream; the table
+reports delivery, backbone bytes consumed, and per-packet size — the
+local join uses zero wide-area bytes, the tunnel pays the whole stream
+plus encapsulation overhead.
+"""
+
+from repro.analysis import TextTable, build_scenario
+from repro.apps import HomeTunnelRelay, MulticastReceiver, MulticastSource
+from repro.netsim import IPAddress, Node
+from repro.transport import TransportStack
+
+GROUP = IPAddress("224.9.9.9")
+STREAM_COUNT = 20
+PAYLOAD = 500
+
+
+def backbone_bytes(scenario):
+    return sum(
+        count for name, count in scenario.sim.trace.bytes_by_link.items()
+        if name.startswith("p2p") or name.startswith("uplink")
+    )
+
+
+def run_local_join(seed):
+    """The §6.4 recommendation: the MH joins on the visited LAN."""
+    scenario = build_scenario(seed=seed, ch_awareness=None)
+    sender = Node("mbone-src", scenario.sim)
+    scenario.net.add_host("visited", sender)
+    baseline = backbone_bytes(scenario)
+    source = MulticastSource(TransportStack(sender), GROUP,
+                             count=STREAM_COUNT, interval=0.05,
+                             payload_size=PAYLOAD)
+    receiver = MulticastReceiver(scenario.mh.stack, GROUP)
+    source.start()
+    scenario.sim.run_for(30)
+    return {
+        "received": receiver.received,
+        "backbone_bytes": backbone_bytes(scenario) - baseline,
+        "decapsulations": scenario.mh.tunnel.decapsulated_count,
+    }
+
+
+def run_home_tunnel(seed):
+    """The self-defeating alternative: join at home, tunnel to the MH."""
+    scenario = build_scenario(seed=seed, ch_awareness=None)
+    sender = Node("mbone-src", scenario.sim)
+    scenario.net.add_host("home", sender)
+    baseline = backbone_bytes(scenario)
+    source = MulticastSource(TransportStack(sender), GROUP,
+                             count=STREAM_COUNT, interval=0.05,
+                             payload_size=PAYLOAD)
+    relay = HomeTunnelRelay(scenario.ha, scenario.ha.tunnel, GROUP)
+    relay.relay_to(scenario.mh.care_of)
+    receiver = MulticastReceiver(scenario.mh.stack, GROUP)
+    source.start()
+    scenario.sim.run_for(30)
+    return {
+        "received": receiver.received,
+        "backbone_bytes": backbone_bytes(scenario) - baseline,
+        "decapsulations": scenario.mh.tunnel.decapsulated_count,
+    }
+
+
+def run_multicast():
+    return {
+        "local join (visited LAN)": run_local_join(6401),
+        "tunnel from home network": run_home_tunnel(6402),
+    }
+
+
+def test_sec64_multicast(benchmark, reporter):
+    results = benchmark.pedantic(run_multicast, rounds=1, iterations=1)
+    table = TextTable(
+        f"§6.4: Multicast stream of {STREAM_COUNT} x {PAYLOAD}B packets",
+        ["delivery", "packets received", "wide-area bytes", "decapsulations"],
+    )
+    for label, r in results.items():
+        table.add_row(label, r["received"], r["backbone_bytes"],
+                      r["decapsulations"])
+    reporter.table(table)
+
+    local = results["local join (visited LAN)"]
+    tunnel = results["tunnel from home network"]
+    # Both deliver the whole stream...
+    assert local["received"] == STREAM_COUNT
+    assert tunnel["received"] == STREAM_COUNT
+    # ...but the local join never touches the backbone, while the tunnel
+    # pays at least the whole stream's bytes plus encapsulation.
+    assert local["backbone_bytes"] == 0
+    per_packet_floor = PAYLOAD + 8 + 20 + 20   # UDP + inner IP + outer IP
+    assert tunnel["backbone_bytes"] >= STREAM_COUNT * per_packet_floor
+    assert local["decapsulations"] == 0
+    assert tunnel["decapsulations"] == STREAM_COUNT

@@ -1,0 +1,122 @@
+"""§7.1.1 — Temporary address or home address?
+
+Reproduces the decision machinery over a mixed workload: HTTP fetches
+(port 80 -> Out-DT), DNS lookups (UDP 53 -> Out-DT), a telnet session
+(port 23 -> home address / Mobile IP), an explicitly care-of-bound
+socket (forced Out-DT), and a privacy-configured host (everything via
+the home tunnel).  The table reports, per conversation, which source
+address appeared on the wire and how many packets used the tunnel.
+"""
+
+from repro.analysis import MH_HOME_ADDRESS, TextTable, build_scenario
+from repro.apps import (
+    DNSLookupWorkload,
+    HTTPClient,
+    HTTPServer,
+    TelnetServer,
+    TelnetSession,
+)
+from repro.mobileip import Awareness
+
+
+def wire_sources(scenario, dst_ip):
+    """Distinct source addresses the MH used toward ``dst_ip``."""
+    return {
+        entry.src
+        for entry in scenario.sim.trace.entries
+        if entry.node == "mh" and entry.action == "send"
+        and entry.dst == str(dst_ip)
+    }
+
+
+def run_workload(privacy: bool, seed: int):
+    scenario = build_scenario(seed=seed, ch_awareness=Awareness.CONVENTIONAL,
+                              with_dns=True, privacy=privacy)
+    HTTPServer(scenario.ch.stack)
+    TelnetServer(scenario.ch.stack)
+
+    http = HTTPClient(scenario.mh.stack)
+    fetch = http.fetch(scenario.ch_ip)
+    dns = DNSLookupWorkload(scenario.mh.stack, scenario.dns_ip)
+    dns.lookup("mh.home.example")
+    telnet = TelnetSession(scenario.mh.stack, scenario.ch_ip,
+                           think_time=0.5, keystrokes=3)
+    scenario.sim.run_for(60)
+
+    coa, home = str(scenario.mh.care_of), str(MH_HOME_ADDRESS)
+    rows = []
+    rows.append(("HTTP :80", sorted(wire_sources(scenario, scenario.ch_ip)
+                                    & {coa}) or ["home-only"],
+                 fetch.completed))
+    rows.append(("DNS :53", sorted(wire_sources(scenario, scenario.dns_ip)),
+                 bool(dns.completed)))
+    rows.append(("telnet :23 endpoint", [str(telnet.connection.local_ip)],
+                 telnet.echoes_received == 3))
+    rows.append(("tunneled packets", [scenario.mh.tunnel.encapsulated_count],
+                 True))
+    return rows, scenario
+
+
+def run_explicit_bind(seed: int):
+    scenario = build_scenario(seed=seed, ch_awareness=Awareness.CONVENTIONAL,
+                              visited_filtering=False)
+    TelnetServer(scenario.ch.stack)
+    session = TelnetSession(scenario.mh.stack, scenario.ch_ip,
+                            think_time=0.5, keystrokes=3,
+                            bound_ip=scenario.mh.care_of)
+    scenario.sim.run_for(60)
+    return str(session.connection.local_ip), str(scenario.mh.care_of)
+
+
+def run_heuristics():
+    normal, normal_scenario = run_workload(privacy=False, seed=7111)
+    private, private_scenario = run_workload(privacy=True, seed=7112)
+    bound_local_ip, bound_coa = run_explicit_bind(seed=7113)
+    return {
+        "normal": normal,
+        "normal_scenario": normal_scenario,
+        "private": private,
+        "private_scenario": private_scenario,
+        "bound": (bound_local_ip, bound_coa),
+    }
+
+
+def test_sec711_port_heuristics(benchmark, reporter):
+    results = benchmark.pedantic(run_heuristics, rounds=1, iterations=1)
+    table = TextTable(
+        "§7.1.1: Address choice by heuristics, binding, and privacy",
+        ["configuration", "conversation", "observation", "worked"],
+    )
+    for config in ("normal", "private"):
+        for label, observation, worked in results[config]:
+            table.add_row(config, label, ",".join(map(str, observation)),
+                          worked)
+    bound_local, bound_coa = results["bound"]
+    table.add_row("explicit care-of bind", "telnet :23 endpoint",
+                  bound_local, bound_local == bound_coa)
+    reporter.table(table)
+
+    normal = {label: (obs, ok) for label, obs, ok in results["normal"]}
+    private = {label: (obs, ok) for label, obs, ok in results["private"]}
+    scenario = results["normal_scenario"]
+    coa, home = str(scenario.mh.care_of), str(MH_HOME_ADDRESS)
+
+    # Normal host: HTTP and DNS used the care-of source (Out-DT);
+    # telnet's endpoint identifier is the home address.
+    assert coa in normal["HTTP :80"][0]
+    assert normal["DNS :53"][0] == [coa]
+    assert normal["telnet :23 endpoint"][0] == [home]
+    assert all(ok for _, ok in normal.values())
+
+    # Privacy host: everything uses the home address, nothing leaks the
+    # care-of address, and packets ride the tunnel.
+    private_scenario = results["private_scenario"]
+    p_coa = str(private_scenario.mh.care_of)
+    assert private["HTTP :80"][0] == ["home-only"]
+    assert private["DNS :53"][0] == [str(MH_HOME_ADDRESS)]
+    assert private["telnet :23 endpoint"][0] == [home]
+    assert private["tunneled packets"][0][0] > normal["tunneled packets"][0][0]
+    assert all(ok for _, ok in private.values())
+
+    # Explicit bind forces Out-DT regardless of port heuristics.
+    assert bound_local == bound_coa

@@ -1,0 +1,10 @@
+"""Legacy setup shim for environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only lets
+``pip install -e . --no-build-isolation`` fall back to the setuptools
+develop path when PEP 517 editable builds are unavailable offline.
+"""
+
+from setuptools import setup
+
+setup()

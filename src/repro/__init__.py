@@ -1,0 +1,31 @@
+"""repro — reproduction of "Internet Mobility 4x4" (SIGCOMM 1996).
+
+The package layers, bottom to top:
+
+* :mod:`repro.netsim`   — packet-level network simulator (IPv4, links,
+  ARP, routers, filtering, fragmentation, ICMP, tunneling).
+* :mod:`repro.transport` — simplified UDP/TCP and a socket API with the
+  bind-address semantics of the paper's §7.1.1.
+* :mod:`repro.mobileip` — Mobile IP: home agent, mobile host, foreign
+  agent, correspondent hosts, registration, DNS extension.
+* :mod:`repro.core`     — the paper's contribution: the 4x4 grid of
+  routing modes and the machinery that picks a cell per conversation.
+* :mod:`repro.apps`     — application workloads (HTTP, telnet, DNS,
+  NFS, multicast) used by examples and benchmarks.
+* :mod:`repro.analysis` — metrics, canonical figure scenarios, and
+  reporting helpers.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, apps, core, mobileip, netsim, transport  # noqa: F401
+
+__all__ = [
+    "analysis",
+    "apps",
+    "core",
+    "mobileip",
+    "netsim",
+    "transport",
+    "__version__",
+]

@@ -1,0 +1,112 @@
+"""Scenario-wide statistics collection.
+
+Aggregates the counters scattered across a running scenario — per-node
+send/receive totals, tunnel usage, home-agent work, per-link bytes,
+drop reasons, engine decisions — into one structured snapshot that
+benchmarks and examples can diff across phases of an experiment
+("before the move" vs "after", "Mobile IP on" vs "off").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..mobileip.home_agent import HomeAgent
+from ..mobileip.mobile_host import MobileHost
+from .scenarios import Scenario
+
+__all__ = ["ScenarioSnapshot", "snapshot", "diff"]
+
+
+@dataclass(frozen=True)
+class ScenarioSnapshot:
+    """One moment's aggregate counters for a scenario."""
+
+    time: float
+    packets_sent: Dict[str, int]
+    packets_received: Dict[str, int]
+    tunneled_by_mh: int
+    decapsulated_by_mh: int
+    tunneled_by_ha: int
+    reverse_forwarded_by_ha: int
+    advisories_sent: int
+    wide_area_bytes: int
+    lan_bytes: int
+    drops: Dict[str, int]
+    engine_decisions: int
+    mode_changes: int
+
+    @property
+    def total_sent(self) -> int:
+        return sum(self.packets_sent.values())
+
+    @property
+    def mobile_ip_packets(self) -> int:
+        """Packets that needed the Mobile IP machinery at all."""
+        return (self.tunneled_by_mh + self.tunneled_by_ha
+                + self.reverse_forwarded_by_ha)
+
+
+def snapshot(scenario: Scenario) -> ScenarioSnapshot:
+    """Capture the current counters of a scenario."""
+    sim = scenario.sim
+    wide, lan = 0, 0
+    for name, count in sim.trace.bytes_by_link.items():
+        if name.startswith("p2p") or name.startswith("uplink"):
+            wide += count
+        else:
+            lan += count
+    mh: MobileHost = scenario.mh
+    ha: HomeAgent = scenario.ha
+    return ScenarioSnapshot(
+        time=sim.now,
+        packets_sent={name: node.packets_sent
+                      for name, node in sim.nodes.items()},
+        packets_received={name: node.packets_received
+                          for name, node in sim.nodes.items()},
+        tunneled_by_mh=mh.tunnel.encapsulated_count,
+        decapsulated_by_mh=mh.tunnel.decapsulated_count,
+        tunneled_by_ha=ha.packets_tunneled,
+        reverse_forwarded_by_ha=ha.packets_reverse_forwarded,
+        advisories_sent=ha.advisories_sent,
+        wide_area_bytes=wide,
+        lan_bytes=lan,
+        drops=dict(sim.trace.drops_by_reason),
+        engine_decisions=mh.engine.decisions_made,
+        mode_changes=mh.engine.cache.total_mode_changes(),
+    )
+
+
+def diff(before: ScenarioSnapshot, after: ScenarioSnapshot) -> ScenarioSnapshot:
+    """Counter deltas between two snapshots of the same scenario."""
+    if after.time < before.time:
+        raise ValueError("snapshots out of order")
+    return ScenarioSnapshot(
+        time=after.time - before.time,
+        packets_sent={
+            name: after.packets_sent.get(name, 0) - count
+            for name, count in before.packets_sent.items()
+        } | {name: count for name, count in after.packets_sent.items()
+             if name not in before.packets_sent},
+        packets_received={
+            name: after.packets_received.get(name, 0) - count
+            for name, count in before.packets_received.items()
+        } | {name: count for name, count in after.packets_received.items()
+             if name not in before.packets_received},
+        tunneled_by_mh=after.tunneled_by_mh - before.tunneled_by_mh,
+        decapsulated_by_mh=after.decapsulated_by_mh - before.decapsulated_by_mh,
+        tunneled_by_ha=after.tunneled_by_ha - before.tunneled_by_ha,
+        reverse_forwarded_by_ha=(after.reverse_forwarded_by_ha
+                                 - before.reverse_forwarded_by_ha),
+        advisories_sent=after.advisories_sent - before.advisories_sent,
+        wide_area_bytes=after.wide_area_bytes - before.wide_area_bytes,
+        lan_bytes=after.lan_bytes - before.lan_bytes,
+        drops={
+            reason: after.drops.get(reason, 0) - count
+            for reason, count in before.drops.items()
+        } | {reason: count for reason, count in after.drops.items()
+             if reason not in before.drops},
+        engine_decisions=after.engine_decisions - before.engine_decisions,
+        mode_changes=after.mode_changes - before.mode_changes,
+    )

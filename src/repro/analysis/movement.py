@@ -1,0 +1,120 @@
+"""Movement models: itineraries for roaming mobile hosts.
+
+The figures need only single moves, but soak tests and macro workloads
+want hosts that keep moving.  Two models:
+
+* :class:`Tour` — a fixed itinerary with per-stop dwell times
+  (deterministic, good for assertions);
+* :class:`RandomWaypoint` — the classic mobility model: pick a random
+  next domain and a random dwell time, forever (seeded through the
+  simulator's RNG, so runs reproduce).
+
+Both drive :meth:`MobileHost.move_to`/:meth:`return_home` and record a
+timestamped movement history for later assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..mobileip.mobile_host import MobileHost
+from ..netsim.topology import Internet
+
+__all__ = ["Tour", "RandomWaypoint"]
+
+HOME_STOP = "home"
+
+
+@dataclass
+class _MoverBase:
+    host: MobileHost
+    net: Internet
+    home_domain: str = HOME_STOP
+    history: List[Tuple[float, str]] = field(default_factory=list)
+    stopped: bool = False
+
+    def _go(self, destination: str) -> None:
+        if destination == self.home_domain:
+            self.host.return_home(self.net, self.home_domain)
+        else:
+            self.host.move_to(self.net, destination)
+        self.history.append((self.host.simulator.now, destination))
+
+    def stop(self) -> None:
+        """No further moves are scheduled after the current one."""
+        self.stopped = True
+
+
+class Tour(_MoverBase):
+    """Visit a fixed itinerary of (domain, dwell-seconds) stops."""
+
+    def __init__(
+        self,
+        host: MobileHost,
+        net: Internet,
+        itinerary: Sequence[Tuple[str, float]],
+        home_domain: str = HOME_STOP,
+    ):
+        super().__init__(host=host, net=net, home_domain=home_domain)
+        self.itinerary = list(itinerary)
+
+    def start(self, initial_delay: float = 0.0) -> None:
+        events = self.host.simulator.events
+
+        def hop(index: int) -> None:
+            if self.stopped or index >= len(self.itinerary):
+                return
+            destination, dwell = self.itinerary[index]
+            self._go(destination)
+            events.schedule(dwell, hop, index + 1)
+
+        events.schedule(initial_delay, hop, 0)
+
+    @property
+    def completed(self) -> bool:
+        return len(self.history) == len(self.itinerary)
+
+
+class RandomWaypoint(_MoverBase):
+    """Roam forever among a set of domains with random dwell times.
+
+    Uses the simulator's seeded RNG exclusively, so a given seed gives
+    the same walk.  The host never picks the domain it is already in.
+    """
+
+    def __init__(
+        self,
+        host: MobileHost,
+        net: Internet,
+        domains: Sequence[str],
+        min_dwell: float = 5.0,
+        max_dwell: float = 30.0,
+        home_domain: str = HOME_STOP,
+        include_home: bool = True,
+    ):
+        if not domains:
+            raise ValueError("need at least one visitable domain")
+        if min_dwell <= 0 or max_dwell < min_dwell:
+            raise ValueError("need 0 < min_dwell <= max_dwell")
+        super().__init__(host=host, net=net, home_domain=home_domain)
+        self.domains = list(domains)
+        if include_home and home_domain not in self.domains:
+            self.domains.append(home_domain)
+        self.min_dwell = min_dwell
+        self.max_dwell = max_dwell
+
+    def start(self, initial_delay: float = 0.0) -> None:
+        sim = self.host.simulator
+
+        def hop() -> None:
+            if self.stopped:
+                return
+            here = self.host.current_domain
+            choices = [d for d in self.domains if d != here] or self.domains
+            destination = sim.rng.choice(choices)
+            self._go(destination)
+            dwell = sim.rng.uniform(self.min_dwell, self.max_dwell)
+            sim.events.schedule(dwell, hop)
+
+        sim.events.schedule(initial_delay, hop)

@@ -1,0 +1,106 @@
+"""Bulk transfer workload (FTP-ish): goodput measurement.
+
+§3.3's byte overheads are per-packet; what a user feels is the flow-
+level consequence: encapsulation bytes and MTU-crossing fragmentation
+both subtract from goodput on a bandwidth-limited path.  This workload
+pushes a fixed number of application bytes over one TCP connection and
+reports the achieved goodput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..netsim.addressing import IPAddress
+from ..transport.sockets import TransportStack
+from ..transport.tcp import DEFAULT_MSS, TCPConnection
+
+__all__ = ["BULK_PORT", "BulkResult", "BulkServer", "BulkClient"]
+
+BULK_PORT = 20  # ftp-data, fittingly
+
+
+@dataclass
+class BulkResult:
+    total_bytes: int
+    started_at: float
+    finished_at: Optional[float] = None
+    failed: bool = False
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def goodput_bps(self) -> Optional[float]:
+        """Application bits per second actually achieved."""
+        duration = self.duration
+        if not duration:
+            return None
+        return self.total_bytes * 8 / duration
+
+
+class BulkServer:
+    """Sink that counts received bytes and acks completion."""
+
+    def __init__(self, stack: TransportStack, port: int = BULK_PORT):
+        self.stack = stack
+        self.bytes_received = 0
+        stack.listen(port, self._accept)
+
+    def _accept(self, connection: TCPConnection) -> None:
+        def on_data(data: object, size: int) -> None:
+            self.bytes_received += size
+
+        connection.on_data = on_data
+
+
+class BulkClient:
+    """Pushes ``total_bytes`` in MSS-sized chunks, windowed so the
+    in-flight data stays bounded (the simplified TCP has no flow
+    control of its own)."""
+
+    def __init__(self, stack: TransportStack, window_segments: int = 8):
+        self.stack = stack
+        self.window = window_segments
+        self.results: list[BulkResult] = []
+
+    def transfer(
+        self,
+        server: IPAddress,
+        total_bytes: int,
+        on_done: Optional[Callable[[BulkResult], None]] = None,
+        port: int = BULK_PORT,
+        bound_ip: Optional[IPAddress] = None,
+    ) -> BulkResult:
+        result = BulkResult(total_bytes=total_bytes, started_at=self.stack.now)
+        self.results.append(result)
+        connection = self.stack.connect(server, port, bound_ip=bound_ip)
+        state = {"sent": 0, "acked_watermark": 0}
+
+        def finish(failed: bool) -> None:
+            if result.finished_at is None:
+                result.finished_at = self.stack.now
+                result.failed = failed
+                if on_done is not None:
+                    on_done(result)
+
+        def pump() -> None:
+            # Keep `window` segments in flight: send more whenever the
+            # unacked queue drains below the window.
+            while (state["sent"] < total_bytes
+                   and len(connection._unacked) < self.window):
+                chunk = min(DEFAULT_MSS, total_bytes - state["sent"])
+                state["sent"] += chunk
+                connection.send(chunk)
+            if state["sent"] >= total_bytes and not connection._unacked:
+                finish(failed=False)
+                return
+            self.stack.schedule(0.005, pump, label="bulk-pump")
+
+        connection.on_established = pump
+        connection.on_fail = lambda reason: finish(failed=True)
+        return result

@@ -1,0 +1,79 @@
+"""DNS lookup workload (§7.1.1).
+
+    "Connectionless datagram transactions, such as DNS name lookups,
+    may also be usefully performed this way [Out-DT]."
+
+A thin workload on top of :class:`repro.mobileip.dns.Resolver` that
+records per-lookup latency and (for the §7.1.1 benchmark) which source
+address the heuristics chose — a lookup to UDP port 53 from an unbound
+socket should go Out-DT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..mobileip.dns import DNSAnswer, Resolver
+from ..netsim.addressing import IPAddress
+from ..transport.sockets import TransportStack
+
+__all__ = ["LookupRecord", "DNSLookupWorkload"]
+
+
+@dataclass
+class LookupRecord:
+    name: str
+    started_at: float
+    finished_at: Optional[float] = None
+    answer: Optional[DNSAnswer] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def resolved(self) -> bool:
+        return self.answer is not None and self.answer.address is not None
+
+
+class DNSLookupWorkload:
+    """Issues a batch of lookups and collects latency records."""
+
+    def __init__(self, stack: TransportStack, server: IPAddress, want_tmp: bool = False):
+        self.stack = stack
+        self.resolver = Resolver(stack, server, want_tmp=want_tmp)
+        self.records: List[LookupRecord] = []
+
+    def lookup(self, name: str) -> LookupRecord:
+        record = LookupRecord(name=name, started_at=self.stack.now)
+        self.records.append(record)
+
+        def on_answer(answer: DNSAnswer) -> None:
+            record.finished_at = self.stack.now
+            record.answer = answer
+
+        self.resolver.lookup(name, on_answer)
+        return record
+
+    def lookup_many(self, names: List[str], interval: float = 0.05) -> None:
+        """Issue lookups spaced ``interval`` apart."""
+        def issue(index: int) -> None:
+            if index >= len(names):
+                return
+            self.lookup(names[index])
+            self.stack.schedule(interval, lambda: issue(index + 1), label="dns-batch")
+
+        issue(0)
+
+    @property
+    def completed(self) -> List[LookupRecord]:
+        return [record for record in self.records if record.finished_at is not None]
+
+    def mean_latency(self) -> Optional[float]:
+        latencies = [r.latency for r in self.completed if r.latency is not None]
+        if not latencies:
+            return None
+        return sum(latencies) / len(latencies)

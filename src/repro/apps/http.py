@@ -1,0 +1,136 @@
+"""HTTP workload: the paper's Out-DT motivation (§4, §6.4).
+
+    "HTTP connections are frequently very short lived, and if the host
+    does move during the brief life of the connection, causing it to
+    break, the user has the option of clicking the Web browser's
+    'reload' button."
+
+The model: a request/response over one TCP connection to port 80, with
+an optional reload-on-failure retry — including the user's tolerance
+for "an occasional incomplete image" (bounded retries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..netsim.addressing import IPAddress
+from ..transport.sockets import TransportStack
+from ..transport.tcp import TCPConnection
+
+__all__ = ["HTTP_PORT", "FetchResult", "HTTPServer", "HTTPClient"]
+
+HTTP_PORT = 80
+REQUEST_SIZE = 250
+
+
+@dataclass
+class FetchResult:
+    """Outcome of one page fetch."""
+
+    url_host: IPAddress
+    started_at: float
+    finished_at: Optional[float] = None
+    bytes_received: int = 0
+    reloads: int = 0
+    failed: bool = False
+    failure_reason: str = ""
+
+    @property
+    def completed(self) -> bool:
+        return self.finished_at is not None and not self.failed
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class HTTPServer:
+    """Serves a fixed-size page per request on TCP port 80."""
+
+    def __init__(self, stack: TransportStack, page_size: int = 8000, port: int = HTTP_PORT):
+        self.stack = stack
+        self.page_size = page_size
+        self.port = port
+        self.requests_served = 0
+        stack.listen(port, self._accept)
+
+    def _accept(self, connection: TCPConnection) -> None:
+        def on_data(data: object, size: int) -> None:
+            self.requests_served += 1
+            connection.send(self.page_size, data="page")
+            connection.close()
+
+        connection.on_data = on_data
+
+
+class HTTPClient:
+    """A browser-ish client: fetch with bounded reload retries."""
+
+    def __init__(self, stack: TransportStack, max_reloads: int = 2):
+        self.stack = stack
+        self.max_reloads = max_reloads
+        self.results: List[FetchResult] = []
+
+    def fetch(
+        self,
+        server: IPAddress,
+        on_done: Optional[Callable[[FetchResult], None]] = None,
+        port: int = HTTP_PORT,
+        bound_ip: Optional[IPAddress] = None,
+    ) -> FetchResult:
+        result = FetchResult(url_host=IPAddress(server), started_at=self.stack.now)
+        self.results.append(result)
+        self._attempt(result, port, bound_ip, on_done)
+        return result
+
+    def _attempt(
+        self,
+        result: FetchResult,
+        port: int,
+        bound_ip: Optional[IPAddress],
+        on_done: Optional[Callable[[FetchResult], None]],
+    ) -> None:
+        connection = self.stack.connect(result.url_host, port, bound_ip=bound_ip)
+
+        def finish() -> None:
+            if result.finished_at is None:
+                result.finished_at = self.stack.now
+                if on_done is not None:
+                    on_done(result)
+
+        def on_established() -> None:
+            connection.send(REQUEST_SIZE, data="GET /")
+
+        def on_data(data: object, size: int) -> None:
+            result.bytes_received += size
+            finish()
+
+        def on_fail(reason: str) -> None:
+            if result.finished_at is not None:
+                return
+            if result.reloads < self.max_reloads:
+                result.reloads += 1
+                self._attempt(result, port, bound_ip, on_done)
+            else:
+                result.failed = True
+                result.failure_reason = reason
+                result.finished_at = self.stack.now
+                if on_done is not None:
+                    on_done(result)
+
+        connection.on_established = on_established
+        connection.on_data = on_data
+        connection.on_fail = on_fail
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> List[FetchResult]:
+        return [r for r in self.results if r.completed]
+
+    @property
+    def failed(self) -> List[FetchResult]:
+        return [r for r in self.results if r.failed]

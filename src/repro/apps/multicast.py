@@ -1,0 +1,130 @@
+"""Multicast workload: the §6.4 bypass argument.
+
+    "One of the goals of IP multicast is to reduce unnecessary
+    replication of network traffic.  Tunneling multicast packets from
+    the home network to the visited network is therefore a little
+    self-defeating.  It would be better if the multicast application
+    were able to join the multicast group through its real physical
+    interface on the current local network."
+
+Pieces:
+
+* :class:`MulticastSource` — streams fixed-size packets to a group at a
+  fixed interval (a 1996 MBone session).
+* :class:`MulticastReceiver` — a local group member counting packets
+  and bytes.
+* :class:`HomeTunnelRelay` — the self-defeating alternative: a node on
+  the home network (typically the home agent) that joins the group and
+  re-tunnels every stream packet to the mobile host's care-of address.
+
+The §6.4 benchmark streams the same session both ways and compares
+delivered bytes, wide-area bytes, and per-packet overhead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..netsim.addressing import IPAddress
+from ..netsim.node import Node
+from ..netsim.packet import IPProto, Packet
+from ..transport.sockets import TransportStack
+from ..transport.udp import UDPDatagram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mobileip.tunnel import TunnelEndpoint
+
+__all__ = ["MulticastSource", "MulticastReceiver", "HomeTunnelRelay"]
+
+STREAM_PORT = 5004  # RTP-ish
+
+
+class MulticastSource:
+    """Streams ``count`` packets of ``payload_size`` bytes to a group."""
+
+    def __init__(
+        self,
+        stack: TransportStack,
+        group: IPAddress,
+        count: int = 50,
+        interval: float = 0.1,
+        payload_size: int = 500,
+    ):
+        group = IPAddress(group)
+        if not group.is_multicast:
+            raise ValueError(f"{group} is not a multicast group")
+        self.stack = stack
+        self.group = group
+        self.count = count
+        self.interval = interval
+        self.payload_size = payload_size
+        self._socket = stack.udp_socket()
+        self.sent = 0
+
+    def start(self) -> None:
+        self._tick()
+
+    def _tick(self) -> None:
+        if self.sent >= self.count:
+            return
+        self.sent += 1
+        self._socket.sendto(
+            ("frame", self.sent), self.payload_size, self.group, STREAM_PORT
+        )
+        self.stack.schedule(self.interval, self._tick, label="mcast-src")
+
+
+class MulticastReceiver:
+    """Joins a group on its node's local interface and counts arrivals."""
+
+    def __init__(self, stack: TransportStack, group: IPAddress):
+        self.stack = stack
+        self.group = IPAddress(group)
+        stack.node.join_multicast(self.group)
+        self._socket = stack.udp_socket(STREAM_PORT)
+        self._socket.on_receive(self._stream_input)
+        self.received = 0
+        self.bytes_received = 0
+
+    def _stream_input(
+        self, data: object, size: int, src_ip: IPAddress, src_port: int
+    ) -> None:
+        self.received += 1
+        self.bytes_received += size
+
+    def leave(self) -> None:
+        self.stack.node.leave_multicast(self.group)
+
+
+class HomeTunnelRelay:
+    """Joins the group at home and re-tunnels the stream to the MH.
+
+    This is what "joining through the virtual interface on the distant
+    home network" costs: every stream packet crosses the wide area
+    inside a unicast tunnel, with encapsulation overhead on top.
+    """
+
+    def __init__(self, node: Node, tunnel: "TunnelEndpoint", group: IPAddress):
+        self.node = node
+        self.tunnel = tunnel
+        self.group = IPAddress(group)
+        self.target: Optional[IPAddress] = None
+        node.join_multicast(self.group)
+        self._prior_udp_handler = node.proto_handlers.get(IPProto.UDP)
+        node.register_proto_handler(IPProto.UDP, self._udp_input)
+        self.relayed = 0
+
+    def relay_to(self, care_of: IPAddress) -> None:
+        self.target = IPAddress(care_of)
+
+    def _udp_input(self, packet: Packet) -> None:
+        if packet.dst == self.group and self.target is not None:
+            datagram = packet.payload
+            if isinstance(datagram, UDPDatagram) and datagram.dst_port == STREAM_PORT:
+                self.relayed += 1
+                source = self.node._preferred_source()
+                assert source is not None
+                self.tunnel.send_encapsulated(packet, source, self.target)
+                return
+        if self._prior_udp_handler is not None:
+            self._prior_udp_handler(packet)

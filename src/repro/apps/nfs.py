@@ -1,0 +1,139 @@
+"""NFS workload: the source-address-trust security motivation (§3.1).
+
+    "Many network services, including the majority of NFS servers,
+    determine whether or not they can safely trust the host sending the
+    packet solely based on the source address of the packet.  If we
+    allow machines outside our network to send in packets with source
+    addresses claiming to originate from trusted machines within our
+    network, we effectively allow any machine on the Internet to
+    impersonate any machine in our organization."
+
+:class:`NFSServer` trusts exactly the prefixes in its export list, by
+source address alone (1996-style AUTH_UNIX).  The §3.1 benchmark uses
+it three ways: a spoofed request from outside with an inside source
+address (dropped at a filtering boundary, accepted at a permissive
+one); a mobile host's legitimate Out-DH request (killed by the same
+filter); and the Out-IE reverse tunnel that restores access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..netsim.addressing import IPAddress, Network
+from ..transport.sockets import TransportStack, UDPSocket
+
+__all__ = ["NFS_PORT", "NFSRequest", "NFSResponse", "NFSServer", "NFSClient"]
+
+NFS_PORT = 2049
+REQUEST_SIZE = 120
+RESPONSE_SIZE = 1000
+CLIENT_RETRY_INTERVAL = 1.0
+
+
+@dataclass(frozen=True)
+class NFSRequest:
+    op: str
+    path: str
+    ident: int
+
+    @property
+    def size(self) -> int:
+        return REQUEST_SIZE + len(self.path)
+
+
+@dataclass(frozen=True)
+class NFSResponse:
+    ident: int
+    ok: bool
+    detail: str = ""
+
+    @property
+    def size(self) -> int:
+        return RESPONSE_SIZE if self.ok else 40
+
+
+class NFSServer:
+    """A UDP RPC file server trusting clients by source prefix."""
+
+    def __init__(self, stack: TransportStack, exports: Sequence[Network]):
+        self.stack = stack
+        self.exports = list(exports)
+        self._socket = stack.udp_socket(NFS_PORT)
+        self._socket.on_receive(self._request_input)
+        self.requests_granted = 0
+        self.requests_refused = 0
+        self.granted_sources: List[IPAddress] = []
+
+    def trusts(self, source: IPAddress) -> bool:
+        return any(prefix.contains(source) for prefix in self.exports)
+
+    def _request_input(
+        self, data: object, size: int, src_ip: IPAddress, src_port: int
+    ) -> None:
+        if not isinstance(data, NFSRequest):
+            return
+        if self.trusts(src_ip):
+            self.requests_granted += 1
+            self.granted_sources.append(src_ip)
+            response = NFSResponse(data.ident, ok=True)
+        else:
+            self.requests_refused += 1
+            response = NFSResponse(data.ident, ok=False, detail="access denied")
+        self._socket.sendto(response, response.size, src_ip, src_port)
+
+
+class NFSClient:
+    """RPC client with at-most-N retries (UDP RPC semantics)."""
+
+    def __init__(self, stack: TransportStack, server: IPAddress, max_retries: int = 3):
+        self.stack = stack
+        self.server = IPAddress(server)
+        self.max_retries = max_retries
+        self._socket: UDPSocket = stack.udp_socket()
+        self._socket.on_receive(self._response_input)
+        self._pending: Dict[int, Callable[[Optional[NFSResponse]], None]] = {}
+        self.retries = 0
+
+    def call(
+        self,
+        op: str,
+        path: str,
+        on_done: Callable[[Optional[NFSResponse]], None],
+        src_override: Optional[IPAddress] = None,
+    ) -> int:
+        """Issue an RPC; ``on_done(None)`` means it timed out."""
+        ident = self.stack.node.simulator.next_token()
+        self._pending[ident] = on_done
+        request = NFSRequest(op, path, ident)
+        attempts = {"count": 0}
+
+        def transmit() -> None:
+            if ident not in self._pending:
+                return
+            if attempts["count"] > self.max_retries:
+                callback = self._pending.pop(ident)
+                callback(None)
+                return
+            if attempts["count"] > 0:
+                self.retries += 1
+            attempts["count"] += 1
+            self._socket.sendto(
+                request, request.size, self.server, NFS_PORT,
+                src_override=src_override,
+                is_retransmission=attempts["count"] > 1,
+            )
+            self.stack.schedule(CLIENT_RETRY_INTERVAL, transmit, label="nfs-retry")
+
+        transmit()
+        return ident
+
+    def _response_input(
+        self, data: object, size: int, src_ip: IPAddress, src_port: int
+    ) -> None:
+        if not isinstance(data, NFSResponse):
+            return
+        callback = self._pending.pop(data.ident, None)
+        if callback is not None:
+            callback(data)

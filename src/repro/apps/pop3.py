@@ -1,0 +1,106 @@
+"""POP3-style mail retrieval (§2's client-originated trend).
+
+    "A lot of work has been done to make protocols client-originated
+    wherever possible.  The trend towards using POP to retrieve
+    electronic mail is one such example."
+
+The paper's point: client-originated protocols are exactly the ones
+that can forgo Mobile IP — the mobile host initiates, the conversation
+is short, and nothing needs to find the host later.  A user who adds
+``PortHeuristics.add_rule(IPProto.TCP, POP3_PORT)`` gets mail checks
+over Out-DT; without the rule they ride Mobile IP like any unknown
+port.  The workload exists so that trade is testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..netsim.addressing import IPAddress
+from ..transport.sockets import TransportStack
+from ..transport.tcp import TCPConnection
+
+__all__ = ["POP3_PORT", "MailCheck", "POP3Server", "POP3Client"]
+
+POP3_PORT = 110
+
+
+@dataclass
+class MailCheck:
+    """One STAT+RETR-ish session's outcome."""
+
+    started_at: float
+    finished_at: Optional[float] = None
+    messages_retrieved: int = 0
+    bytes_retrieved: int = 0
+    failed: bool = False
+
+    @property
+    def completed(self) -> bool:
+        return self.finished_at is not None and not self.failed
+
+
+class POP3Server:
+    """Holds a mailbox; serves the whole spool per connection."""
+
+    def __init__(self, stack: TransportStack, port: int = POP3_PORT):
+        self.stack = stack
+        self.mailbox: List[int] = []      # message sizes
+        self.sessions_served = 0
+        stack.listen(port, self._accept)
+
+    def deliver_mail(self, size: int) -> None:
+        """Drop a message of ``size`` bytes into the spool."""
+        self.mailbox.append(size)
+
+    def _accept(self, connection: TCPConnection) -> None:
+        def on_data(data: object, size: int) -> None:
+            if data != "RETR-ALL":
+                return
+            self.sessions_served += 1
+            spool, self.mailbox = self.mailbox, []
+            for index, message_size in enumerate(spool):
+                connection.send(message_size,
+                                data=("message", index, message_size))
+            connection.send(10, data=("done", len(spool)))
+            connection.close()
+
+        connection.on_data = on_data
+
+
+class POP3Client:
+    """Connects, retrieves everything, disconnects — per check."""
+
+    def __init__(self, stack: TransportStack):
+        self.stack = stack
+        self.checks: List[MailCheck] = []
+
+    def check_mail(
+        self,
+        server: IPAddress,
+        on_done: Optional[Callable[[MailCheck], None]] = None,
+        port: int = POP3_PORT,
+    ) -> MailCheck:
+        check = MailCheck(started_at=self.stack.now)
+        self.checks.append(check)
+        connection = self.stack.connect(server, port)
+
+        def finish(failed: bool) -> None:
+            if check.finished_at is None:
+                check.finished_at = self.stack.now
+                check.failed = failed
+                if on_done is not None:
+                    on_done(check)
+
+        def on_data(data: object, size: int) -> None:
+            if isinstance(data, tuple) and data[0] == "message":
+                check.messages_retrieved += 1
+                check.bytes_retrieved += size
+            elif isinstance(data, tuple) and data[0] == "done":
+                finish(failed=False)
+
+        connection.on_established = lambda: connection.send(20, data="RETR-ALL")
+        connection.on_data = on_data
+        connection.on_fail = lambda reason: finish(failed=True)
+        return check

@@ -1,0 +1,241 @@
+"""Command-line interface: explore the reproduction without writing code.
+
+Subcommands:
+
+* ``grid``        — print Figure 10 (``--live`` runs all sixteen cells
+  as real conversations and prints the empirical outcome next to the
+  paper's classification).
+* ``modes``       — print the eight modes' address tables (Figures 6-9).
+* ``topology``    — build the standard stage and sketch it.
+* ``trace``       — traceroute from the correspondent to the mobile
+  host's home and care-of addresses (Figure 1 vs Figure 5, as hop
+  lists).
+* ``durability``  — run the §2 telnet-across-a-move experiment and
+  report survival for a Mobile IP and a no-Mobile-IP session.
+* ``policy``      — parse a §7.1.2 policy config file and query the
+  disposition for one or more addresses.
+
+Installed as ``repro-mobility`` (see pyproject.toml), or run with
+``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+from .core.grid import GRID
+from .core.modes import AddressPlan, InMode, OutMode, build_incoming_direct, build_outgoing
+from .mobileip import Awareness
+from .netsim import IPAddress, render_topology, traceroute
+from .netsim.packet import IPProto
+
+__all__ = ["main"]
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    print(GRID.render())
+    if not args.live:
+        return 0
+    print()
+    print("running all sixteen cells live...")
+    from .transport import UDPDatagram
+
+    mismatches = 0
+    for in_mode in InMode:
+        for out_mode in OutMode:
+            outcome = _run_cell(in_mode, out_mode, seed=args.seed)
+            cell = GRID.cell(in_mode, out_mode)
+            agrees = outcome == cell.works_with_tcp
+            mismatches += not agrees
+            status = "OK " if outcome else "DEAD"
+            print(f"  {in_mode.value}/{out_mode.value:<7} [{status}] "
+                  f"paper: {cell.cell_class.value:<20} "
+                  f"{'' if agrees else '  <-- MISMATCH'}")
+    print(f"\n{'all cells agree with Figure 10' if mismatches == 0 else f'{mismatches} mismatches!'}")
+    return 0 if mismatches == 0 else 1
+
+
+def _run_cell(in_mode: InMode, out_mode: OutMode, seed: int) -> bool:
+    from .transport import UDPDatagram
+
+    scenario = build_scenario(
+        seed=seed,
+        ch_awareness=Awareness.MOBILE_AWARE,
+        ch_in_visited_lan=(in_mode is InMode.IN_DH),
+        visited_filtering=False,
+        ch_filtering=False,
+    )
+    plan = AddressPlan(MH_HOME_ADDRESS, scenario.mh.care_of,
+                       scenario.ha_ip, scenario.ch_ip)
+    if in_mode in (InMode.IN_DE, InMode.IN_DH):
+        scenario.ch.learn_binding(MH_HOME_ADDRESS, scenario.mh.care_of, 300.0)
+    sent_to = plan.care_of if in_mode is InMode.IN_DT else plan.home
+
+    def on_request(data, size, src_ip, src_port):
+        reply = UDPDatagram(7000, src_port, "rep", 30)
+        packet = build_outgoing(out_mode, plan, payload=reply,
+                                payload_size=reply.size, proto=IPProto.UDP)
+        scenario.mh.ip_send(packet, bypass_overrides=True)
+
+    sock = scenario.mh.stack.udp_socket(7000)
+    sock.on_receive(on_request)
+    replies = []
+    ch_sock = scenario.ch.stack.udp_socket()
+    ch_sock.on_receive(lambda d, s, ip, p: replies.append(ip))
+    ch_sock.sendto("req", 40, sent_to, 7000)
+    scenario.sim.run_for(20)
+    return bool(replies) and replies[0] == sent_to
+
+
+def _cmd_modes(args: argparse.Namespace) -> int:
+    plan = AddressPlan(
+        home=IPAddress("10.1.0.10"), care_of=IPAddress("10.2.0.2"),
+        home_agent=IPAddress("10.1.0.1"), correspondent=IPAddress("10.3.0.2"),
+    )
+    print("cast: MH(home)=10.1.0.10  COA=10.2.0.2  HA=10.1.0.1  CH=10.3.0.2")
+    print("\noutgoing (Figures 6/7):")
+    for mode in OutMode:
+        packet = build_outgoing(mode, plan, payload_size=100)
+        print(f"  {mode.value:<7} {_describe(packet)}")
+    print("\nincoming (Figures 8/9):")
+    for mode in InMode:
+        packet = build_incoming_direct(mode, plan, payload_size=100)
+        print(f"  {mode.value:<7} {_describe(packet)}")
+    return 0
+
+
+def _describe(packet) -> str:
+    if packet.is_encapsulated:
+        inner = packet.innermost
+        return (f"outer {packet.src} -> {packet.dst}  |  "
+                f"inner {inner.src} -> {inner.dst}  ({packet.wire_size}B)")
+    return f"{packet.src} -> {packet.dst}  ({packet.wire_size}B)"
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    scenario = build_scenario(seed=args.seed,
+                              ch_awareness=Awareness.CONVENTIONAL)
+    print(render_topology(scenario.net))
+    print(f"\nmobile host: home {MH_HOME_ADDRESS}, care-of "
+          f"{scenario.mh.care_of}, registered={scenario.mh.registered}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    scenario = build_scenario(seed=args.seed,
+                              ch_awareness=Awareness.CONVENTIONAL,
+                              visited_filtering=False)
+    names = {}
+    for node in scenario.sim.nodes.values():
+        for address in node.addresses:
+            names.setdefault(address, node.name)
+
+    def resolver(address):
+        return names.get(address, "?")
+
+    targets = {
+        "home": MH_HOME_ADDRESS,
+        "care-of": scenario.mh.care_of,
+    }
+    for label, destination in targets.items():
+        results = []
+        traceroute(scenario.ch, destination, results.append)
+        scenario.sim.run_for(180)
+        print(f"--- to the {label} address ---")
+        print(results[0].render(resolver) if results else "  (no result)")
+        print()
+    print("the home-address path bends through the home domain (Figure 1);")
+    print("the care-of path is the direct route a smart CH uses (Figure 5).")
+    return 0
+
+
+def _cmd_durability(args: argparse.Namespace) -> int:
+    from .apps import TelnetServer, TelnetSession
+
+    for label, bound in (("Mobile IP (home endpoint)", False),
+                         ("no Mobile IP (care-of endpoint)", True)):
+        scenario = build_scenario(seed=args.seed,
+                                  ch_awareness=Awareness.CONVENTIONAL)
+        scenario.net.add_domain("visited2", "10.5.0.0/16", attach_at=3)
+        TelnetServer(scenario.ch.stack)
+        session = TelnetSession(
+            scenario.mh.stack, scenario.ch_ip, think_time=1.0, keystrokes=8,
+            bound_ip=scenario.mh.care_of if bound else None,
+        )
+        scenario.sim.events.schedule(
+            3.5, lambda s=scenario: s.mh.move_to(s.net, "visited2"))
+        scenario.sim.run_for(250)
+        outcome = "survived" if session.survived else (
+            f"broke ({session.failure_reason})")
+        print(f"{label:<34} {outcome:<28} "
+              f"echoes {session.echoes_received}/{session.keystrokes_sent}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mobility",
+        description="Explore the Internet Mobility 4x4 reproduction.",
+    )
+    parser.add_argument("--seed", type=int, default=1996,
+                        help="simulation seed (default 1996)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    grid = sub.add_parser("grid", help="print Figure 10")
+    grid.add_argument("--live", action="store_true",
+                      help="also run all 16 cells as real conversations")
+    grid.set_defaults(func=_cmd_grid)
+
+    modes = sub.add_parser("modes", help="print the mode address tables")
+    modes.set_defaults(func=_cmd_modes)
+
+    topology = sub.add_parser("topology", help="sketch the standard stage")
+    topology.set_defaults(func=_cmd_topology)
+
+    trace = sub.add_parser("trace", help="traceroute the triangle")
+    trace.set_defaults(func=_cmd_trace)
+
+    durability = sub.add_parser("durability",
+                                help="telnet across a move, both ways")
+    durability.set_defaults(func=_cmd_durability)
+
+    policy = sub.add_parser(
+        "policy", help="parse a §7.1.2 policy config and query it")
+    policy.add_argument("file", help="config file (prefix disposition lines)")
+    policy.add_argument("address", nargs="*",
+                        help="addresses to look up (prints dispositions)")
+    policy.set_defaults(func=_cmd_policy)
+    return parser
+
+
+def _cmd_policy(args: argparse.Namespace) -> int:
+    from .core.policy import MobilityPolicyTable
+
+    try:
+        with open(args.file) as handle:
+            table = MobilityPolicyTable.parse(handle.read())
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(table.dump())
+    for text in args.address:
+        try:
+            address = IPAddress(text)
+        except Exception as exc:
+            print(f"error: {text}: {exc}", file=sys.stderr)
+            return 1
+        print(f"{address} -> {table.lookup(address).value}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

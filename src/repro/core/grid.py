@@ -1,0 +1,237 @@
+"""Figure 10: the Internet Mobility 4x4 grid.
+
+Sixteen (InMode, OutMode) combinations, classified exactly as the
+paper's figure shades them:
+
+* **USEFUL** (7 cells, unshaded) — the combinations §6.1-§6.4 describe.
+* **VALID_UNLIKELY** (3 cells, lightly shaded) — "would work correctly
+  with current protocols such as TCP, but for other reasons would not
+  normally be used": In-DE/Out-IE, In-DH/Out-IE, In-DH/Out-DE.
+* **INAPPLICABLE** (6 cells, darkly shaded) — "would not work correctly
+  with current protocols such as TCP": every remaining cell of the
+  fourth row and fourth column, per §6.5's argument that using the
+  temporary address in one direction mandates it in the other.
+
+Each cell also carries its *requirements* — the preconditions Figure 10
+prints in the box — which the grid-matrix benchmark checks empirically
+by running all sixteen combinations through the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, List, Tuple
+
+from .modes import InMode, OutMode
+
+__all__ = [
+    "CellClass",
+    "Requirement",
+    "GridCell",
+    "FourByFourGrid",
+    "GRID",
+]
+
+
+class CellClass(Enum):
+    USEFUL = "useful"
+    VALID_UNLIKELY = "valid-but-unlikely"     # light grey in Figure 10
+    INAPPLICABLE = "inapplicable"             # dark grey in Figure 10
+
+
+class Requirement(Enum):
+    """Preconditions named in Figure 10's cells."""
+
+    NONE = "works everywhere"
+    DECAP_CAPABLE_CH = "correspondent can decapsulate"
+    NO_SOURCE_FILTERING = "no security-conscious routers on the path"
+    MOBILE_AWARE_CH = "fully mobile-aware correspondent"
+    SAME_SEGMENT = "both hosts on same network segment"
+    FORGOES_MOBILITY = "forgoes benefits of Mobile IP"
+
+
+@dataclass(frozen=True)
+class GridCell:
+    in_mode: InMode
+    out_mode: OutMode
+    cell_class: CellClass
+    requirements: FrozenSet[Requirement]
+    note: str
+
+    @property
+    def works_with_tcp(self) -> bool:
+        """Dark cells are exactly those that break TCP (§6.5)."""
+        return self.cell_class is not CellClass.INAPPLICABLE
+
+    @property
+    def survives_movement(self) -> bool:
+        """Whether established connections survive a mid-stream move.
+
+        Any cell involving the temporary address as a connection
+        endpoint loses its packets when the care-of address changes.
+        """
+        return (
+            self.in_mode.uses_home_address and self.out_mode.uses_home_address
+        )
+
+    @property
+    def key(self) -> Tuple[InMode, OutMode]:
+        return (self.in_mode, self.out_mode)
+
+
+def _cell(
+    in_mode: InMode,
+    out_mode: OutMode,
+    cell_class: CellClass,
+    requirements: Tuple[Requirement, ...],
+    note: str,
+) -> GridCell:
+    return GridCell(in_mode, out_mode, cell_class, frozenset(requirements), note)
+
+
+_CELLS: List[GridCell] = [
+    # ---- Row A: In-IE (conventional correspondent host) --------------
+    _cell(InMode.IN_IE, OutMode.OUT_IE, CellClass.USEFUL,
+          (Requirement.NONE,),
+          "Most conservative: most reliable, least efficient."),
+    _cell(InMode.IN_IE, OutMode.OUT_DE, CellClass.USEFUL,
+          (Requirement.DECAP_CAPABLE_CH,),
+          "Requires only decapsulation capability of the correspondent."),
+    _cell(InMode.IN_IE, OutMode.OUT_DH, CellClass.USEFUL,
+          (Requirement.NO_SOURCE_FILTERING,),
+          "Requires no security-conscious routers on the path."),
+    _cell(InMode.IN_IE, OutMode.OUT_DT, CellClass.INAPPLICABLE,
+          (),
+          "CH would reply to the temporary address, not via the HA."),
+    # ---- Row B: In-DE (mobile-aware correspondent host) --------------
+    _cell(InMode.IN_DE, OutMode.OUT_IE, CellClass.VALID_UNLIKELY,
+          (Requirement.MOBILE_AWARE_CH,),
+          "Valid, but if the CH can send directly the MH should too (§6.2)."),
+    _cell(InMode.IN_DE, OutMode.OUT_DE, CellClass.USEFUL,
+          (Requirement.MOBILE_AWARE_CH,),
+          "Requires fully mobile-aware correspondent host."),
+    _cell(InMode.IN_DE, OutMode.OUT_DH, CellClass.USEFUL,
+          (Requirement.MOBILE_AWARE_CH, Requirement.NO_SOURCE_FILTERING),
+          "Avoids encapsulation overhead on replies."),
+    _cell(InMode.IN_DE, OutMode.OUT_DT, CellClass.INAPPLICABLE,
+          (),
+          "Temporary source breaks the CH's association with the home address."),
+    # ---- Row C: In-DH (both hosts on same network segment) -----------
+    _cell(InMode.IN_DH, OutMode.OUT_IE, CellClass.VALID_UNLIKELY,
+          (Requirement.SAME_SEGMENT,),
+          "Valid, but a one-hop peer deserves a one-hop reply (§6.3)."),
+    _cell(InMode.IN_DH, OutMode.OUT_DE, CellClass.VALID_UNLIKELY,
+          (Requirement.SAME_SEGMENT, Requirement.DECAP_CAPABLE_CH),
+          "Valid, but a one-hop peer deserves a one-hop reply (§6.3)."),
+    _cell(InMode.IN_DH, OutMode.OUT_DH, CellClass.USEFUL,
+          (Requirement.SAME_SEGMENT,),
+          "Requires both hosts to be on same network segment."),
+    _cell(InMode.IN_DH, OutMode.OUT_DT, CellClass.INAPPLICABLE,
+          (),
+          "Mixing temporary and permanent endpoints is of no use (§6.5)."),
+    # ---- Row D: In-DT (forgoing mobility support) ---------------------
+    _cell(InMode.IN_DT, OutMode.OUT_IE, CellClass.INAPPLICABLE,
+          (),
+          "CH addressed the temporary address; replies must use it too."),
+    _cell(InMode.IN_DT, OutMode.OUT_DE, CellClass.INAPPLICABLE,
+          (),
+          "CH addressed the temporary address; replies must use it too."),
+    _cell(InMode.IN_DT, OutMode.OUT_DH, CellClass.INAPPLICABLE,
+          (),
+          "CH cannot associate a home-address reply with its packets."),
+    _cell(InMode.IN_DT, OutMode.OUT_DT, CellClass.USEFUL,
+          (Requirement.FORGOES_MOBILITY,),
+          "Most efficient, but forgoes benefits of Mobile IP."),
+]
+
+
+class FourByFourGrid:
+    """The complete Figure 10 object."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[Tuple[InMode, OutMode], GridCell] = {
+            cell.key: cell for cell in _CELLS
+        }
+
+    def cell(self, in_mode: InMode, out_mode: OutMode) -> GridCell:
+        return self._cells[(in_mode, out_mode)]
+
+    def cells(self) -> List[GridCell]:
+        return list(self._cells.values())
+
+    def cells_of(self, cell_class: CellClass) -> List[GridCell]:
+        return [c for c in self._cells.values() if c.cell_class is cell_class]
+
+    @property
+    def useful(self) -> List[GridCell]:
+        return self.cells_of(CellClass.USEFUL)
+
+    @property
+    def valid_unlikely(self) -> List[GridCell]:
+        return self.cells_of(CellClass.VALID_UNLIKELY)
+
+    @property
+    def inapplicable(self) -> List[GridCell]:
+        return self.cells_of(CellClass.INAPPLICABLE)
+
+    def row(self, in_mode: InMode) -> List[GridCell]:
+        return [self._cells[(in_mode, out)] for out in OutMode]
+
+    def column(self, out_mode: OutMode) -> List[GridCell]:
+        return [self._cells[(im, out_mode)] for im in InMode]
+
+    def best_cell(
+        self,
+        same_segment: bool,
+        ch_mobile_aware: bool,
+        ch_decap_capable: bool,
+        path_filtered: bool,
+        needs_mobility: bool,
+    ) -> GridCell:
+        """Pick the best available cell for a situation (§6 narrative).
+
+        Preference order follows the paper: forgo Mobile IP entirely
+        when the application does not need it; otherwise use the
+        same-segment shortcut when available; otherwise the mobile-aware
+        direct path; otherwise fall back to the conventional row, where
+        the outgoing choice is constrained by filtering and CH
+        decapsulation capability.
+        """
+        if not needs_mobility:
+            return self.cell(InMode.IN_DT, OutMode.OUT_DT)
+        if same_segment:
+            return self.cell(InMode.IN_DH, OutMode.OUT_DH)
+        in_mode = InMode.IN_DE if ch_mobile_aware else InMode.IN_IE
+        if not path_filtered:
+            return self.cell(in_mode, OutMode.OUT_DH)
+        if ch_decap_capable or ch_mobile_aware:
+            return self.cell(in_mode, OutMode.OUT_DE)
+        return self.cell(in_mode, OutMode.OUT_IE)
+
+    def render(self) -> str:
+        """ASCII rendering of Figure 10."""
+        col_width = 24
+        marks = {
+            CellClass.USEFUL: " ",
+            CellClass.VALID_UNLIKELY: "~",
+            CellClass.INAPPLICABLE: "#",
+        }
+        header = " " * 10 + "".join(
+            out.value.center(col_width) for out in OutMode
+        )
+        lines = [header, "-" * len(header)]
+        for in_mode in InMode:
+            row_cells = []
+            for out_mode in OutMode:
+                cell = self.cell(in_mode, out_mode)
+                mark = marks[cell.cell_class]
+                label = f"[{mark}] {cell.cell_class.value}"
+                row_cells.append(label.center(col_width))
+            lines.append(in_mode.value.ljust(10) + "".join(row_cells))
+        lines.append("-" * len(header))
+        lines.append("legend: [ ] useful   [~] valid but unlikely   [#] inapplicable")
+        return "\n".join(lines)
+
+
+GRID = FourByFourGrid()

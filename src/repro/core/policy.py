@@ -1,0 +1,151 @@
+"""The mobility policy table (§7 and §7.1.2).
+
+Two roles, both from the paper:
+
+1. §7: "We override the IP route lookup routine and replace it with a
+   routine that consults a mobility policy table before the usual
+   route table."  The table decides, per destination, whether a packet
+   should use Mobile IP at all.
+2. §7.1.2: "allow the user ... to specify rules stating which
+   addresses Mobile IP should begin using in an optimistic mode and
+   which addresses it should begin using in a pessimistic mode.  These
+   rules could be specified similarly to the way routing table entries
+   are currently specified, as an address and a mask value."
+
+Rules are (prefix → disposition) entries matched longest-prefix-first,
+exactly like a routing table.  Dispositions:
+
+* ``OPTIMISTIC``   — start conversations at Out-DH and fall back;
+* ``PESSIMISTIC``  — start at Out-IE and tentatively upgrade;
+* ``NO_MOBILE_IP`` — bypass Mobile IP (Out-DT) for this destination;
+* ``HOME_ONLY``    — always tunnel via the home agent (the privacy
+  motivation of §4 Out-IE: "mobile users may not wish to reveal their
+  current location").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+from ..netsim.addressing import IPAddress, Network
+
+__all__ = ["Disposition", "PolicyRule", "MobilityPolicyTable"]
+
+
+class Disposition(Enum):
+    OPTIMISTIC = "optimistic"       # begin at Out-DH
+    PESSIMISTIC = "pessimistic"     # begin at Out-IE
+    NO_MOBILE_IP = "no-mobile-ip"   # use Out-DT
+    HOME_ONLY = "home-only"         # always Out-IE (privacy / firewall)
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One address-and-mask rule, routing-table style."""
+
+    prefix: Network
+    disposition: Disposition
+
+    def __str__(self) -> str:
+        return f"{self.prefix} -> {self.disposition.value}"
+
+
+class MobilityPolicyTable:
+    """Longest-prefix-match table of :class:`PolicyRule` entries."""
+
+    def __init__(self, default: Disposition = Disposition.PESSIMISTIC):
+        self.default = default
+        self._rules: List[PolicyRule] = []
+
+    def add(self, prefix: Network | str, disposition: Disposition) -> PolicyRule:
+        prefix = prefix if isinstance(prefix, Network) else Network(prefix)
+        rule = PolicyRule(prefix, disposition)
+        self._rules.append(rule)
+        return rule
+
+    def remove(self, prefix: Network | str) -> int:
+        prefix = prefix if isinstance(prefix, Network) else Network(prefix)
+        before = len(self._rules)
+        self._rules = [rule for rule in self._rules if rule.prefix != prefix]
+        return before - len(self._rules)
+
+    def lookup(self, destination: IPAddress) -> Disposition:
+        """The disposition for a destination (longest prefix wins)."""
+        best: Optional[PolicyRule] = None
+        for rule in self._rules:
+            if not rule.prefix.contains(destination):
+                continue
+            if best is None or rule.prefix.prefix_len > best.prefix.prefix_len:
+                best = rule
+        return best.disposition if best is not None else self.default
+
+    @property
+    def rules(self) -> List[PolicyRule]:
+        return list(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __str__(self) -> str:
+        lines = [str(rule) for rule in sorted(
+            self._rules, key=lambda r: -r.prefix.prefix_len
+        )]
+        lines.append(f"default -> {self.default.value}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # User configuration (§7.1.2: "allow the user, as part of the
+    # configuration of a Mobile IP machine, to specify rules")
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "MobilityPolicyTable":
+        """Build a table from a routing-table-style config.
+
+        One rule per line, ``<prefix> <disposition>``; a ``default``
+        line sets the fallback; ``#`` starts a comment::
+
+            # corporate laptop policy
+            default     pessimistic
+            10.1.0.0/16 home-only      # everything at HQ stays private
+            10.3.0.0/16 optimistic     # the lab network never filters
+            192.0.2.0/24 no-mobile-ip  # public kiosks: plain IP only
+        """
+        table = cls()
+        dispositions = {d.value: d for d in Disposition}
+        for line_number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"line {line_number}: expected '<prefix> <disposition>', "
+                    f"got {raw!r}"
+                )
+            target, disposition_name = parts
+            disposition = dispositions.get(disposition_name.lower())
+            if disposition is None:
+                raise ValueError(
+                    f"line {line_number}: unknown disposition "
+                    f"{disposition_name!r} (valid: "
+                    f"{', '.join(sorted(dispositions))})"
+                )
+            if target.lower() == "default":
+                table.default = disposition
+            else:
+                try:
+                    table.add(target, disposition)
+                except Exception as exc:
+                    raise ValueError(
+                        f"line {line_number}: bad prefix {target!r}: {exc}"
+                    ) from exc
+        return table
+
+    def dump(self) -> str:
+        """The inverse of :meth:`parse`: a reloadable config text."""
+        lines = [f"default {self.default.value}"]
+        for rule in sorted(self._rules, key=lambda r: -r.prefix.prefix_len):
+            lines.append(f"{rule.prefix} {rule.disposition.value}")
+        return "\n".join(lines)

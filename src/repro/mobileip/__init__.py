@@ -1,0 +1,62 @@
+"""Mobile IP on the simulator: agents, hosts, registration, DNS.
+
+The cast of the paper's figures:
+
+* :class:`HomeAgent` — proxy-ARP capture, binding table, In-IE tunnel,
+  reverse-tunnel endpoint, optional ICMP care-of advisories.
+* :class:`MobileHost` — the self-sufficient mobile host with the §7
+  route-override framework and the :class:`~repro.core.MobilityEngine`.
+* :class:`CorrespondentHost` — conventional / decapsulation-capable /
+  mobile-aware correspondents (Figure 10's rows).
+* :class:`ForeignAgent` — the IETF alternative, for comparison.
+* :class:`DNSServer` / :class:`Resolver` — the §3.2 temporary-address
+  record extension.
+"""
+
+from .binding import Binding, BindingTable
+from .correspondent import Awareness, CorrespondentHost
+from .dns import (
+    DNS_PORT,
+    DNSAnswer,
+    DNSQuery,
+    DNSServer,
+    DNSUpdate,
+    DNSUpdateAck,
+    Resolver,
+)
+from .foreign_agent import ForeignAgent
+from .home_agent import HomeAgent
+from .mobile_host import MobileHost
+from .registration import (
+    MOBILE_IP_PORT,
+    AgentAdvertisement,
+    AgentSolicitation,
+    RegistrationReply,
+    RegistrationRequest,
+    ReplyCode,
+)
+from .tunnel import TunnelEndpoint
+
+__all__ = [
+    "Binding",
+    "BindingTable",
+    "Awareness",
+    "CorrespondentHost",
+    "DNS_PORT",
+    "DNSAnswer",
+    "DNSQuery",
+    "DNSServer",
+    "DNSUpdate",
+    "DNSUpdateAck",
+    "Resolver",
+    "ForeignAgent",
+    "HomeAgent",
+    "MobileHost",
+    "MOBILE_IP_PORT",
+    "AgentAdvertisement",
+    "AgentSolicitation",
+    "RegistrationReply",
+    "RegistrationRequest",
+    "ReplyCode",
+    "TunnelEndpoint",
+]

@@ -1,0 +1,99 @@
+"""Mobility bindings: home address -> care-of address, with lifetimes.
+
+Used in three places, mirroring the paper:
+
+* the **home agent's** registration table (§2): where to tunnel packets
+  captured for each absent mobile host;
+* a **mobile-aware correspondent's** binding cache (§3.2, Figure 5):
+  learned from the home agent's ICMP advisory or from a DNS
+  temporary-address lookup, enabling In-DE;
+* a **foreign agent's** visitor list.
+
+Every entry expires: registrations carry lifetimes, and a correspondent
+must not tunnel to a care-of address the mobile host may have left.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..netsim.addressing import IPAddress
+
+__all__ = ["Binding", "BindingTable"]
+
+DEFAULT_LIFETIME = 300.0
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One mobility binding."""
+
+    home_address: IPAddress
+    care_of_address: IPAddress
+    registered_at: float
+    lifetime: float = DEFAULT_LIFETIME
+
+    @property
+    def expires_at(self) -> float:
+        return self.registered_at + self.lifetime
+
+    def valid_at(self, now: float) -> bool:
+        return now < self.expires_at
+
+
+class BindingTable:
+    """home address -> current binding, with lazy expiry."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[IPAddress, Binding] = {}
+        self.registrations = 0
+        self.deregistrations = 0
+        self.expirations = 0
+
+    def register(
+        self,
+        home_address: IPAddress,
+        care_of_address: IPAddress,
+        now: float,
+        lifetime: float = DEFAULT_LIFETIME,
+    ) -> Binding:
+        """Install or refresh a binding (a new registration replaces any
+        previous care-of address — the mobile host moved)."""
+        binding = Binding(
+            IPAddress(home_address), IPAddress(care_of_address), now, lifetime
+        )
+        self._bindings[binding.home_address] = binding
+        self.registrations += 1
+        return binding
+
+    def deregister(self, home_address: IPAddress) -> Optional[Binding]:
+        """Remove a binding (lifetime-zero registration: the host is home)."""
+        binding = self._bindings.pop(IPAddress(home_address), None)
+        if binding is not None:
+            self.deregistrations += 1
+        return binding
+
+    def lookup(self, home_address: IPAddress, now: float) -> Optional[Binding]:
+        """The valid binding for an address, expiring stale entries."""
+        binding = self._bindings.get(IPAddress(home_address))
+        if binding is None:
+            return None
+        if not binding.valid_at(now):
+            del self._bindings[binding.home_address]
+            self.expirations += 1
+            return None
+        return binding
+
+    def active(self, now: float) -> List[Binding]:
+        return [
+            binding
+            for binding in list(self._bindings.values())
+            if self.lookup(binding.home_address, now) is not None
+        ]
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __contains__(self, home_address: IPAddress) -> bool:
+        return IPAddress(home_address) in self._bindings

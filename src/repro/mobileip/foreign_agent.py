@@ -1,0 +1,180 @@
+"""The IETF-style foreign agent (§2).
+
+    "When connecting via a foreign agent, the home agent tunnels
+    packets to this foreign agent, which decapsulates them and delivers
+    the enclosed packet to the mobile host."
+
+The paper's own implementation deliberately avoids foreign agents
+("it is impractical for mobile hosts to assume that foreign agent
+services will be available everywhere"), but implements-for-comparison
+is exactly what a reproduction should do: the FA here supports the
+classic IETF triangle so benchmarks can compare it with the paper's
+self-sufficient mode, and so the final-hop In-DH delivery the paper
+cites ("the foreign agent uses this delivery technique to deliver the
+packet over the final hop") is exercised.
+
+Behaviours:
+
+* periodic agent advertisements on the LAN (broadcast UDP on port 434);
+* registration relay: visiting hosts hand their requests to the FA,
+  which forwards them to the home agent with the FA's address as the
+  care-of address, and relays replies back over the link;
+* a visitor table; tunnel packets arriving for a visitor's home
+  address are decapsulated and delivered in one link-layer hop;
+* plain IP forwarding for the visitors' outgoing traffic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from ..netsim.addressing import IPAddress, LIMITED_BROADCAST
+from ..netsim.encap import EncapScheme
+from ..netsim.packet import Packet
+from ..netsim.router import Router
+from ..transport.sockets import TransportStack
+from .registration import (
+    MOBILE_IP_PORT,
+    AgentAdvertisement,
+    RegistrationReply,
+    RegistrationRequest,
+)
+from .tunnel import TunnelEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.simulator import Simulator
+    from .mobile_host import MobileHost
+
+__all__ = ["ForeignAgent"]
+
+ADVERT_INTERVAL = 30.0
+
+
+class ForeignAgent(Router):
+    """A foreign agent on one visited LAN.
+
+    Subclasses :class:`Router` because visitors route their outgoing
+    packets through the agent (it forwards them to the LAN's real
+    gateway via its own default route)."""
+
+    def __init__(
+        self,
+        name: str,
+        simulator: "Simulator",
+        scheme: EncapScheme = EncapScheme.IPIP,
+        advertise: bool = False,
+    ):
+        # ``advertise`` keeps the periodic broadcast off by default so
+        # that ``Simulator.run()`` without a time bound still drains;
+        # enable it to model discovery, and run with ``until=``.
+        super().__init__(name, simulator)
+        self.tunnel = TunnelEndpoint(self, scheme=scheme, on_inner=self._tunnel_inner)
+        self.stack = TransportStack(self)
+        self._socket = self.stack.udp_socket(MOBILE_IP_PORT)
+        self._socket.on_receive(self._mobileip_input)
+        # home address -> the visiting MobileHost node (for link delivery)
+        self._visitors: Dict[IPAddress, "MobileHost"] = {}
+        self._pending_relays: Dict[int, IPAddress] = {}  # ident -> visitor home
+        self.packets_delivered_final_hop = 0
+        self.advertisements_sent = 0
+        if advertise:
+            self._schedule_advertisement()
+
+    # ------------------------------------------------------------------
+    @property
+    def advertised_address(self) -> IPAddress:
+        source = self._preferred_source()
+        if source is None:
+            raise RuntimeError(f"{self.name} has no configured address")
+        return source
+
+    @property
+    def care_of_address(self) -> IPAddress:
+        """Visitors register the FA's own address as their care-of."""
+        return self.advertised_address
+
+    # ------------------------------------------------------------------
+    # Advertisements
+    # ------------------------------------------------------------------
+    def _schedule_advertisement(self) -> None:
+        self.simulator.events.schedule(
+            0.0, self._advertise, label=f"{self.name}:advert"
+        )
+
+    def _advertise(self) -> None:
+        if self._preferred_source() is not None:
+            advert = AgentAdvertisement(self.advertised_address, self.care_of_address)
+            self._socket.sendto(
+                advert, advert.size, LIMITED_BROADCAST, MOBILE_IP_PORT
+            )
+            self.advertisements_sent += 1
+        self.simulator.events.schedule(
+            ADVERT_INTERVAL, self._advertise, label=f"{self.name}:advert"
+        )
+
+    # ------------------------------------------------------------------
+    # Registration relay
+    # ------------------------------------------------------------------
+    def relay_registration_from(
+        self, visitor: "MobileHost", request: RegistrationRequest
+    ) -> None:
+        """Accept a visitor's registration and forward it to its HA.
+
+        In the real protocol the request arrives over the link; the
+        direct method call stands in for that single link-layer hop
+        while keeping the FA->HA leg as real packets.
+        """
+        self._visitors[request.home_address] = visitor
+        self._pending_relays[request.ident] = request.home_address
+        self._socket.sendto(
+            request, request.size, visitor.home_agent_address, MOBILE_IP_PORT
+        )
+
+    def _mobileip_input(
+        self, data: object, size: int, src_ip: IPAddress, src_port: int
+    ) -> None:
+        from .registration import AgentSolicitation
+
+        if isinstance(data, AgentSolicitation):
+            # Answer a soliciting visitor with a unicast advertisement.
+            if self._preferred_source() is not None:
+                advert = AgentAdvertisement(self.advertised_address,
+                                            self.care_of_address)
+                self._socket.sendto(advert, advert.size, src_ip, src_port)
+                self.advertisements_sent += 1
+            return
+        if isinstance(data, RegistrationReply):
+            home = self._pending_relays.pop(data.ident, None)
+            if home is None:
+                return
+            visitor = self._visitors.get(home)
+            if visitor is None:
+                return
+            if not data.accepted:
+                self._visitors.pop(home, None)
+            # Relay the reply over the link to the visitor's stack.
+            visitor._registration_reply_input(data, size, src_ip, src_port)
+
+    # ------------------------------------------------------------------
+    # Final-hop delivery
+    # ------------------------------------------------------------------
+    def _tunnel_inner(self, inner: Packet, outer: Packet) -> None:
+        if self.owns_address(inner.dst):
+            self._local_deliver(inner)
+            return
+        visitor = self._visitors.get(inner.dst)
+        if visitor is None:
+            self.trace.note(
+                self.now, self.name, "drop", inner, detail="no-such-visitor"
+            )
+            return
+        # In-DH over the final hop: frame straight to the visitor.
+        iface_name = self._lan_iface_name()
+        self.packets_delivered_final_hop += 1
+        self.link_send_direct(iface_name, inner, inner.dst)
+
+    def _lan_iface_name(self) -> str:
+        for name, iface in self.interfaces.items():
+            if iface.segment is not None:
+                return name
+        raise RuntimeError(f"{self.name} has no attached interface")

@@ -1,0 +1,216 @@
+"""The home agent (§2).
+
+    "The home agent is a machine on the mobile host's home network that
+    acts as a proxy on behalf of the mobile host for the duration of
+    its absence.  The home agent uses gratuitous proxy ARP to capture
+    all IP packets addressed to the mobile host.  When packets
+    addressed to the mobile host arrive on its home network, the home
+    agent intercepts them and uses encapsulation ... to forward them to
+    the mobile host's current location."
+
+Implemented behaviours:
+
+* registration service on UDP 434 (accept/refresh/deregister bindings);
+* gratuitous proxy ARP capture on the home LAN;
+* In-IE forwarding: encapsulate captured packets to the care-of address;
+* reverse-tunnel endpoint for Out-IE: decapsulate and re-send the inner
+  packet "on behalf of the mobile host" (Figure 3);
+* optional ICMP care-of advisories to correspondents (§3.2), rate-
+  limited per correspondent so a packet flood does not become an
+  advisory flood;
+* mobile-to-mobile support: if a decapsulated inner packet is itself
+  addressed to another registered mobile host, it is re-encapsulated
+  toward that host's care-of address.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from ..netsim.addressing import IPAddress, Network
+from ..netsim.encap import EncapScheme
+from ..netsim.icmp import CareOfAdvisory, IcmpMessage, IcmpType, make_icmp_packet
+from ..netsim.link import Interface
+from ..netsim.node import Node
+from ..netsim.packet import Packet
+from ..transport.sockets import TransportStack
+from .binding import BindingTable
+from .registration import (
+    MOBILE_IP_PORT,
+    RegistrationReply,
+    RegistrationRequest,
+    ReplyCode,
+)
+from .tunnel import TunnelEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.simulator import Simulator
+
+__all__ = ["HomeAgent"]
+
+ADVISORY_MIN_INTERVAL = 10.0   # seconds between advisories per correspondent
+
+
+class HomeAgent(Node):
+    """A home agent serving mobile hosts of one home network."""
+
+    def __init__(
+        self,
+        name: str,
+        simulator: "Simulator",
+        home_network: Network,
+        scheme: EncapScheme = EncapScheme.IPIP,
+        notify_correspondents: bool = False,
+        max_bindings: int = 1024,
+        advisory_lifetime: float = 60.0,
+    ):
+        super().__init__(name, simulator)
+        self.home_network = home_network
+        self.bindings = BindingTable()
+        self.notify_correspondents = notify_correspondents
+        self.max_bindings = max_bindings
+        self.advisory_lifetime = advisory_lifetime
+        self.tunnel = TunnelEndpoint(self, scheme=scheme, on_inner=self._reverse_inner)
+        # Locally-originated traffic to a bound home address must be
+        # captured too (ip_input only sees *arriving* packets).
+        self.route_overrides.append(self._local_capture)
+        self.stack = TransportStack(self)
+        self._reg_socket = self.stack.udp_socket(MOBILE_IP_PORT)
+        self._reg_socket.on_receive(self._registration_input)
+        self._last_advisory: Dict[IPAddress, float] = {}
+        self.packets_tunneled = 0
+        self.packets_reverse_forwarded = 0
+        self.advisories_sent = 0
+
+    # ------------------------------------------------------------------
+    # Registration service
+    # ------------------------------------------------------------------
+    def _registration_input(
+        self, data: object, size: int, src_ip: IPAddress, src_port: int
+    ) -> None:
+        if not isinstance(data, RegistrationRequest):
+            return
+        reply = self._process_registration(data)
+        self._reg_socket.sendto(reply, reply.size, src_ip, src_port)
+
+    def _process_registration(self, request: RegistrationRequest) -> RegistrationReply:
+        if not self.home_network.contains(request.home_address):
+            return RegistrationReply(
+                ReplyCode.DENIED_UNKNOWN_HOME_ADDRESS,
+                request.home_address, 0.0, request.ident,
+            )
+        if request.is_deregistration:
+            self._remove_binding(request.home_address)
+            return RegistrationReply(
+                ReplyCode.ACCEPTED, request.home_address, 0.0, request.ident
+            )
+        if (
+            len(self.bindings) >= self.max_bindings
+            and request.home_address not in self.bindings
+        ):
+            return RegistrationReply(
+                ReplyCode.DENIED_TOO_MANY_BINDINGS,
+                request.home_address, 0.0, request.ident,
+            )
+        self.bindings.register(
+            request.home_address, request.care_of_address, self.now, request.lifetime
+        )
+        self._install_capture(request.home_address)
+        return RegistrationReply(
+            ReplyCode.ACCEPTED, request.home_address, request.lifetime, request.ident
+        )
+
+    def _home_iface(self) -> Interface:
+        for iface in self.interfaces.values():
+            if iface.network is not None and iface.network.overlaps(self.home_network):
+                return iface
+        raise RuntimeError(f"{self.name} has no interface on {self.home_network}")
+
+    def _install_capture(self, home_address: IPAddress) -> None:
+        """Gratuitous proxy ARP: claim the absent host's address."""
+        iface = self._home_iface()
+        self.arp.add_proxy(iface, home_address)
+        self.arp.announce(iface, home_address)
+
+    def _remove_binding(self, home_address: IPAddress) -> None:
+        self.bindings.deregister(home_address)
+        iface = self._home_iface()
+        self.arp.remove_proxy(iface, home_address)
+
+    # ------------------------------------------------------------------
+    # Packet capture and In-IE forwarding
+    # ------------------------------------------------------------------
+    def ip_input(self, iface: Interface, packet: Packet) -> None:
+        # Captured-by-proxy-ARP packets arrive addressed to a mobile
+        # host's home address; intercept before normal processing.
+        if not self.owns_address(packet.dst):
+            binding = self.bindings.lookup(packet.dst, self.now)
+            if binding is not None:
+                self._forward_to_mobile(packet, binding.care_of_address)
+                return
+        super().ip_input(iface, packet)
+
+    def _local_capture(self, packet: Packet):
+        from ..netsim.node import VirtualRoute
+
+        if packet.is_encapsulated:
+            return None
+        binding = self.bindings.lookup(packet.dst, self.now)
+        if binding is None:
+            return None
+        care_of = binding.care_of_address
+        return VirtualRoute(
+            handler=lambda p: self._forward_to_mobile(p, care_of),
+            name="ha-local-capture",
+        )
+
+    def _forward_to_mobile(self, packet: Packet, care_of: IPAddress) -> None:
+        source = self._preferred_source()
+        assert source is not None
+        self.packets_tunneled += 1
+        self.tunnel.send_encapsulated(packet, source, care_of)
+        if self.notify_correspondents and not packet.is_encapsulated:
+            self._maybe_send_advisory(packet.src, packet.dst, care_of)
+
+    def _maybe_send_advisory(
+        self, correspondent: IPAddress, home: IPAddress, care_of: IPAddress
+    ) -> None:
+        """§3.2's binding notification, rate-limited per correspondent."""
+        if self.home_network.contains(correspondent):
+            return  # a local peer should discover the MH itself
+        last = self._last_advisory.get(correspondent)
+        if last is not None and (self.now - last) < ADVISORY_MIN_INTERVAL:
+            return
+        self._last_advisory[correspondent] = self.now
+        source = self._preferred_source()
+        assert source is not None
+        advisory = make_icmp_packet(
+            source,
+            correspondent,
+            IcmpMessage(
+                IcmpType.MOBILE_CARE_OF_ADVISORY,
+                CareOfAdvisory(home, care_of, self.advisory_lifetime),
+            ),
+        )
+        self.advisories_sent += 1
+        self.ip_send(advisory)
+
+    # ------------------------------------------------------------------
+    # Reverse tunneling (Out-IE, Figure 3)
+    # ------------------------------------------------------------------
+    def _reverse_inner(self, inner: Packet, outer: Packet) -> None:
+        """A mobile host tunneled a packet to us; act on its behalf."""
+        if self.owns_address(inner.dst):
+            self._local_deliver(inner)
+            return
+        next_binding = self.bindings.lookup(inner.dst, self.now)
+        if next_binding is not None:
+            # Mobile-to-mobile: re-tunnel toward the destination MH.
+            self._forward_to_mobile(inner, next_binding.care_of_address)
+            return
+        self.packets_reverse_forwarded += 1
+        self.trace.note(
+            self.now, self.name, "reverse-forward", inner,
+            detail=f"on behalf of {inner.src}",
+        )
+        self.ip_send(inner)

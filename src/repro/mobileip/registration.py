@@ -1,0 +1,117 @@
+"""The registration protocol between mobile host and home agent (§2).
+
+    "After the mobile host has connected to the visited network
+    (directly, or via a foreign agent), it registers its new location
+    with its home agent."
+
+Message formats follow the IETF draft's shape (request/reply with
+lifetime and a match identifier) without its authentication extensions
+— the simulator has no adversaries registering bindings.  Registration
+runs over UDP port 434 (the real Mobile IP port).  Note the §6.4
+bootstrap observation, reproduced faithfully here: the request is sent
+*from the care-of address* (In-DT/Out-DT), "since until it has
+registered with the home agent the other Mobile IP delivery services
+are not available."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..netsim.addressing import IPAddress
+
+__all__ = [
+    "MOBILE_IP_PORT",
+    "ReplyCode",
+    "RegistrationRequest",
+    "RegistrationReply",
+    "AgentAdvertisement",
+    "AgentSolicitation",
+]
+
+MOBILE_IP_PORT = 434
+REQUEST_SIZE = 28        # fixed part of the real request
+REPLY_SIZE = 20
+ADVERT_SIZE = 24
+
+
+class ReplyCode(IntEnum):
+    """Registration reply codes (subset of the IETF draft's)."""
+
+    ACCEPTED = 0
+    DENIED_UNKNOWN_HOME_ADDRESS = 128
+    DENIED_TOO_MANY_BINDINGS = 129
+    DENIED_LIFETIME_TOO_LONG = 130
+    DENIED_FA_UNREACHABLE = 136
+
+
+@dataclass(frozen=True)
+class RegistrationRequest:
+    """MH -> HA (possibly relayed by a foreign agent).
+
+    A ``lifetime`` of 0 is a deregistration: the mobile host has
+    returned home (or wants the binding dropped).
+    """
+
+    home_address: IPAddress
+    care_of_address: IPAddress
+    lifetime: float
+    ident: int
+
+    @property
+    def is_deregistration(self) -> bool:
+        return self.lifetime <= 0
+
+    @property
+    def size(self) -> int:
+        return REQUEST_SIZE
+
+
+@dataclass(frozen=True)
+class RegistrationReply:
+    """HA -> MH (possibly relayed by a foreign agent)."""
+
+    code: ReplyCode
+    home_address: IPAddress
+    lifetime: float
+    ident: int
+
+    @property
+    def accepted(self) -> bool:
+        return self.code is ReplyCode.ACCEPTED
+
+    @property
+    def size(self) -> int:
+        return REPLY_SIZE
+
+
+@dataclass(frozen=True)
+class AgentAdvertisement:
+    """Foreign agent's periodic presence announcement on its LAN.
+
+    ``care_of_address`` is the FA's own address — in IETF
+    foreign-agent mode, visiting hosts register the FA's address as
+    their care-of address and receive final-hop delivery at the link
+    layer (paper §5, In-DH: "the foreign agent uses this delivery
+    technique to deliver the packet over the final hop").
+    """
+
+    agent_address: IPAddress
+    care_of_address: IPAddress
+    lifetime: float = 300.0
+
+    @property
+    def size(self) -> int:
+        return ADVERT_SIZE
+
+
+@dataclass(frozen=True)
+class AgentSolicitation:
+    """A newly-arrived mobile host asking whether an FA is present."""
+
+    sender: IPAddress
+
+    @property
+    def size(self) -> int:
+        return 8

@@ -1,0 +1,92 @@
+"""Tunnel plumbing shared by home agents, mobile hosts, and smart
+correspondents.
+
+A :class:`TunnelEndpoint` bundles the two things every tunneling party
+needs: a configured encapsulation scheme (IP-in-IP by default, minimal
+encapsulation or GRE by choice — §2 notes both as overhead reducers)
+and a decapsulation receive path registered for all three tunnel
+protocol numbers.
+
+Decapsulated inner packets are passed to a sink callback; the caller
+decides what "receive" means (a mobile host delivers locally, a home
+agent re-forwards on behalf of the mobile host, a correspondent host
+feeds its transport stack).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..netsim.addressing import IPAddress
+from ..netsim.encap import EncapScheme, decapsulate, encapsulate
+from ..netsim.node import Node
+from ..netsim.packet import IPProto, Packet
+
+__all__ = ["TunnelEndpoint"]
+
+TUNNEL_PROTOS = (IPProto.IPIP, IPProto.GRE, IPProto.MINENC)
+
+
+class TunnelEndpoint:
+    """Encapsulation/decapsulation services for one node."""
+
+    def __init__(
+        self,
+        node: Node,
+        scheme: EncapScheme = EncapScheme.IPIP,
+        on_inner: Optional[Callable[[Packet, Packet], None]] = None,
+    ):
+        """``on_inner(inner, outer)`` is called for every decapsulated
+        packet; if None, inner packets are re-injected into the node's
+        local delivery path when addressed to it."""
+        self.node = node
+        self.scheme = scheme
+        self.on_inner = on_inner
+        self.encapsulated_count = 0
+        self.decapsulated_count = 0
+        for proto in TUNNEL_PROTOS:
+            node.register_proto_handler(proto, self._tunnel_input)
+
+    # ------------------------------------------------------------------
+    def send_encapsulated(
+        self,
+        inner: Packet,
+        outer_src: IPAddress,
+        outer_dst: IPAddress,
+        scheme: Optional[EncapScheme] = None,
+    ) -> Packet:
+        """Encapsulate ``inner`` and submit the outer packet to IP.
+
+        The outer packet bypasses route overrides — this is the
+        "resubmits it to IP" step of §7's virtual interface, and
+        without the bypass the override would encapsulate forever.
+        """
+        outer = encapsulate(
+            inner, outer_src, outer_dst, scheme=scheme or self.scheme
+        )
+        self.encapsulated_count += 1
+        self.node.trace.note(
+            self.node.now, self.node.name, "encapsulate", outer,
+            detail=f"{(scheme or self.scheme).value} to {outer_dst}",
+        )
+        self.node.ip_send(outer, bypass_overrides=True)
+        return outer
+
+    # ------------------------------------------------------------------
+    def _tunnel_input(self, outer: Packet) -> None:
+        inner = decapsulate(outer)
+        self.decapsulated_count += 1
+        self.node.trace.note(
+            self.node.now, self.node.name, "decapsulate", inner,
+            detail=f"outer was {outer.src}->{outer.dst}",
+        )
+        if self.on_inner is not None:
+            self.on_inner(inner, outer)
+            return
+        if self.node.owns_address(inner.dst):
+            self.node._local_deliver(inner)
+        else:
+            self.node.trace.note(
+                self.node.now, self.node.name, "drop", inner,
+                detail="decapsulated-inner-not-mine",
+            )

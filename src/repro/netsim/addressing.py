@@ -1,0 +1,253 @@
+"""IPv4 addressing primitives for the network simulator.
+
+The simulator models the 1996 Internet of the paper: IPv4 unicast
+addresses, CIDR-style network prefixes, and per-network address
+allocation.  Addresses are small immutable value objects so they can be
+used freely as dictionary keys (routing tables, ARP caches, binding
+caches) and compared for equality across the whole code base.
+
+The paper's mechanisms turn entirely on *which* addresses appear in
+*which* header fields, so the addressing layer is deliberately strict:
+malformed dotted quads and out-of-range prefixes raise ``AddressError``
+rather than being silently coerced.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+__all__ = [
+    "AddressError",
+    "IPAddress",
+    "Network",
+    "AddressAllocator",
+    "MULTICAST_NET",
+    "LIMITED_BROADCAST",
+    "UNSPECIFIED",
+]
+
+
+class AddressError(ValueError):
+    """Raised for malformed addresses, prefixes, or exhausted allocators."""
+
+
+_DOTTED_QUAD_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+def _parse_dotted_quad(text: str) -> int:
+    match = _DOTTED_QUAD_RE.match(text)
+    if match is None:
+        raise AddressError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for octet_text in match.groups():
+        octet = int(octet_text)
+        if octet > 255:
+            raise AddressError(f"octet out of range in address: {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+@dataclass(frozen=True, order=True)
+class IPAddress:
+    """An immutable IPv4 address.
+
+    Construct from a dotted quad string or a 32-bit integer::
+
+        >>> IPAddress("10.0.0.1")
+        IPAddress('10.0.0.1')
+        >>> int(IPAddress("10.0.0.1"))
+        167772161
+    """
+
+    value: int
+
+    def __init__(self, address: Union[str, int, "IPAddress"]):
+        if isinstance(address, IPAddress):
+            value = address.value
+        elif isinstance(address, str):
+            value = _parse_dotted_quad(address)
+        elif isinstance(address, int):
+            value = address
+        else:
+            raise AddressError(f"cannot build IPAddress from {type(address).__name__}")
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise AddressError(f"address out of 32-bit range: {value}")
+        object.__setattr__(self, "value", value)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+
+    def __repr__(self) -> str:
+        return f"IPAddress('{self}')"
+
+    @property
+    def is_multicast(self) -> bool:
+        """True for class-D (224.0.0.0/4) addresses."""
+        return (self.value >> 28) == 0xE
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for the limited broadcast address 255.255.255.255."""
+        return self.value == 0xFFFFFFFF
+
+    @property
+    def is_unspecified(self) -> bool:
+        """True for 0.0.0.0, used as 'bind to any' in the socket layer."""
+        return self.value == 0
+
+    def in_network(self, network: "Network") -> bool:
+        """Convenience mirror of ``network.contains(self)``."""
+        return network.contains(self)
+
+
+UNSPECIFIED = IPAddress(0)
+LIMITED_BROADCAST = IPAddress(0xFFFFFFFF)
+
+
+@dataclass(frozen=True, order=True)
+class Network:
+    """An immutable CIDR network prefix, e.g. ``Network("10.1.0.0/16")``.
+
+    The host bits of the supplied address must be zero; this catches the
+    most common configuration mistakes in topology definitions early.
+    """
+
+    prefix: int
+    prefix_len: int
+
+    def __init__(self, spec: Union[str, "Network"], prefix_len: Optional[int] = None):
+        if isinstance(spec, Network):
+            prefix, length = spec.prefix, spec.prefix_len
+        elif isinstance(spec, str) and "/" in spec:
+            address_text, _, length_text = spec.partition("/")
+            try:
+                length = int(length_text)
+            except ValueError:
+                raise AddressError(f"malformed prefix length: {spec!r}") from None
+            prefix = _parse_dotted_quad(address_text)
+        elif prefix_len is not None:
+            prefix = int(IPAddress(spec))
+            length = prefix_len
+        else:
+            raise AddressError(f"network spec needs a prefix length: {spec!r}")
+        if not 0 <= length <= 32:
+            raise AddressError(f"prefix length out of range: {length}")
+        mask = self._mask_for(length)
+        if prefix & ~mask & 0xFFFFFFFF:
+            raise AddressError(
+                f"host bits set in network spec {IPAddress(prefix)}/{length}"
+            )
+        object.__setattr__(self, "prefix", prefix)
+        object.__setattr__(self, "prefix_len", length)
+
+    @staticmethod
+    def _mask_for(length: int) -> int:
+        return (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+
+    @property
+    def netmask(self) -> IPAddress:
+        return IPAddress(self._mask_for(self.prefix_len))
+
+    @property
+    def network_address(self) -> IPAddress:
+        return IPAddress(self.prefix)
+
+    @property
+    def broadcast_address(self) -> IPAddress:
+        return IPAddress(self.prefix | (~self._mask_for(self.prefix_len) & 0xFFFFFFFF))
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self.prefix_len)
+
+    def contains(self, address: Union[IPAddress, "Network"]) -> bool:
+        """True if ``address`` (or the whole sub-``Network``) lies inside."""
+        mask = self._mask_for(self.prefix_len)
+        if isinstance(address, Network):
+            return (
+                address.prefix_len >= self.prefix_len
+                and (address.prefix & mask) == self.prefix
+            )
+        return (int(address) & mask) == self.prefix
+
+    def overlaps(self, other: "Network") -> bool:
+        """True if the two prefixes share any address."""
+        return self.contains(other) or other.contains(self)
+
+    def hosts(self) -> Iterator[IPAddress]:
+        """Iterate over usable host addresses (skips network & broadcast)."""
+        first = self.prefix + 1
+        last = int(self.broadcast_address) - 1
+        if self.prefix_len >= 31:  # point-to-point: use all addresses
+            first, last = self.prefix, int(self.broadcast_address)
+        for value in range(first, last + 1):
+            yield IPAddress(value)
+
+    def __str__(self) -> str:
+        return f"{self.network_address}/{self.prefix_len}"
+
+    def __repr__(self) -> str:
+        return f"Network('{self}')"
+
+
+MULTICAST_NET = Network("224.0.0.0/4")
+
+
+class AddressAllocator:
+    """Sequential allocator of host addresses within a network.
+
+    Used by topology builders (a friendly network administrator) and by
+    the DHCP-style care-of acquisition in :mod:`repro.mobileip`.
+    Released addresses are recycled in FIFO order, which models address
+    reuse after a visiting host departs.
+    """
+
+    def __init__(self, network: Network, reserve: int = 1):
+        """``reserve`` low host addresses are skipped (routers, servers)."""
+        self.network = network
+        self._hosts = network.hosts()
+        self._released: list[IPAddress] = []
+        self._allocated: set[IPAddress] = set()
+        for _ in range(reserve):
+            next(self._hosts, None)
+
+    def allocate(self) -> IPAddress:
+        """Return a fresh (or recycled) address; raises when exhausted."""
+        if self._released:
+            address = self._released.pop(0)
+        else:
+            # Skip over addresses that were claim()ed statically — the
+            # sequential generator does not know about them.
+            address = next(self._hosts, None)
+            while address is not None and address in self._allocated:
+                address = next(self._hosts, None)
+            if address is None:
+                raise AddressError(f"address pool exhausted in {self.network}")
+        self._allocated.add(address)
+        return address
+
+    def claim(self, address: IPAddress) -> IPAddress:
+        """Mark a specific address as allocated (static assignment)."""
+        if not self.network.contains(address):
+            raise AddressError(f"{address} is not inside {self.network}")
+        if address in self._allocated:
+            raise AddressError(f"{address} already allocated")
+        self._allocated.add(address)
+        return address
+
+    def release(self, address: IPAddress) -> None:
+        """Return an address to the pool for later reuse."""
+        if address not in self._allocated:
+            raise AddressError(f"{address} was not allocated from this pool")
+        self._allocated.discard(address)
+        self._released.append(address)
+
+    @property
+    def in_use(self) -> frozenset[IPAddress]:
+        return frozenset(self._allocated)

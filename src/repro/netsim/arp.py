@@ -1,0 +1,202 @@
+"""ARP: address resolution, gratuitous ARP, and proxy ARP.
+
+The home agent of the paper captures packets addressed to an absent
+mobile host by *gratuitous proxy ARP* (RFC 1027, cited in §2): it
+answers (and pre-announces) ARP for the mobile host's home address with
+its own link-layer address, so the home network's router hands it every
+packet destined for the mobile host.
+
+The ARP layer here implements:
+
+* request/reply resolution with a per-interface cache,
+* a pending-packet queue while resolution is in flight,
+* gratuitous ARP announcements (used by the HA when a mobile host
+  leaves and by the MH itself when it returns home),
+* a proxy table consulted when answering requests for *other* hosts'
+  addresses.
+
+RFC 826's stale-cache problem, which §7.1.2 of the paper quotes, is
+modelled too: cache entries have a lifetime, and gratuitous ARP
+overwrites existing entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .addressing import IPAddress
+from .link import BROADCAST_LINK_ADDR, Frame, Interface, LinkAddress
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+
+__all__ = ["ArpMessage", "ArpEntry", "ArpService"]
+
+ARP_CACHE_LIFETIME = 600.0   # seconds, generous: tests control time explicitly
+ARP_MAX_PENDING = 16         # packets queued per unresolved address
+
+
+@dataclass(frozen=True)
+class ArpMessage:
+    """An ARP request or reply."""
+
+    op: str                      # "request" | "reply"
+    sender_ip: IPAddress
+    sender_link: LinkAddress
+    target_ip: IPAddress
+    target_link: Optional[LinkAddress] = None
+
+
+@dataclass
+class ArpEntry:
+    link_address: LinkAddress
+    learned_at: float
+
+    def fresh(self, now: float) -> bool:
+        return (now - self.learned_at) < ARP_CACHE_LIFETIME
+
+
+class ArpService:
+    """Per-node ARP state machine.
+
+    One instance per node; caches are per-interface because the same IP
+    address may legitimately map to different link addresses on
+    different segments (e.g. a router's two sides).
+    """
+
+    def __init__(self, node: "Node"):
+        self.node = node
+        self._caches: Dict[str, Dict[IPAddress, ArpEntry]] = {}
+        self._pending: Dict[Tuple[str, IPAddress], List[Packet]] = {}
+        # Addresses this node answers ARP for on behalf of others
+        # (the home agent's proxy entries), per interface name.
+        self._proxy_for: Dict[str, set[IPAddress]] = {}
+
+    # ------------------------------------------------------------------
+    # Cache access
+    # ------------------------------------------------------------------
+    def _cache(self, iface: Interface) -> Dict[IPAddress, ArpEntry]:
+        return self._caches.setdefault(iface.name, {})
+
+    def lookup(self, iface: Interface, ip: IPAddress) -> Optional[LinkAddress]:
+        entry = self._cache(iface).get(ip)
+        if entry is not None and entry.fresh(self.node.now):
+            return entry.link_address
+        return None
+
+    def learn(self, iface: Interface, ip: IPAddress, link: LinkAddress) -> None:
+        self._cache(iface)[ip] = ArpEntry(link, self.node.now)
+        self._flush_pending(iface, ip, link)
+
+    def flush(self) -> None:
+        """Drop all cached entries (used when a host changes segments)."""
+        self._caches.clear()
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Proxy ARP (RFC 1027) — the home agent's capture mechanism
+    # ------------------------------------------------------------------
+    def add_proxy(self, iface: Interface, ip: IPAddress) -> None:
+        """Start answering ARP requests for ``ip`` on ``iface``."""
+        self._proxy_for.setdefault(iface.name, set()).add(IPAddress(ip))
+
+    def remove_proxy(self, iface: Interface, ip: IPAddress) -> None:
+        self._proxy_for.get(iface.name, set()).discard(IPAddress(ip))
+
+    def proxies_on(self, iface: Interface) -> frozenset[IPAddress]:
+        return frozenset(self._proxy_for.get(iface.name, set()))
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve_and_send(self, iface: Interface, next_hop: IPAddress, packet: Packet) -> None:
+        """Send ``packet`` to ``next_hop`` on ``iface``, resolving first.
+
+        If the link address is unknown, the packet is queued and an ARP
+        request is broadcast; the queue drains when the reply arrives.
+        """
+        link = self.lookup(iface, next_hop)
+        if link is not None:
+            iface.transmit(Frame(iface.link_address, link, packet, kind="ip"))
+            return
+        key = (iface.name, next_hop)
+        queue = self._pending.setdefault(key, [])
+        if len(queue) >= ARP_MAX_PENDING:
+            self.node.simulator.trace.note(
+                self.node.now, self.node.name, "drop", packet,
+                detail="arp-queue-overflow",
+            )
+            return
+        queue.append(packet)
+        # Request on every queued packet, not just the first: if the
+        # initial request got no answer (target down, frame lost), the
+        # sender's own retransmissions double as ARP retries.
+        self._send_request(iface, next_hop)
+
+    def _send_request(self, iface: Interface, target_ip: IPAddress) -> None:
+        # Prefer the primary address; a host operating via a foreign
+        # agent has only its home address (a secondary) on the visited
+        # interface, and must still be able to ARP for the agent.
+        sender_ip = iface.ip
+        if sender_ip is None:
+            addresses = iface.addresses
+            if not addresses:
+                return
+            sender_ip = addresses[0]
+        message = ArpMessage(
+            op="request",
+            sender_ip=sender_ip,
+            sender_link=iface.link_address,
+            target_ip=target_ip,
+        )
+        iface.transmit(
+            Frame(iface.link_address, BROADCAST_LINK_ADDR, message, kind="arp")
+        )
+
+    def announce(self, iface: Interface, ip: IPAddress) -> None:
+        """Gratuitous ARP: broadcast that ``ip`` is at this interface.
+
+        Receivers overwrite any existing cache entry, which is how the
+        home agent redirects the home network's traffic when the mobile
+        host departs, and how the mobile host reclaims its address when
+        it returns home.
+        """
+        message = ArpMessage(
+            op="reply",
+            sender_ip=IPAddress(ip),
+            sender_link=iface.link_address,
+            target_ip=IPAddress(ip),
+            target_link=iface.link_address,
+        )
+        iface.transmit(
+            Frame(iface.link_address, BROADCAST_LINK_ADDR, message, kind="arp")
+        )
+
+    # ------------------------------------------------------------------
+    # Inbound ARP handling
+    # ------------------------------------------------------------------
+    def handle(self, iface: Interface, message: ArpMessage) -> None:
+        # Learn opportunistically from every ARP message seen (RFC 826).
+        self.learn(iface, message.sender_ip, message.sender_link)
+        if message.op == "request":
+            answers = iface.owns(message.target_ip) or (
+                message.target_ip in self._proxy_for.get(iface.name, set())
+            )
+            if answers:
+                reply = ArpMessage(
+                    op="reply",
+                    sender_ip=message.target_ip,
+                    sender_link=iface.link_address,
+                    target_ip=message.sender_ip,
+                    target_link=message.sender_link,
+                )
+                iface.transmit(
+                    Frame(iface.link_address, message.sender_link, reply, kind="arp")
+                )
+
+    def _flush_pending(self, iface: Interface, ip: IPAddress, link: LinkAddress) -> None:
+        queue = self._pending.pop((iface.name, ip), [])
+        for packet in queue:
+            iface.transmit(Frame(iface.link_address, link, packet, kind="ip"))

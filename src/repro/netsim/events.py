@@ -1,0 +1,126 @@
+"""Discrete-event engine.
+
+A deterministic event queue drives the whole simulator: link
+propagation, transmission serialization, transport retransmission
+timers, registration lifetimes, and application think times are all
+events.  Determinism matters — every benchmark and test must produce
+identical traces run-to-run — so ties are broken by insertion order and
+all randomness flows through a single seeded RNG owned by the
+:class:`Simulator` (see :mod:`repro.netsim.simulator`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "EventQueue", "SimClock"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is (time, sequence); the callback and its arguments do not
+    participate in comparisons.  ``cancelled`` supports O(1) timer
+    cancellation (the queue lazily discards cancelled events on pop).
+    """
+
+    time: float
+    seq: int
+    action: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class SimClock:
+    """Monotonic simulation clock, advanced only by the event queue."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def _advance(self, time: float) -> None:
+        if time < self._now:
+            raise RuntimeError(
+                f"time went backwards: {time} < {self._now}"
+            )
+        self._now = time
+
+
+class EventQueue:
+    """A priority queue of events with deterministic tie-breaking."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock or SimClock()
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self.processed = 0
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        event = Event(self.clock.now + delay, next(self._seq), action, args, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action(*args)`` at absolute simulation time."""
+        return self.schedule(max(0.0, time - self.clock.now), action, *args, label=label)
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock._advance(event.time)
+            event.action(*event.args)
+            self.processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> float:
+        """Drain the queue, optionally stopping at time ``until``.
+
+        Returns the clock value when processing stopped.  ``max_events``
+        guards against runaway feedback loops in misconfigured
+        topologies (e.g. routing loops with no TTL).
+        """
+        for _ in range(max_events):
+            if until is not None:
+                # Peek: stop before executing events beyond the horizon.
+                while self._heap and self._heap[0].cancelled:
+                    heapq.heappop(self._heap)
+                if not self._heap or self._heap[0].time > until:
+                    self.clock._advance(max(until, self.clock.now))
+                    return self.clock.now
+            if not self.step():
+                return self.clock.now
+        raise RuntimeError(f"event budget exhausted ({max_events} events)")

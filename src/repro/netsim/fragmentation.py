@@ -1,0 +1,159 @@
+"""IP fragmentation and reassembly.
+
+Paper §3.3: "Encapsulation typically adds 20 bytes to the size of the
+packet in IPv4 ... If the addition of the extra 20 bytes makes the
+packet exceed the IP maximum transmission unit (MTU) for a particular
+link, then the packet will be fragmented, doubling the packet count."
+
+Fragmentation here follows IPv4 semantics closely enough for that
+claim to be measurable: fragments carry offsets in 8-byte units, every
+fragment repeats the 20-byte IP header, the DF bit suppresses
+fragmentation (producing a drop + ICMP "fragmentation needed"), and
+reassembly at the destination requires *all* fragments, with a timer
+that discards incomplete buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .addressing import IPAddress
+from .packet import IPV4_HEADER_SIZE, Packet
+
+__all__ = ["FragmentationNeeded", "fragment", "ReassemblyBuffer", "Reassembler"]
+
+FRAGMENT_UNIT = 8          # offsets are in 8-byte blocks
+REASSEMBLY_TIMEOUT = 30.0  # seconds (RFC 791 suggests 15-120s)
+
+
+class FragmentationNeeded(Exception):
+    """Raised when a DF packet exceeds the MTU (triggers ICMP type 3/4)."""
+
+    def __init__(self, packet: Packet, mtu: int):
+        super().__init__(f"packet of {packet.wire_size}B exceeds MTU {mtu} with DF set")
+        self.packet = packet
+        self.mtu = mtu
+
+
+def fragment(packet: Packet, mtu: int) -> List[Packet]:
+    """Split ``packet`` into MTU-sized fragments (or return it unchanged).
+
+    The payload object itself rides in the first fragment; continuation
+    fragments carry byte counts only.  All fragments share the original
+    identification and trace id so the reassembler — and the analysis
+    layer — can correlate them.
+    """
+    if packet.wire_size <= mtu:
+        return [packet]
+    if packet.dont_fragment:
+        raise FragmentationNeeded(packet, mtu)
+    if mtu <= IPV4_HEADER_SIZE + FRAGMENT_UNIT:
+        raise ValueError(f"mtu {mtu} too small to carry any payload")
+
+    # Refragmentation support (RFC 791): when the input is itself a
+    # fragment, new offsets are absolute (base + local offset) and the
+    # last piece inherits the original more-fragments bit.
+    base = packet.frag_offset
+    tail_has_more = packet.more_fragments
+
+    data_size = packet.inner_size
+    per_fragment = ((mtu - IPV4_HEADER_SIZE) // FRAGMENT_UNIT) * FRAGMENT_UNIT
+    fragments: List[Packet] = []
+    offset = 0
+    while offset < data_size:
+        chunk = min(per_fragment, data_size - offset)
+        more = (offset + chunk) < data_size or tail_has_more
+        frag = packet.copy_for_fragment(
+            offset=base + offset, size=chunk, more=more
+        )
+        # Continuation fragments must not re-count the shim; the first
+        # fragment's `payload_size` also subsumes any nested packet, so
+        # zero the structured fields copy_for_fragment preserved.
+        frag.shim_size = 0
+        fragments.append(frag)
+        offset += chunk
+    return fragments
+
+
+@dataclass
+class ReassemblyBuffer:
+    """Collects the fragments of one datagram."""
+
+    first_seen: float
+    fragments: Dict[int, Packet] = field(default_factory=dict)
+    total_size: Optional[int] = None   # known once the MF=0 fragment arrives
+
+    def add(self, packet: Packet) -> None:
+        self.fragments[packet.frag_offset] = packet
+        if not packet.more_fragments:
+            self.total_size = packet.frag_offset + packet.payload_size
+
+    def complete(self) -> bool:
+        if self.total_size is None:
+            return False
+        covered = 0
+        for offset in sorted(self.fragments):
+            frag = self.fragments[offset]
+            if offset > covered:
+                return False  # gap
+            covered = max(covered, offset + frag.payload_size)
+        return covered >= self.total_size
+
+    def reassemble(self) -> Packet:
+        """Rebuild the original packet from the first fragment's payload."""
+        if not self.complete():
+            raise ValueError("reassembly attempted on incomplete buffer")
+        first = self.fragments[0]
+        whole = first.copy_for_fragment(offset=0, size=self.total_size or 0, more=False)
+        whole.payload = first.payload
+        # Restore structured sizing: if the payload is a nested packet the
+        # wire size derives from it; otherwise from the byte count.
+        if whole.is_encapsulated:
+            whole.payload_size = 0
+        whole.more_fragments = False
+        whole.frag_offset = 0
+        return whole
+
+
+class Reassembler:
+    """Per-node reassembly state keyed by (src, dst, proto, ident)."""
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[IPAddress, IPAddress, int, int], ReassemblyBuffer] = {}
+        self.timeouts = 0
+        self.reassembled = 0
+
+    def accept(self, packet: Packet, now: float) -> Optional[Packet]:
+        """Feed a packet in; returns a whole datagram when complete.
+
+        Unfragmented packets pass straight through.  Expired buffers
+        are garbage-collected opportunistically on every call.
+        """
+        self._expire(now)
+        if not packet.more_fragments and packet.frag_offset == 0:
+            return packet
+        key = (packet.src, packet.dst, int(packet.proto), packet.ident)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = self._buffers[key] = ReassemblyBuffer(first_seen=now)
+        buffer.add(packet)
+        if buffer.complete():
+            del self._buffers[key]
+            self.reassembled += 1
+            return buffer.reassemble()
+        return None
+
+    def _expire(self, now: float) -> None:
+        expired = [
+            key
+            for key, buffer in self._buffers.items()
+            if now - buffer.first_seen > REASSEMBLY_TIMEOUT
+        ]
+        for key in expired:
+            del self._buffers[key]
+            self.timeouts += 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffers)

@@ -1,0 +1,151 @@
+"""ICMP messages, including the paper's care-of-address advisory.
+
+Beyond the standard types the simulator needs (echo for reachability
+probes, destination-unreachable for routing errors, fragmentation-
+needed for DF packets), §3.2 of the paper proposes a new message:
+
+    "when the home agent forwards a packet to the mobile host, it may
+    also send an ICMP message back to the packet's source, informing
+    it of the mobile host's current temporary care-of address."
+
+That advisory — :class:`CareOfAdvisory` — is how a mobile-aware
+correspondent host learns a binding and upgrades from In-IE to In-DE
+(Figure 5).  Conventional hosts simply ignore ICMP types they do not
+understand, preserving interoperability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional
+
+from .addressing import IPAddress
+from .packet import IPProto, Packet
+
+__all__ = [
+    "IcmpType",
+    "IcmpMessage",
+    "EchoData",
+    "UnreachableData",
+    "CareOfAdvisory",
+    "make_icmp_packet",
+    "ICMP_HEADER_SIZE",
+]
+
+ICMP_HEADER_SIZE = 8
+
+
+class IcmpType(IntEnum):
+    ECHO_REPLY = 0
+    DEST_UNREACHABLE = 3
+    ECHO_REQUEST = 8
+    TIME_EXCEEDED = 11
+    # Experimental type for the paper's home-agent advisory.  Real
+    # deployments would have used a reserved/experimental code point.
+    MOBILE_CARE_OF_ADVISORY = 42
+
+
+class UnreachableCode(IntEnum):
+    NET_UNREACHABLE = 0
+    HOST_UNREACHABLE = 1
+    PROTO_UNREACHABLE = 2
+    PORT_UNREACHABLE = 3
+    FRAGMENTATION_NEEDED = 4
+    ADMIN_PROHIBITED = 13
+
+
+@dataclass(frozen=True)
+class EchoData:
+    """Payload of echo request/reply: an opaque token plus size padding."""
+
+    token: int
+    size: int = 56
+
+
+@dataclass(frozen=True)
+class UnreachableData:
+    """Destination-unreachable details: the offending packet's summary."""
+
+    code: UnreachableCode
+    original_src: IPAddress
+    original_dst: IPAddress
+    mtu: int = 0    # for FRAGMENTATION_NEEDED (RFC 1191 path-MTU style)
+
+
+@dataclass(frozen=True)
+class CareOfAdvisory:
+    """The §3.2 advisory: "host X is mobile; its care-of address is Y".
+
+    ``home_address`` is the mobile host's permanent address the
+    correspondent was using; ``care_of_address`` is where to tunnel;
+    ``lifetime`` bounds how long the binding may be cached, mirroring
+    registration lifetimes so stale bindings expire.
+    """
+
+    home_address: IPAddress
+    care_of_address: IPAddress
+    lifetime: float = 60.0
+
+
+@dataclass(frozen=True)
+class IcmpMessage:
+    icmp_type: IcmpType
+    data: object = None
+
+    @property
+    def size(self) -> int:
+        if isinstance(self.data, EchoData):
+            return ICMP_HEADER_SIZE + self.data.size
+        if isinstance(self.data, UnreachableData):
+            return ICMP_HEADER_SIZE + 28  # IP header + 8 bytes of original
+        if isinstance(self.data, CareOfAdvisory):
+            return ICMP_HEADER_SIZE + 12  # two addresses + lifetime
+        return ICMP_HEADER_SIZE
+
+
+def make_icmp_packet(
+    src: IPAddress,
+    dst: IPAddress,
+    message: IcmpMessage,
+    ttl: int = 64,
+) -> Packet:
+    """Build an IP packet carrying an ICMP message."""
+    return Packet(
+        src=src,
+        dst=dst,
+        proto=IPProto.ICMP,
+        payload=message,
+        payload_size=message.size,
+        ttl=ttl,
+    )
+
+
+def unreachable_for(
+    reporter: IPAddress,
+    offending: Packet,
+    code: UnreachableCode,
+    mtu: int = 0,
+) -> Optional[Packet]:
+    """Construct a dest-unreachable reply for an offending packet.
+
+    Per RFC 1122, no ICMP error is generated for a non-initial
+    fragment, a broadcast/multicast packet, or another ICMP error —
+    avoiding error storms.
+    """
+    if offending.frag_offset != 0:
+        return None
+    if offending.dst.is_multicast or offending.dst.is_broadcast:
+        return None
+    if offending.proto is IPProto.ICMP:
+        payload = offending.payload
+        if isinstance(payload, IcmpMessage) and payload.icmp_type in (
+            IcmpType.DEST_UNREACHABLE,
+            IcmpType.TIME_EXCEEDED,
+        ):
+            return None
+    message = IcmpMessage(
+        IcmpType.DEST_UNREACHABLE,
+        UnreachableData(code, offending.src, offending.dst, mtu),
+    )
+    return make_icmp_packet(reporter, offending.src, message)

@@ -1,0 +1,223 @@
+"""Link layer: shared segments, interfaces, and frames.
+
+The paper's In-DH optimization ("Both Hosts on Same Network Segment",
+§5, Row C of the grid) depends on a real link-layer model: an IP packet
+whose destination address "does not belong on this network segment" can
+nevertheless be delivered in one hop by addressing the *frame* to the
+mobile host's link-layer address.  Proxy ARP by the home agent
+(RFC 1027) likewise operates at this layer.
+
+A :class:`Segment` is a broadcast domain (an Ethernet): every attached
+:class:`Interface` sees broadcast frames, and unicast frames are
+delivered to the interface owning the destination link address.  Links
+model latency (propagation) and bandwidth (serialization of the frame's
+wire size), both of which feed the latency benchmarks (§3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from .addressing import IPAddress, Network
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .node import Node
+    from .simulator import Simulator
+
+__all__ = ["LinkAddress", "Frame", "Interface", "Segment", "BROADCAST_LINK_ADDR", "ETHERNET_MTU"]
+
+ETHERNET_MTU = 1500
+_link_addr_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, order=True)
+class LinkAddress:
+    """An opaque link-layer (MAC-like) address."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"L2:{self.value:04x}"
+
+
+BROADCAST_LINK_ADDR = LinkAddress(0xFFFF)
+
+
+def fresh_link_address() -> LinkAddress:
+    return LinkAddress(next(_link_addr_counter))
+
+
+@dataclass
+class Frame:
+    """A link-layer frame carrying either an IP packet or an ARP message."""
+
+    src: LinkAddress
+    dst: LinkAddress
+    payload: Any                     # Packet or ArpMessage
+    kind: str = "ip"                 # "ip" | "arp"
+
+    @property
+    def wire_size(self) -> int:
+        if isinstance(self.payload, Packet):
+            return self.payload.wire_size + 14  # Ethernet header
+        return 42  # ARP packet in a minimum-size Ethernet frame
+
+
+class Interface:
+    """A node's attachment to a segment.
+
+    An interface carries at most one primary IP address plus any number
+    of secondary addresses (the mobile host keeps its *home* address
+    configured alongside its care-of address so it can recognize
+    packets addressed to either — paper §5, Figures 8/9).
+    """
+
+    def __init__(self, name: str, node: "Node"):
+        self.name = name
+        self.node = node
+        self.link_address = fresh_link_address()
+        self.segment: Optional[Segment] = None
+        self.ip: Optional[IPAddress] = None
+        self.network: Optional[Network] = None
+        self.secondary_ips: List[IPAddress] = []
+        self.up = True
+
+    # ------------------------------------------------------------------
+    def configure(self, ip: IPAddress, network: Network) -> None:
+        """Assign the primary address and the directly-attached prefix."""
+        if not network.contains(ip):
+            raise ValueError(f"{ip} not in {network}")
+        self.ip = IPAddress(ip)
+        self.network = network
+
+    def deconfigure(self) -> None:
+        self.ip = None
+        self.network = None
+        self.secondary_ips.clear()
+
+    def add_secondary(self, ip: IPAddress) -> None:
+        ip = IPAddress(ip)
+        if ip not in self.secondary_ips:
+            self.secondary_ips.append(ip)
+
+    @property
+    def addresses(self) -> List[IPAddress]:
+        addrs = []
+        if self.ip is not None:
+            addrs.append(self.ip)
+        addrs.extend(self.secondary_ips)
+        return addrs
+
+    def owns(self, ip: IPAddress) -> bool:
+        return ip in self.addresses
+
+    # ------------------------------------------------------------------
+    def attach(self, segment: "Segment") -> None:
+        if self.segment is not None:
+            self.detach()
+        self.segment = segment
+        segment._interfaces[self.link_address] = self
+
+    def detach(self) -> None:
+        if self.segment is not None:
+            self.segment._interfaces.pop(self.link_address, None)
+            self.segment = None
+
+    def transmit(self, frame: Frame) -> None:
+        """Hand a frame to the attached segment for delivery."""
+        if self.segment is None or not self.up:
+            return  # cable unplugged: frame silently lost
+        self.segment.transmit(self, frame)
+
+    def receive(self, frame: Frame) -> None:
+        """Called by the segment when a frame arrives for this interface."""
+        if not self.up:
+            return
+        self.node.frame_received(self, frame)
+
+    def __repr__(self) -> str:
+        return f"Interface({self.node.name}/{self.name} ip={self.ip})"
+
+
+class Segment:
+    """A shared broadcast segment (an Ethernet or a point-to-point wire).
+
+    ``latency`` is one-way propagation delay in seconds; ``bandwidth``
+    is bits/second used to compute serialization delay; ``mtu`` bounds
+    the IP packet size carried in one frame (fragmentation happens at
+    the IP layer of the sending node, see
+    :mod:`repro.netsim.fragmentation`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        simulator: "Simulator",
+        latency: float = 0.001,
+        bandwidth: float = 10e6,
+        mtu: int = ETHERNET_MTU,
+        loss_rate: float = 0.0,
+    ):
+        """``loss_rate`` drops each frame independently with the given
+        probability (from the simulator's seeded RNG) — a crude model of
+        the wireless media the paper's mobile hosts roam across, used to
+        study the §7.1.2 detector's behaviour under genuine loss."""
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.name = name
+        self.simulator = simulator
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.mtu = mtu
+        self.loss_rate = loss_rate
+        self._interfaces: Dict[LinkAddress, Interface] = {}
+        self.frames_carried = 0
+        self.bytes_carried = 0
+        self.frames_lost = 0
+
+    @property
+    def interfaces(self) -> List[Interface]:
+        return list(self._interfaces.values())
+
+    def interface_with_ip(self, ip: IPAddress) -> Optional[Interface]:
+        for iface in self._interfaces.values():
+            if iface.owns(ip):
+                return iface
+        return None
+
+    def transmit(self, sender: Interface, frame: Frame) -> None:
+        """Deliver a frame after serialization + propagation delay."""
+        size = frame.wire_size
+        self.frames_carried += 1
+        self.bytes_carried += size
+        self.simulator.trace.note_link_bytes(self.name, size)
+        if self.loss_rate and self.simulator.rng.random() < self.loss_rate:
+            self.frames_lost += 1
+            return  # vanished into the ether; transport recovers
+        delay = self.latency + (size * 8) / self.bandwidth
+        self.simulator.events.schedule(
+            delay, self._deliver, sender, frame, label=f"link:{self.name}"
+        )
+
+    def _deliver(self, sender: Interface, frame: Frame) -> None:
+        if frame.dst == BROADCAST_LINK_ADDR:
+            # Snapshot: receivers may attach/detach interfaces in response.
+            for iface in list(self._interfaces.values()):
+                if iface is not sender:
+                    iface.receive(frame)
+            return
+        target = self._interfaces.get(frame.dst)
+        if target is not None and target is not sender:
+            target.receive(frame)
+        # Unknown destination: frame lost, like a real switch flushing
+        # a stale forwarding entry.  IP-level retransmission recovers.
+
+    def __repr__(self) -> str:
+        return f"Segment({self.name}, {len(self._interfaces)} ifaces, mtu={self.mtu})"

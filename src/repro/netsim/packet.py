@@ -1,0 +1,239 @@
+"""IP packet model.
+
+Packets are the central currency of the simulator.  A packet carries an
+IP header (source, destination, protocol, TTL, identification,
+fragmentation fields), a payload, and bookkeeping used by the analysis
+layer (a unique trace id and hop records appended by
+:mod:`repro.netsim.trace`).
+
+Encapsulation — the heart of the paper — is modelled by letting the
+payload of a packet be *another packet*.  ``Packet.wire_size`` then
+reports the full on-the-wire size including every nested header, which
+is what the size-overhead benchmarks (paper §3.3) measure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import IntEnum
+from typing import Any, List, Optional, Tuple
+
+from .addressing import IPAddress
+
+__all__ = [
+    "IPProto",
+    "IPV4_HEADER_SIZE",
+    "HopRecord",
+    "Packet",
+    "DEFAULT_TTL",
+]
+
+IPV4_HEADER_SIZE = 20
+DEFAULT_TTL = 64
+
+_packet_ids = itertools.count(1)
+_trace_ids = itertools.count(1)
+
+
+class IPProto(IntEnum):
+    """IP protocol numbers used by the simulator (real IANA values)."""
+
+    ICMP = 1
+    IPIP = 4        # IP-in-IP encapsulation (RFC 2003)
+    TCP = 6
+    UDP = 17
+    GRE = 47        # Generic Routing Encapsulation (RFC 1702)
+    MINENC = 55     # Minimal Encapsulation (Per95)
+
+
+@dataclass(frozen=True)
+class HopRecord:
+    """One hop in a packet's journey, recorded for analysis.
+
+    ``node`` is the name of the node the packet visited, ``action`` is
+    what happened there (``forward``, ``deliver``, ``drop``,
+    ``encapsulate``, ``decapsulate``, ``fragment``...), and ``detail``
+    is a human-readable explanation (e.g. the filter rule that fired).
+    """
+
+    time: float
+    node: str
+    action: str
+    detail: str = ""
+
+
+@dataclass
+class Packet:
+    """A simulated IP packet.
+
+    ``payload`` may be:
+
+    * a transport segment object (from :mod:`repro.transport`),
+    * another :class:`Packet` (encapsulation), or
+    * any opaque application object.
+
+    ``payload_size`` is the size in bytes of the payload *excluding*
+    nested IP headers when the payload is itself a packet — nested
+    header bytes are accounted for by :attr:`wire_size` walking the
+    encapsulation stack.  ``encap_overhead`` is the size of the
+    encapsulating header mechanism in use for *this* layer (0 for a
+    plain packet, 20 for IP-in-IP's inner header is counted by the
+    nested packet itself, while GRE/minimal-encapsulation shim bytes
+    are recorded here by :mod:`repro.netsim.encap`).
+    """
+
+    src: IPAddress
+    dst: IPAddress
+    proto: IPProto
+    payload: Any = None
+    payload_size: int = 0
+    ttl: int = DEFAULT_TTL
+    ident: int = field(default_factory=lambda: next(_packet_ids))
+    # Fragmentation state (paper §3.3: encapsulation may force fragmentation)
+    frag_offset: int = 0
+    more_fragments: bool = False
+    dont_fragment: bool = False
+    # Shim bytes added by non-IPIP encapsulation schemes at this layer.
+    shim_size: int = 0
+    # Loose source routing (the §4 alternative to encapsulation): the
+    # remaining intermediate hops.  ``route_pointer`` counts how many
+    # have been consumed.  Routers forward option-bearing packets on a
+    # slow path (see Router.option_processing_delay), which is §4's
+    # "current IP routers typically handle packets with options much
+    # more slowly".
+    source_route: Tuple[IPAddress, ...] = ()
+    route_pointer: int = 0
+    # Analysis bookkeeping.  trace_id survives encapsulation/decapsulation
+    # and fragmentation so a logical datagram can be followed end to end.
+    trace_id: int = field(default_factory=lambda: next(_trace_ids))
+    hops: List[HopRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.src = IPAddress(self.src)
+        self.dst = IPAddress(self.dst)
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    @property
+    def is_fragment(self) -> bool:
+        return self.more_fragments or self.frag_offset != 0
+
+    @property
+    def inner_size(self) -> int:
+        """Size of everything behind this packet's own IP header.
+
+        A fragment always reports its literal byte count
+        (``payload_size``), even when it still carries a structured
+        payload object for delivery purposes — otherwise the first
+        fragment of an encapsulated packet would claim the whole inner
+        packet's size and be re-fragmented at every hop.
+        """
+        if self.is_fragment:
+            return self.payload_size
+        if isinstance(self.payload, Packet):
+            return self.shim_size + self.payload.wire_size
+        return self.shim_size + self.payload_size
+
+    @property
+    def options_size(self) -> int:
+        """IP options bytes: an LSRR option is 3 bytes plus 4 per hop,
+        padded to a 4-byte boundary (RFC 791)."""
+        if not self.source_route:
+            return 0
+        raw = 3 + 4 * len(self.source_route)
+        return (raw + 3) // 4 * 4
+
+    @property
+    def has_options(self) -> bool:
+        return bool(self.source_route)
+
+    @property
+    def wire_size(self) -> int:
+        """Total on-the-wire size of this packet in bytes."""
+        return IPV4_HEADER_SIZE + self.options_size + self.inner_size
+
+    # ------------------------------------------------------------------
+    # Encapsulation helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_encapsulated(self) -> bool:
+        return isinstance(self.payload, Packet)
+
+    @property
+    def innermost(self) -> "Packet":
+        """Follow the encapsulation stack to the innermost packet."""
+        packet = self
+        while isinstance(packet.payload, Packet):
+            packet = packet.payload
+        return packet
+
+    @property
+    def encapsulation_depth(self) -> int:
+        depth = 0
+        packet = self
+        while isinstance(packet.payload, Packet):
+            depth += 1
+            packet = packet.payload
+        return depth
+
+    # ------------------------------------------------------------------
+    # Trace helpers
+    # ------------------------------------------------------------------
+    def record(self, time: float, node: str, action: str, detail: str = "") -> None:
+        """Append a hop record (shared with the innermost packet's list)."""
+        self.hops.append(HopRecord(time, node, action, detail))
+
+    @property
+    def path(self) -> Tuple[str, ...]:
+        """Names of nodes that forwarded or delivered this packet."""
+        return tuple(
+            hop.node for hop in self.hops if hop.action in ("forward", "deliver")
+        )
+
+    @property
+    def hop_count(self) -> int:
+        return sum(1 for hop in self.hops if hop.action == "forward")
+
+    @property
+    def was_dropped(self) -> bool:
+        return any(hop.action == "drop" for hop in self.hops)
+
+    @property
+    def drop_reason(self) -> Optional[str]:
+        for hop in self.hops:
+            if hop.action == "drop":
+                return hop.detail
+        return None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def copy_for_fragment(self, offset: int, size: int, more: bool) -> "Packet":
+        """Build a fragment sharing identification and trace id."""
+        fragment = replace(
+            self,
+            payload=None,
+            payload_size=size,
+            frag_offset=offset,
+            more_fragments=more,
+            hops=list(self.hops),
+        )
+        # First fragment keeps the payload object so delivery still works
+        # after reassembly; continuation fragments carry only bytes.
+        if offset == 0:
+            fragment.payload = self.payload
+        return fragment
+
+    def __repr__(self) -> str:
+        inner = ""
+        if self.is_encapsulated:
+            inner = f" [{self.payload!r}]"
+        frag = ""
+        if self.frag_offset or self.more_fragments:
+            frag = f" frag(off={self.frag_offset},mf={self.more_fragments})"
+        return (
+            f"Packet({self.src}->{self.dst} {self.proto.name}"
+            f" {self.wire_size}B ttl={self.ttl}{frag}{inner})"
+        )

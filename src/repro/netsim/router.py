@@ -1,0 +1,216 @@
+"""Routers, including the security-conscious boundary routers of §3.1.
+
+Two classes:
+
+* :class:`Router` — a plain interior router: longest-prefix-match
+  forwarding, TTL decrement, ICMP errors.  Per the paper's constraint
+  (§3), routers have **no** Mobile IP awareness whatsoever.
+* :class:`BoundaryRouter` — a router standing between one
+  administrative domain ("inside") and the rest of the Internet.
+  It applies a :class:`~repro.netsim.filters.FilterEngine` to packets
+  crossing the boundary in either direction.  This is the machine that
+  makes Figure 2 happen (and whose checks bi-directional tunneling in
+  Figure 3 evades, because "the inner packets are protected from
+  scrutiny by routers").
+
+Interfaces of a boundary router are marked inside/outside; a packet is
+checked only when it *crosses* (inside->outside = OUTBOUND,
+outside->inside = INBOUND).  Traffic between two outside interfaces is
+transit and is checked by whatever transit rule is installed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .addressing import Network
+from .filters import (
+    Direction,
+    FilterEngine,
+    FilterRule,
+    Verdict,
+    egress_source_filter,
+    ingress_spoof_filter,
+    transit_traffic_filter,
+)
+from .icmp import (
+    IcmpMessage,
+    IcmpType,
+    UnreachableCode,
+    UnreachableData,
+    make_icmp_packet,
+    unreachable_for,
+)
+from .link import Interface
+from .node import Node, PhysicalRoute
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulator import Simulator
+
+__all__ = ["Router", "BoundaryRouter"]
+
+
+class Router(Node):
+    """A conventional IP router."""
+
+    forwarding = True
+
+    # §4: "Current IP routers typically handle packets with options
+    # much more slowly than they handle normal unadorned IP packets."
+    # Option-bearing packets (loose source routes) take the slow path.
+    option_processing_delay = 0.002
+
+    def __init__(self, name: str, simulator: "Simulator"):
+        super().__init__(name, simulator)
+        self.packets_forwarded = 0
+        self.send_icmp_errors = True
+
+    def forward(self, in_iface: Interface, packet: Packet) -> None:
+        if packet.ttl <= 1:
+            self.trace.note(self.now, self.name, "drop", packet, detail="ttl-exceeded")
+            if self.send_icmp_errors:
+                self._send_time_exceeded(packet)
+            return
+        verdict, reason = self.check_policy(in_iface, packet)
+        if verdict is Verdict.DROP:
+            self.trace.note(self.now, self.name, "drop", packet, detail=reason)
+            return
+        route = self.routes.lookup(packet.dst)
+        if route is None:
+            self.trace.note(self.now, self.name, "drop", packet, detail="no-route")
+            if self.send_icmp_errors:
+                self._send_unreachable(packet)
+            return
+        out_iface = self.interfaces.get(route.interface)
+        if out_iface is None:
+            self.trace.note(self.now, self.name, "drop", packet, detail="bad-route")
+            return
+        verdict, reason = self.check_egress(in_iface, out_iface, packet)
+        if verdict is Verdict.DROP:
+            self.trace.note(self.now, self.name, "drop", packet, detail=reason)
+            return
+        packet.ttl -= 1
+        self.packets_forwarded += 1
+        self.trace.note(self.now, self.name, "forward", packet)
+        target = PhysicalRoute(route.interface, route.gateway)
+        if packet.has_options and self.option_processing_delay > 0:
+            # Slow path for option-bearing packets (§4).
+            self.simulator.events.schedule(
+                self.option_processing_delay, self._transmit_via, packet,
+                target, label=f"{self.name}:slow-path",
+            )
+        else:
+            self._transmit_via(packet, target)
+
+    # Policy hooks — plain routers accept everything.
+    def check_policy(
+        self, in_iface: Interface, packet: Packet
+    ) -> tuple[Verdict, str]:
+        return Verdict.ACCEPT, ""
+
+    def check_egress(
+        self, in_iface: Interface, out_iface: Interface, packet: Packet
+    ) -> tuple[Verdict, str]:
+        return Verdict.ACCEPT, ""
+
+    def _send_unreachable(self, packet: Packet) -> None:
+        src = self._preferred_source()
+        if src is None:
+            return
+        reply = unreachable_for(src, packet, UnreachableCode.HOST_UNREACHABLE)
+        if reply is not None:
+            self.ip_send(reply)
+
+    def _send_time_exceeded(self, packet: Packet) -> None:
+        """ICMP time-exceeded — what traceroute listens for."""
+        src = self._preferred_source()
+        if src is None or packet.dst.is_multicast or packet.dst.is_broadcast:
+            return
+        if packet.frag_offset != 0:
+            return
+        message = IcmpMessage(
+            IcmpType.TIME_EXCEEDED,
+            UnreachableData(
+                UnreachableCode.NET_UNREACHABLE, packet.src, packet.dst
+            ),
+        )
+        self.ip_send(make_icmp_packet(src, packet.src, message))
+
+
+class BoundaryRouter(Router):
+    """A router at the edge of an administrative domain.
+
+    ``site`` is the domain's prefix.  The security posture is
+    configurable per the paper's spectrum:
+
+    * ``source_filtering`` — enable the §3.1 spoof/egress checks (the
+      common case: "most network administrators, concerned about
+      security, will configure boundary routers to drop such packets").
+    * ``forbid_transit`` — enforce the no-transit policy of tail
+      circuits.
+    * ``extra_rules`` — additional firewall rules (see
+      :func:`repro.netsim.filters.firewall_allow_only`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        simulator: "Simulator",
+        site: Network,
+        source_filtering: bool = True,
+        forbid_transit: bool = True,
+        extra_rules: Sequence[FilterRule] = (),
+    ):
+        super().__init__(name, simulator)
+        self.site = site
+        self.source_filtering = source_filtering
+        self.forbid_transit = forbid_transit
+        self._inside_ifaces: set[str] = set()
+        self.engine = FilterEngine(name=f"{name}-boundary")
+        if source_filtering:
+            self.engine.add(ingress_spoof_filter(site))
+            self.engine.add(egress_source_filter(site))
+        if forbid_transit:
+            self.engine.add(transit_traffic_filter(site))
+        for rule in extra_rules:
+            self.engine.add(rule)
+
+    def mark_inside(self, iface_name: str) -> None:
+        """Declare an interface as facing the protected domain."""
+        if iface_name not in self.interfaces:
+            raise ValueError(f"no interface {iface_name} on {self.name}")
+        self._inside_ifaces.add(iface_name)
+
+    def is_inside(self, iface: Interface) -> bool:
+        return iface.name in self._inside_ifaces
+
+    def _crossing(
+        self, in_iface: Interface, out_iface: Optional[Interface]
+    ) -> Optional[Direction]:
+        """Direction of boundary crossing, or None when not crossing."""
+        if out_iface is None:
+            # Ingress check happens before the route lookup; classify by
+            # the arrival side only.
+            return Direction.INBOUND if not self.is_inside(in_iface) else Direction.OUTBOUND
+        arriving_inside = self.is_inside(in_iface)
+        leaving_inside = self.is_inside(out_iface)
+        if arriving_inside == leaving_inside:
+            return None  # stays on one side: no boundary crossing
+        return Direction.OUTBOUND if arriving_inside else Direction.INBOUND
+
+    def check_policy(
+        self, in_iface: Interface, packet: Packet
+    ) -> tuple[Verdict, str]:
+        direction = self._crossing(in_iface, None)
+        if direction is None:
+            return Verdict.ACCEPT, ""
+        return self.engine.evaluate(packet, direction)
+
+    def check_egress(
+        self, in_iface: Interface, out_iface: Interface, packet: Packet
+    ) -> tuple[Verdict, str]:
+        direction = self._crossing(in_iface, out_iface)
+        if direction is None:
+            return Verdict.ACCEPT, ""
+        return self.engine.evaluate(packet, direction)

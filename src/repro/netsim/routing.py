@@ -1,0 +1,114 @@
+"""IP routing tables with longest-prefix matching.
+
+Routers and hosts both own a :class:`RoutingTable`.  The table is
+ordinary and static — the paper explicitly assumes "no special support
+from routers, except for normal IP routing" (§3) — so there is no
+routing protocol here; topology builders install routes directly, the
+way a 1996 network administrator would have.
+
+The mobility framework of the paper does **not** modify this table.
+Instead (§7) it *overrides the route lookup routine*: a mobility policy
+table is consulted before the normal table.  That hook lives on
+:class:`repro.netsim.node.Node` as ``route_overrides``; this module is
+only the conventional layer underneath it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .addressing import IPAddress, Network
+
+__all__ = ["Route", "RoutingTable", "RoutingError"]
+
+
+class RoutingError(Exception):
+    """Raised when no route exists for a destination."""
+
+
+@dataclass(frozen=True)
+class Route:
+    """One forwarding entry.
+
+    ``gateway`` is None for directly-attached prefixes (deliver by ARP
+    on the segment); otherwise the packet is forwarded to the gateway's
+    IP on ``interface``.  Lower ``metric`` wins among equal-length
+    prefixes.
+    """
+
+    prefix: Network
+    interface: str
+    gateway: Optional[IPAddress] = None
+    metric: int = 0
+
+    def __str__(self) -> str:
+        via = f"via {self.gateway}" if self.gateway else "direct"
+        return f"{self.prefix} dev {self.interface} {via} metric {self.metric}"
+
+
+class RoutingTable:
+    """A longest-prefix-match routing table."""
+
+    def __init__(self, routes: Iterable[Route] = ()):
+        self._routes: List[Route] = list(routes)
+
+    def add(
+        self,
+        prefix: Network,
+        interface: str,
+        gateway: Optional[IPAddress] = None,
+        metric: int = 0,
+    ) -> Route:
+        route = Route(Network(prefix) if not isinstance(prefix, Network) else prefix,
+                      interface, gateway, metric)
+        self._routes.append(route)
+        return route
+
+    def add_default(self, interface: str, gateway: IPAddress) -> Route:
+        return self.add(Network("0.0.0.0/0"), interface, gateway)
+
+    def remove_prefix(self, prefix: Network) -> int:
+        """Remove all routes for an exact prefix; returns removal count."""
+        before = len(self._routes)
+        self._routes = [r for r in self._routes if r.prefix != prefix]
+        return before - len(self._routes)
+
+    def clear(self) -> None:
+        self._routes.clear()
+
+    def lookup(self, destination: IPAddress) -> Optional[Route]:
+        """Longest-prefix match; ties broken by lowest metric."""
+        best: Optional[Route] = None
+        for route in self._routes:
+            if not route.prefix.contains(destination):
+                continue
+            if best is None:
+                best = route
+            elif route.prefix.prefix_len > best.prefix.prefix_len:
+                best = route
+            elif (
+                route.prefix.prefix_len == best.prefix.prefix_len
+                and route.metric < best.metric
+            ):
+                best = route
+        return best
+
+    def lookup_or_raise(self, destination: IPAddress) -> Route:
+        route = self.lookup(destination)
+        if route is None:
+            raise RoutingError(f"no route to {destination}")
+        return route
+
+    @property
+    def routes(self) -> List[Route]:
+        return list(self._routes)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __str__(self) -> str:
+        ordered = sorted(
+            self._routes, key=lambda r: (-r.prefix.prefix_len, r.metric)
+        )
+        return "\n".join(str(route) for route in ordered) or "(empty table)"

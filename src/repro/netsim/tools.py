@@ -1,0 +1,156 @@
+"""Network diagnostics: traceroute and a topology renderer.
+
+:func:`traceroute` is the tool that makes the paper's figures *visible*
+in a running simulation: tracing from the correspondent to the mobile
+host's home address shows the path bending through the home network
+(Figure 1), and tracing to the care-of address shows the direct route a
+smart correspondent gets to use (Figure 5).
+
+It works the classic way: probes with increasing TTLs, each eliciting
+an ICMP time-exceeded from the router where it died, until the echo
+reply from the destination comes back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from .addressing import IPAddress
+from .icmp import EchoData, IcmpMessage, IcmpType, make_icmp_packet
+from .node import Node
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .topology import Internet
+
+__all__ = ["TracerouteResult", "traceroute", "render_topology"]
+
+MAX_HOPS = 30
+HOP_TIMEOUT = 2.0
+
+
+@dataclass
+class TracerouteResult:
+    """The hop list of one trace."""
+
+    destination: IPAddress
+    hops: List[Optional[IPAddress]] = field(default_factory=list)
+    reached: bool = False
+
+    def render(self, resolver: Optional[Callable[[IPAddress], str]] = None) -> str:
+        lines = [f"traceroute to {self.destination}"]
+        for index, hop in enumerate(self.hops, start=1):
+            if hop is None:
+                lines.append(f"  {index:2d}  *")
+            else:
+                name = f" ({resolver(hop)})" if resolver else ""
+                lines.append(f"  {index:2d}  {hop}{name}")
+        lines.append("  reached" if self.reached else "  gave up")
+        return "\n".join(lines)
+
+
+def traceroute(
+    node: Node,
+    destination: IPAddress,
+    on_done: Callable[[TracerouteResult], None],
+    max_hops: int = MAX_HOPS,
+    src: Optional[IPAddress] = None,
+) -> TracerouteResult:
+    """Start a traceroute from ``node``; ``on_done`` fires when complete.
+
+    Probes run sequentially (one TTL at a time), each with a timeout;
+    a hop that never answers is recorded as None, like real traceroute
+    prints ``*``.
+    """
+    destination = IPAddress(destination)
+    result = TracerouteResult(destination=destination)
+    sim = node.simulator
+    source = src or node._preferred_source()
+    if source is None:
+        raise RuntimeError(f"{node.name} has no address to trace from")
+
+    state = {"ttl": 0, "token": None, "timeout_event": None, "done": False}
+
+    def finish() -> None:
+        if not state["done"]:
+            state["done"] = True
+            node.icmp_hooks.remove(hook)
+            on_done(result)
+
+    def probe() -> None:
+        if state["done"]:
+            return
+        state["ttl"] += 1
+        if state["ttl"] > max_hops:
+            finish()
+            return
+        token = sim.next_token()
+        state["token"] = token
+        request = make_icmp_packet(
+            source, destination,
+            IcmpMessage(IcmpType.ECHO_REQUEST, EchoData(token, size=36)),
+            ttl=state["ttl"],
+        )
+        node.ip_send(request)
+        state["timeout_event"] = sim.events.schedule(
+            HOP_TIMEOUT, on_timeout, state["ttl"], label="traceroute-timeout"
+        )
+
+    def on_timeout(for_ttl: int) -> None:
+        if state["done"] or for_ttl != state["ttl"]:
+            return
+        result.hops.append(None)
+        probe()
+
+    def advance(hop: Optional[IPAddress], reached: bool) -> None:
+        if state["timeout_event"] is not None:
+            state["timeout_event"].cancel()
+        result.hops.append(hop)
+        if reached:
+            result.reached = True
+            finish()
+        else:
+            probe()
+
+    def hook(packet: Packet, message: IcmpMessage) -> None:
+        if state["done"]:
+            return
+        if message.icmp_type is IcmpType.TIME_EXCEEDED:
+            data = message.data
+            original_dst = getattr(data, "original_dst", None)
+            if original_dst == destination:
+                advance(packet.src, reached=False)
+        elif message.icmp_type is IcmpType.ECHO_REPLY:
+            data = message.data
+            if isinstance(data, EchoData) and data.token == state["token"]:
+                advance(packet.src, reached=True)
+
+    node.icmp_hooks.append(hook)
+    probe()
+    return result
+
+
+def render_topology(net: "Internet") -> str:
+    """ASCII sketch of an :class:`~repro.netsim.topology.Internet`.
+
+    Shows the backbone chain with each domain hanging off its
+    attachment router, its prefix, security posture, and hosts.
+    """
+    lines = ["backbone: " + " -- ".join(r.name for r in net.backbone)]
+    for domain in net.domains.values():
+        boundary = domain.boundary
+        posture = []
+        if boundary.source_filtering:
+            posture.append("src-filter")
+        if boundary.forbid_transit:
+            posture.append("no-transit")
+        posture_text = ",".join(posture) if posture else "permissive"
+        lines.append(
+            f"  {domain.name:<10} {str(domain.prefix):<16} "
+            f"@ bb{domain.attach_index}  [{posture_text}]"
+        )
+        for host in domain.hosts:
+            addresses = ", ".join(str(a) for a in host.addresses)
+            lines.append(f"      {host.name:<12} {addresses}")
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Packet tracing and evidence collection.
+
+Every claim in the paper is ultimately about what happens to packets:
+where they travel (Figures 1, 3, 4, 5), where they are dropped
+(Figure 2), and how big they are (§3.3).  The :class:`TraceLog`
+collects a global record of packet fates that the analysis layer and
+the figure benchmarks query.
+
+Nodes call :meth:`TraceLog.note` as packets pass through them; the
+per-packet hop list (see :class:`repro.netsim.packet.HopRecord`) holds
+the same information packet-locally.  The global log adds cross-packet
+queries: delivery ratios, per-destination drop summaries, and byte
+accounting per link.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .packet import Packet
+
+__all__ = ["TraceEntry", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """A globally-logged packet event."""
+
+    time: float
+    node: str
+    action: str          # send | forward | deliver | drop | encapsulate | ...
+    packet_repr: str
+    trace_id: int
+    src: str
+    dst: str
+    wire_size: int
+    detail: str = ""
+
+
+class TraceLog:
+    """Global record of packet events for one simulation run."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.entries: List[TraceEntry] = []
+        # Aggregates maintained incrementally so benches stay cheap even
+        # with tracing of individual entries disabled.
+        self.bytes_by_link: Counter = Counter()
+        self.action_counts: Counter = Counter()
+        self.drops_by_reason: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def note(
+        self,
+        time: float,
+        node: str,
+        action: str,
+        packet: Packet,
+        detail: str = "",
+    ) -> None:
+        """Record an event both globally and on the packet itself."""
+        packet.record(time, node, action, detail)
+        self.action_counts[action] += 1
+        if action == "drop":
+            self.drops_by_reason[detail] += 1
+        if self.enabled:
+            self.entries.append(
+                TraceEntry(
+                    time=time,
+                    node=node,
+                    action=action,
+                    packet_repr=repr(packet),
+                    trace_id=packet.trace_id,
+                    src=str(packet.src),
+                    dst=str(packet.dst),
+                    wire_size=packet.wire_size,
+                    detail=detail,
+                )
+            )
+
+    def note_link_bytes(self, link_name: str, size: int) -> None:
+        self.bytes_by_link[link_name] += size
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def entries_for(self, trace_id: int) -> List[TraceEntry]:
+        return [entry for entry in self.entries if entry.trace_id == trace_id]
+
+    def path_of(self, trace_id: int) -> Tuple[str, ...]:
+        """Node names that forwarded/delivered the logical datagram."""
+        return tuple(
+            entry.node
+            for entry in self.entries_for(trace_id)
+            if entry.action in ("forward", "deliver")
+        )
+
+    def delivered(self, trace_id: int) -> bool:
+        return any(
+            entry.action == "deliver" for entry in self.entries_for(trace_id)
+        )
+
+    def dropped(self, trace_id: int) -> bool:
+        return any(entry.action == "drop" for entry in self.entries_for(trace_id))
+
+    def drop_detail(self, trace_id: int) -> Optional[str]:
+        for entry in self.entries_for(trace_id):
+            if entry.action == "drop":
+                return entry.detail
+        return None
+
+    @property
+    def total_drops(self) -> int:
+        return self.action_counts["drop"]
+
+    @property
+    def total_deliveries(self) -> int:
+        return self.action_counts["deliver"]
+
+    def delivery_ratio(self, trace_ids: Iterable[int]) -> float:
+        """Fraction of the given logical datagrams that were delivered."""
+        ids = list(trace_ids)
+        if not ids:
+            return 0.0
+        return sum(1 for tid in ids if self.delivered(tid)) / len(ids)
+
+    def hop_counts(self) -> Dict[int, int]:
+        """trace_id -> number of forwarding hops."""
+        counts: Dict[int, int] = defaultdict(int)
+        for entry in self.entries:
+            if entry.action == "forward":
+                counts[entry.trace_id] += 1
+        return dict(counts)
+
+    def summary(self) -> str:
+        """A human-readable one-run summary (used by examples)."""
+        lines = [
+            f"events: {sum(self.action_counts.values())}",
+            f"delivered: {self.total_deliveries}  dropped: {self.total_drops}",
+        ]
+        for reason, count in self.drops_by_reason.most_common():
+            lines.append(f"  drop[{reason}]: {count}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export_jsonl(self, path) -> int:
+        """Write every recorded entry as one JSON object per line.
+
+        The poor man's pcap: external tooling (jq, pandas, a notebook)
+        can reconstruct paths, timings, and drop reasons from the file.
+        Returns the number of entries written.
+        """
+        import json
+
+        with open(path, "w") as handle:
+            for entry in self.entries:
+                handle.write(json.dumps({
+                    "time": entry.time,
+                    "node": entry.node,
+                    "action": entry.action,
+                    "trace_id": entry.trace_id,
+                    "src": entry.src,
+                    "dst": entry.dst,
+                    "wire_size": entry.wire_size,
+                    "detail": entry.detail,
+                    "packet": entry.packet_repr,
+                }) + "\n")
+        return len(self.entries)

@@ -1,0 +1,33 @@
+"""Transport substrate: UDP, simplified TCP, and the socket layer.
+
+See module docstrings for the paper-facing behaviours each piece
+reproduces: endpoint-identity semantics (connections break when
+addresses change), the connect-time address decision point, and the
+original/retransmission reporting interface of §7.1.2.
+"""
+
+from .sockets import SourceSelector, TransportObserver, TransportStack, UDPSocket
+from .tcp import (
+    TCP_HEADER_SIZE,
+    ConnectionKey,
+    TCPConnection,
+    TCPFlags,
+    TCPSegment,
+    TCPState,
+)
+from .udp import UDP_HEADER_SIZE, UDPDatagram
+
+__all__ = [
+    "SourceSelector",
+    "TransportObserver",
+    "TransportStack",
+    "UDPSocket",
+    "TCP_HEADER_SIZE",
+    "ConnectionKey",
+    "TCPConnection",
+    "TCPFlags",
+    "TCPSegment",
+    "TCPState",
+    "UDP_HEADER_SIZE",
+    "UDPDatagram",
+]

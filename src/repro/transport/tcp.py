@@ -1,0 +1,467 @@
+"""A simplified but behaviourally faithful TCP.
+
+The paper's claims that this layer must reproduce:
+
+* **Endpoint identity** (§2): a connection is named by the 4-tuple
+  (local IP, local port, remote IP, remote port).  "TCP connections to
+  other Internet hosts would break every time the mobile host moved"
+  if the address changed — here, segments arriving for a 4-tuple that
+  no longer matches any connection are simply lost, so the breakage
+  emerges rather than being scripted.
+* **The address decision point** (§7): "this decision must also be
+  made when TCP decides what address to use as the endpoint identifier
+  for a TCP connection."  The local address is chosen once, at
+  connect/accept time, through the same mobility decision path as
+  packet sending.
+* **Retransmission as a failure signal** (§7.1.2): every segment sent
+  or received is reported to registered observers together with an
+  original/retransmission flag — the exact programming-interface
+  addition the paper proposes.  The :mod:`repro.core.feedback` module
+  consumes these reports.
+
+Simplifications relative to RFC 793 (documented for honesty): no
+receive-window flow control, no congestion control, go-back-N
+retransmission from the oldest unacked byte, no simultaneous-open, and
+an abbreviated FIN handshake.  None of these affect the paper's claims.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+from ..netsim.addressing import IPAddress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .sockets import TransportStack
+
+__all__ = [
+    "TCP_HEADER_SIZE",
+    "TCPFlags",
+    "TCPSegment",
+    "TCPState",
+    "TCPConnection",
+    "ConnectionKey",
+]
+
+TCP_HEADER_SIZE = 20
+DEFAULT_MSS = 1460           # 1500 MTU - 20 IP - 20 TCP
+INITIAL_RTO = 1.0            # seconds
+MIN_RTO = 0.2                # floor for the adaptive estimator
+MAX_RTO = 16.0
+MAX_RETRIES = 7              # then the connection is declared broken.
+# 7 gives the §7.1.2 probing machinery room to walk the whole mode
+# ladder (two demotions at 2 retransmissions each) before giving up.
+
+
+class TCPFlags(Enum):
+    SYN = "SYN"
+    SYN_ACK = "SYN_ACK"
+    ACK = "ACK"
+    FIN = "FIN"
+    RST = "RST"
+
+
+@dataclass(frozen=True)
+class TCPSegment:
+    """One TCP segment.  ``data_size`` models payload bytes; ``data``
+    carries an opaque application object on the segment that completes
+    a logical message (how the app workloads move structured data)."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: TCPFlags
+    data_size: int = 0
+    data: Any = None
+    is_retransmission: bool = False
+
+    @property
+    def size(self) -> int:
+        return TCP_HEADER_SIZE + self.data_size
+
+    @property
+    def seq_space(self) -> int:
+        """Sequence space consumed (SYN/FIN count as one)."""
+        if self.flags in (TCPFlags.SYN, TCPFlags.SYN_ACK, TCPFlags.FIN):
+            return self.data_size + 1
+        return self.data_size
+
+
+class TCPState(Enum):
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT = "FIN_WAIT"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    TIME_WAIT = "TIME_WAIT"
+
+
+# (local_ip, local_port, remote_ip, remote_port)
+ConnectionKey = Tuple[IPAddress, int, IPAddress, int]
+
+_isn_source = itertools.count(1000, 64000)
+
+
+@dataclass
+class _Unacked:
+    """A sent-but-unacked segment awaiting acknowledgement."""
+
+    segment: TCPSegment
+    sent_at: float
+    retries: int = 0
+
+
+class TCPConnection:
+    """One endpoint of a TCP connection.
+
+    Created by :meth:`repro.transport.sockets.TransportStack.connect`
+    (active open) or by a listening socket on SYN receipt (passive
+    open).  Application callbacks:
+
+    * ``on_established()`` — handshake completed,
+    * ``on_data(data, size)`` — in-order payload delivered,
+    * ``on_close()`` — orderly shutdown completed,
+    * ``on_fail(reason)`` — retransmission limit exceeded or RST.
+    """
+
+    def __init__(
+        self,
+        stack: "TransportStack",
+        local_ip: IPAddress,
+        local_port: int,
+        remote_ip: IPAddress,
+        remote_port: int,
+    ):
+        self.stack = stack
+        self.local_ip = IPAddress(local_ip)
+        self.local_port = local_port
+        self.remote_ip = IPAddress(remote_ip)
+        self.remote_port = remote_port
+        self.state = TCPState.CLOSED
+
+        self.snd_nxt = next(_isn_source)
+        self.snd_una = self.snd_nxt
+        self.rcv_nxt = 0
+        self.mss = DEFAULT_MSS
+        self.rto = INITIAL_RTO
+
+        self._unacked: List[_Unacked] = []
+        self._retx_timer = None
+        self._send_queue: List[Tuple[int, Any]] = []  # (size, data) pending
+
+        # Adaptive RTO (Jacobson/Karels): smoothed RTT and variance,
+        # seeded on the first valid sample.  Karn's rule: samples from
+        # retransmitted segments are discarded.
+        self._srtt: Optional[float] = None
+        self._rttvar: float = 0.0
+        # Fast retransmit (Reno-style): three duplicate ACKs trigger an
+        # immediate resend of the oldest unacked segment.
+        self._dup_acks = 0
+        self._last_ack_seen: Optional[int] = None
+        self.fast_retransmits = 0
+
+        self._close_notified = False
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_data: Optional[Callable[[Any, int], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.on_fail: Optional[Callable[[str], None]] = None
+
+        # Statistics the benchmarks read.
+        self.segments_sent = 0
+        self.retransmissions = 0
+        self.duplicates_received = 0
+        self.bytes_delivered = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> ConnectionKey:
+        return (self.local_ip, self.local_port, self.remote_ip, self.remote_port)
+
+    @property
+    def is_open(self) -> bool:
+        return self.state in (
+            TCPState.ESTABLISHED,
+            TCPState.CLOSE_WAIT,
+            TCPState.FIN_WAIT,
+        )
+
+    # ------------------------------------------------------------------
+    # Active/passive open
+    # ------------------------------------------------------------------
+    def open_active(self) -> None:
+        self.state = TCPState.SYN_SENT
+        self._transmit(TCPFlags.SYN)
+
+    def open_passive(self, syn: TCPSegment) -> None:
+        self.state = TCPState.SYN_RCVD
+        self.rcv_nxt = syn.seq + syn.seq_space
+        self._transmit(TCPFlags.SYN_ACK)
+
+    # ------------------------------------------------------------------
+    # Application sending
+    # ------------------------------------------------------------------
+    def send(self, size: int, data: Any = None) -> None:
+        """Send ``size`` application bytes (``data`` rides on the last
+        segment of the message)."""
+        if not self.is_open and self.state not in (
+            TCPState.SYN_SENT,
+            TCPState.SYN_RCVD,
+        ):
+            raise RuntimeError(f"send on {self.state.value} connection")
+        if self.state is not TCPState.ESTABLISHED:
+            self._send_queue.append((size, data))
+            return
+        self._segment_and_send(size, data)
+
+    def _segment_and_send(self, size: int, data: Any) -> None:
+        remaining = size
+        while True:
+            chunk = min(self.mss, remaining)
+            remaining -= chunk
+            last = remaining <= 0
+            self._transmit(
+                TCPFlags.ACK, data_size=chunk, data=data if last else None
+            )
+            if last:
+                break
+
+    def close(self) -> None:
+        """Orderly close: send FIN once all queued data is out."""
+        if self.state is TCPState.ESTABLISHED:
+            self.state = TCPState.FIN_WAIT
+            self._transmit(TCPFlags.FIN)
+        elif self.state is TCPState.CLOSE_WAIT:
+            self.state = TCPState.TIME_WAIT
+            self._transmit(TCPFlags.FIN)
+        else:
+            self.state = TCPState.CLOSED
+
+    def abort(self, reason: str = "aborted") -> None:
+        """Unilateral teardown (RST semantics, also used on failure)."""
+        self._cancel_timer()
+        previous = self.state
+        self.state = TCPState.CLOSED
+        self.stack.forget(self)
+        if previous is not TCPState.CLOSED and self.on_fail is not None:
+            self.on_fail(reason)
+
+    # ------------------------------------------------------------------
+    # Transmission machinery
+    # ------------------------------------------------------------------
+    def _transmit(
+        self, flags: TCPFlags, data_size: int = 0, data: Any = None
+    ) -> None:
+        segment = TCPSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=self.snd_nxt,
+            ack=self.rcv_nxt,
+            flags=flags,
+            data_size=data_size,
+            data=data,
+        )
+        self.snd_nxt += segment.seq_space
+        if segment.seq_space > 0:
+            self._unacked.append(_Unacked(segment, self.stack.now))
+            self._arm_timer()
+        self._emit(segment)
+
+    def _emit(self, segment: TCPSegment) -> None:
+        self.segments_sent += 1
+        if segment.is_retransmission:
+            self.retransmissions += 1
+        self.stack.tcp_output(self, segment)
+
+    def _send_pure_ack(self) -> None:
+        self._emit(
+            TCPSegment(
+                src_port=self.local_port,
+                dst_port=self.remote_port,
+                seq=self.snd_nxt,
+                ack=self.rcv_nxt,
+                flags=TCPFlags.ACK,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Retransmission timer (go-back-N from oldest unacked)
+    # ------------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        if self._retx_timer is None and self._unacked:
+            self._retx_timer = self.stack.schedule(
+                self.rto, self._on_timeout, label=f"tcp-rto:{self.local_port}"
+            )
+
+    def _cancel_timer(self) -> None:
+        if self._retx_timer is not None:
+            self._retx_timer.cancel()
+            self._retx_timer = None
+
+    def _on_timeout(self) -> None:
+        self._retx_timer = None
+        if not self._unacked:
+            return
+        oldest = self._unacked[0]
+        if oldest.retries >= MAX_RETRIES:
+            self.abort("retransmission-limit")
+            return
+        self.rto = min(self.rto * 2, MAX_RTO)
+        for entry in self._unacked:
+            entry.retries += 1
+            entry.sent_at = self.stack.now
+            self._emit(replace(entry.segment, is_retransmission=True))
+        self._arm_timer()
+
+    # ------------------------------------------------------------------
+    # Segment arrival
+    # ------------------------------------------------------------------
+    def segment_arrived(self, segment: TCPSegment) -> None:
+        if segment.flags is TCPFlags.RST:
+            self.abort("reset-by-peer")
+            return
+        self._process_ack(segment.ack)
+
+        if self.state is TCPState.SYN_SENT:
+            if segment.flags is TCPFlags.SYN_ACK:
+                self.rcv_nxt = segment.seq + segment.seq_space
+                self.state = TCPState.ESTABLISHED
+                self.rto = INITIAL_RTO
+                self._send_pure_ack()
+                self._drain_queue()
+                if self.on_established is not None:
+                    self.on_established()
+            return
+
+        if self.state is TCPState.SYN_RCVD:
+            if segment.flags is TCPFlags.ACK and segment.ack >= self.snd_nxt:
+                self.state = TCPState.ESTABLISHED
+                self.rto = INITIAL_RTO
+                self._drain_queue()
+                if self.on_established is not None:
+                    self.on_established()
+            # fall through: the ACK may carry data
+
+        if segment.seq_space == 0:
+            return  # pure ACK, done
+
+        if segment.seq == self.rcv_nxt:
+            self.rcv_nxt += segment.seq_space
+            if segment.flags is TCPFlags.FIN:
+                self._fin_arrived()
+            elif segment.data_size > 0:
+                self.bytes_delivered += segment.data_size
+                self._send_pure_ack()
+                if self.on_data is not None:
+                    self.on_data(segment.data, segment.data_size)
+        elif segment.seq < self.rcv_nxt:
+            # Old duplicate: the peer is retransmitting — exactly the
+            # signal §7.1.2 wants surfaced to the IP layer.
+            self.duplicates_received += 1
+            self.stack.report_receive(self, retransmission=True)
+            self._send_pure_ack()
+        else:
+            # Out-of-order future segment: dropped (go-back-N receiver),
+            # but the duplicate ACK it elicits is what lets the sender's
+            # fast-retransmit fill the gap without a full timeout.
+            self._send_pure_ack()
+
+    def _process_ack(self, ack: int) -> None:
+        if ack <= self.snd_una:
+            # Duplicate ACK: if it re-acknowledges the current edge and
+            # data is outstanding, count toward fast retransmit.
+            if (
+                ack == self.snd_una
+                and self._unacked
+                and self._last_ack_seen == ack
+            ):
+                self._dup_acks += 1
+                if self._dup_acks == 3:
+                    self._fast_retransmit()
+            self._last_ack_seen = ack
+            return
+        self._last_ack_seen = ack
+        self._dup_acks = 0
+        # RTT sampling (Karn's rule: only never-retransmitted segments).
+        for entry in self._unacked:
+            end = entry.segment.seq + entry.segment.seq_space
+            if end <= ack and entry.retries == 0:
+                self._update_rto(self.stack.now - entry.sent_at)
+                break
+        self.snd_una = ack
+        self._unacked = [
+            entry
+            for entry in self._unacked
+            if entry.segment.seq + entry.segment.seq_space > ack
+        ]
+        self._cancel_timer()
+        if self._unacked:
+            self._arm_timer()
+        else:
+            if self.state is TCPState.TIME_WAIT:
+                self._finish_close()
+            elif self.state is TCPState.FIN_WAIT and self.rcv_nxt and not self._unacked:
+                pass  # waiting for peer FIN
+
+    def _update_rto(self, sample: float) -> None:
+        """Jacobson/Karels smoothing: RTO = SRTT + 4 * RTTVAR."""
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2
+        else:
+            alpha, beta = 0.125, 0.25
+            self._rttvar = (1 - beta) * self._rttvar + beta * abs(
+                self._srtt - sample
+            )
+            self._srtt = (1 - alpha) * self._srtt + alpha * sample
+        self.rto = min(max(self._srtt + 4 * self._rttvar, MIN_RTO), MAX_RTO)
+
+    def _fast_retransmit(self) -> None:
+        """Three duplicate ACKs: resend the oldest unacked immediately
+        without waiting for the timer (Reno's loss recovery)."""
+        if not self._unacked:
+            return
+        oldest = self._unacked[0]
+        oldest.retries += 1
+        oldest.sent_at = self.stack.now
+        self.fast_retransmits += 1
+        self._emit(replace(oldest.segment, is_retransmission=True))
+
+    def _fin_arrived(self) -> None:
+        if self.state is TCPState.ESTABLISHED:
+            self.state = TCPState.CLOSE_WAIT
+            self._send_pure_ack()
+            # Give the application a chance to close(); if it does not,
+            # complete the teardown ourselves (simplified half-close:
+            # a peer FIN ends the whole conversation).
+            if self.state is TCPState.CLOSE_WAIT:
+                self.close()
+        elif self.state in (TCPState.FIN_WAIT, TCPState.TIME_WAIT):
+            self._send_pure_ack()
+            self._finish_close()
+
+    def _finish_close(self) -> None:
+        self._cancel_timer()
+        if self.state is TCPState.CLOSED:
+            return
+        self.state = TCPState.CLOSED
+        self.stack.forget(self)
+        if self.on_close is not None and not self._close_notified:
+            self._close_notified = True
+            self.on_close()
+
+    def _drain_queue(self) -> None:
+        queue, self._send_queue = self._send_queue, []
+        for size, data in queue:
+            self._segment_and_send(size, data)
+
+    def __repr__(self) -> str:
+        return (
+            f"TCPConnection({self.local_ip}:{self.local_port} -> "
+            f"{self.remote_ip}:{self.remote_port} {self.state.value})"
+        )

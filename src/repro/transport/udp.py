@@ -1,0 +1,38 @@
+"""UDP: datagram transport with ports.
+
+Used by the DNS workload (§7.1.1: "UDP packets addressed to UDP port 53
+are likely to be DNS requests and can also safely use Out-DT"), by the
+Mobile IP registration protocol itself (which, per §6.4 of the paper,
+"communicates using the temporary address when registering with the
+home agent"), and by the multicast experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["UDP_HEADER_SIZE", "UDPDatagram"]
+
+UDP_HEADER_SIZE = 8
+
+
+@dataclass(frozen=True)
+class UDPDatagram:
+    """A UDP datagram: ports, an opaque payload, and a data size."""
+
+    src_port: int
+    dst_port: int
+    data: Any = None
+    data_size: int = 0
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 65535:
+                raise ValueError(f"port out of range: {port}")
+        if self.data_size < 0:
+            raise ValueError("negative data size")
+
+    @property
+    def size(self) -> int:
+        return UDP_HEADER_SIZE + self.data_size

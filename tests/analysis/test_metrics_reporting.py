@@ -1,0 +1,150 @@
+"""Tests for metrics, reporting, and the scenario builder itself."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    MH_HOME_ADDRESS,
+    TextTable,
+    build_scenario,
+    delivery_ratio,
+    overhead_fraction,
+    path_stretch,
+    render_kv,
+    summarize,
+)
+from repro.mobileip import Awareness
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.median == 3.0
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.median == 7.0
+        assert summary.p95 == 7.0
+
+    def test_p95_interpolates(self):
+        summary = summarize(range(101))
+        assert summary.p95 == 95.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9,
+                              allow_nan=False), min_size=1))
+    def test_invariants(self, values):
+        summary = summarize(values)
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum <= summary.mean <= summary.maximum
+        assert summary.minimum <= summary.p95 <= summary.maximum
+
+
+class TestRatios:
+    def test_path_stretch(self):
+        assert path_stretch(30.0, 10.0) == 3.0
+        assert path_stretch(10.0, 10.0) == 1.0
+
+    def test_path_stretch_bad_direct(self):
+        with pytest.raises(ValueError):
+            path_stretch(1.0, 0.0)
+
+    def test_overhead_fraction(self):
+        assert overhead_fraction(1520, 1500) == pytest.approx(20 / 1500)
+
+    def test_overhead_bad_baseline(self):
+        with pytest.raises(ValueError):
+            overhead_fraction(100, 0)
+
+    def test_delivery_ratio(self):
+        assert delivery_ratio(3, 4) == 0.75
+
+    def test_delivery_ratio_validation(self):
+        with pytest.raises(ValueError):
+            delivery_ratio(5, 4)
+        with pytest.raises(ValueError):
+            delivery_ratio(0, 0)
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable("Demo", ["mode", "latency"])
+        table.add_row("Out-IE", 0.123456)
+        table.add_row("Out-DH", 0.05)
+        rendered = table.render()
+        assert "Demo" in rendered
+        assert "Out-IE" in rendered and "0.1235" in rendered
+
+    def test_row_arity_checked(self):
+        table = TextTable("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_render_kv(self):
+        rendered = render_kv("Result", [("ratio", 0.5), ("name", "x")])
+        assert "ratio: 0.5" in rendered and "name: x" in rendered
+
+
+class TestScenarioBuilder:
+    def test_determinism_same_seed(self):
+        first = build_scenario(seed=201, ch_awareness=Awareness.CONVENTIONAL)
+        second = build_scenario(seed=201, ch_awareness=Awareness.CONVENTIONAL)
+        assert str(first.mh.care_of) == str(second.mh.care_of)
+        assert first.sim.trace.action_counts == second.sim.trace.action_counts
+
+    def test_ch_in_visited_lan_shares_segment(self):
+        scenario = build_scenario(seed=202, ch_awareness=Awareness.CONVENTIONAL,
+                                  ch_in_visited_lan=True)
+        assert scenario.visited.prefix.contains(scenario.ch_ip)
+
+    def test_backbone_distances(self):
+        scenario = build_scenario(seed=203, backbone_size=7, ch_attach=3,
+                                  ch_awareness=Awareness.CONVENTIONAL)
+        assert scenario.backbone_distance("home", "visited") == 6
+        assert scenario.backbone_distance("chdom", "visited") == 3
+
+    def test_settled_scenario_is_registered(self):
+        scenario = build_scenario(seed=204, ch_awareness=None)
+        assert scenario.mh.registered
+
+
+class TestAsciiSeries:
+    def test_bars_scale_to_maximum(self):
+        from repro.analysis import ascii_series
+
+        rendered = ascii_series("S", ["a", "b"], [1.0, 2.0], width=10)
+        lines = rendered.splitlines()
+        assert lines[0] == "== S =="
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_unit_suffix(self):
+        from repro.analysis import ascii_series
+
+        rendered = ascii_series("S", ["x"], [3.0], unit="ms")
+        assert "3ms" in rendered
+
+    def test_empty_series(self):
+        from repro.analysis import ascii_series
+
+        assert "(no data)" in ascii_series("S", [], [])
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.analysis import ascii_series
+
+        with pytest.raises(ValueError):
+            ascii_series("S", ["a"], [1.0, 2.0])
+
+    def test_all_zero_values(self):
+        from repro.analysis import ascii_series
+
+        rendered = ascii_series("S", ["a", "b"], [0.0, 0.0], width=10)
+        assert "#" not in rendered

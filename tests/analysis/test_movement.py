@@ -1,0 +1,105 @@
+"""Tests for the movement models."""
+
+import pytest
+
+from repro.analysis import RandomWaypoint, Tour, build_scenario
+from repro.analysis.scenarios import MH_HOME_ADDRESS
+from repro.apps import TelnetServer, TelnetSession
+from repro.mobileip import Awareness
+
+
+@pytest.fixture
+def world():
+    scenario = build_scenario(seed=1301, ch_awareness=Awareness.CONVENTIONAL,
+                              mobile_starts_away=False)
+    scenario.net.add_domain("visit-b", "10.5.0.0/16", attach_at=2)
+    scenario.net.add_domain("visit-c", "10.6.0.0/16", attach_at=3)
+    return scenario
+
+
+class TestTour:
+    def test_follows_itinerary(self, world):
+        tour = Tour(world.mh, world.net,
+                    [("visited", 5.0), ("visit-b", 5.0), ("home", 5.0)])
+        tour.start(initial_delay=1.0)
+        world.sim.run_for(30)
+        assert tour.completed
+        assert [stop for _t, stop in tour.history] == [
+            "visited", "visit-b", "home"]
+        assert world.mh.at_home
+
+    def test_stop_halts_midway(self, world):
+        tour = Tour(world.mh, world.net,
+                    [("visited", 3.0), ("visit-b", 3.0), ("visit-c", 3.0)])
+        tour.start()
+        world.sim.events.schedule(4.0, tour.stop)
+        world.sim.run_for(30)
+        assert not tour.completed
+        assert len(tour.history) <= 2
+
+    def test_timestamps_recorded(self, world):
+        tour = Tour(world.mh, world.net, [("visited", 2.0), ("visit-b", 2.0)])
+        tour.start(initial_delay=1.0)
+        world.sim.run_for(20)
+        times = [t for t, _stop in tour.history]
+        assert times[0] == pytest.approx(1.0)
+        assert times[1] == pytest.approx(3.0)
+
+
+class TestRandomWaypoint:
+    def test_never_picks_current_domain(self, world):
+        walker = RandomWaypoint(world.mh, world.net,
+                                ["visited", "visit-b", "visit-c"],
+                                min_dwell=2.0, max_dwell=4.0)
+        walker.start()
+        world.sim.run_for(60)
+        stops = [stop for _t, stop in walker.history]
+        assert len(stops) >= 10
+        for previous, current in zip(stops, stops[1:]):
+            assert previous != current
+
+    def test_deterministic_per_seed(self):
+        walks = []
+        for _ in range(2):
+            scenario = build_scenario(seed=1302, ch_awareness=None,
+                                      mobile_starts_away=False)
+            scenario.net.add_domain("visit-b", "10.5.0.0/16", attach_at=2)
+            walker = RandomWaypoint(scenario.mh, scenario.net,
+                                    ["visited", "visit-b"],
+                                    min_dwell=2.0, max_dwell=5.0)
+            walker.start()
+            scenario.sim.run_for(60)
+            walks.append([stop for _t, stop in walker.history])
+        assert walks[0] == walks[1]
+
+    def test_registration_kept_through_walk(self, world):
+        walker = RandomWaypoint(world.mh, world.net,
+                                ["visited", "visit-b", "visit-c"],
+                                min_dwell=3.0, max_dwell=6.0,
+                                include_home=False)
+        walker.start()
+        world.sim.run_for(90)
+        assert not world.mh.at_home
+        assert world.mh.registered
+
+    def test_session_survives_random_walk(self, world):
+        TelnetServer(world.ch.stack)
+        walker = RandomWaypoint(world.mh, world.net,
+                                ["visited", "visit-b", "visit-c"],
+                                min_dwell=4.0, max_dwell=8.0,
+                                include_home=False)
+        walker.start(initial_delay=0.5)
+        world.sim.run_for(2)
+        session = TelnetSession(world.mh.stack, world.ch_ip,
+                                think_time=2.0, keystrokes=15)
+        world.sim.run_for(200)
+        assert session.survived
+        assert session.echoes_received == 15
+        assert len(walker.history) >= 3
+
+    def test_parameter_validation(self, world):
+        with pytest.raises(ValueError):
+            RandomWaypoint(world.mh, world.net, [], min_dwell=1, max_dwell=2)
+        with pytest.raises(ValueError):
+            RandomWaypoint(world.mh, world.net, ["visited"],
+                           min_dwell=5, max_dwell=2)

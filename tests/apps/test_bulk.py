@@ -1,0 +1,72 @@
+"""Tests for the bulk-transfer workload."""
+
+import pytest
+
+from repro.analysis import build_scenario
+from repro.apps import BulkClient, BulkServer
+from repro.mobileip import Awareness
+
+
+@pytest.fixture
+def stage():
+    return build_scenario(seed=1501, ch_awareness=Awareness.CONVENTIONAL,
+                          visited_filtering=False)
+
+
+class TestBulkTransfer:
+    def test_transfer_completes_exactly(self, stage):
+        server = BulkServer(stage.ch.stack)
+        client = BulkClient(stage.mh.stack)
+        done = []
+        result = client.transfer(stage.ch_ip, 100_000, on_done=done.append,
+                                 bound_ip=stage.mh.care_of)
+        stage.sim.run_for(300)
+        assert done == [result]
+        assert not result.failed
+        assert server.bytes_received == 100_000
+        assert result.goodput_bps > 0
+
+    def test_window_bounds_inflight(self, stage):
+        BulkServer(stage.ch.stack)
+        client = BulkClient(stage.mh.stack, window_segments=4)
+        result = client.transfer(stage.ch_ip, 50_000,
+                                 bound_ip=stage.mh.care_of)
+        # Sample the in-flight queue while the transfer runs.
+        samples = []
+
+        def sample():
+            for conn in stage.mh.stack.connections:
+                samples.append(len(conn._unacked))
+            if not result.finished_at:
+                stage.sim.events.schedule(0.01, sample)
+
+        stage.sim.events.schedule(0.05, sample)
+        stage.sim.run_for(300)
+        assert samples
+        assert max(samples) <= 4 + 1   # +1: a pure FIN may join the queue
+
+    def test_failure_reported_when_server_dies(self, stage):
+        BulkServer(stage.ch.stack)
+        client = BulkClient(stage.mh.stack)
+        done = []
+        result = client.transfer(stage.ch_ip, 200_000, on_done=done.append,
+                                 bound_ip=stage.mh.care_of)
+        stage.sim.events.schedule(
+            0.5, lambda: stage.ch.interfaces["eth0"].detach())
+        stage.sim.run_for(600)
+        assert done and result.failed
+        assert result.goodput_bps is not None  # partial timing still defined
+
+    def test_transfer_survives_move_on_home_address(self, stage):
+        stage.net.add_domain("visited2", "10.5.0.0/16", attach_at=3,
+                             source_filtering=False, forbid_transit=False)
+        server = BulkServer(stage.ch.stack)
+        client = BulkClient(stage.mh.stack)
+        done = []
+        # Unbound socket on port 20 -> home address -> Mobile IP.
+        result = client.transfer(stage.ch_ip, 150_000, on_done=done.append)
+        stage.sim.events.schedule(
+            1.0, lambda: stage.mh.move_to(stage.net, "visited2"))
+        stage.sim.run_for(600)
+        assert done and not result.failed
+        assert server.bytes_received == 150_000

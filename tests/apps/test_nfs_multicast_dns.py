@@ -1,0 +1,192 @@
+"""Tests for the NFS, multicast, and DNS-lookup workloads."""
+
+import pytest
+
+from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+from repro.apps import (
+    DNSLookupWorkload,
+    HomeTunnelRelay,
+    MulticastReceiver,
+    MulticastSource,
+    NFSClient,
+    NFSServer,
+)
+from repro.mobileip import Awareness
+from repro.netsim import IPAddress, Node
+
+
+class TestNFS:
+    def build(self, seed=101, **kwargs):
+        scenario = build_scenario(seed=seed, ch_awareness=None, **kwargs)
+        # The NFS server lives on the home LAN and exports to the home
+        # network only (§3.1's source-address trust).
+        server_node = Node("nfs", scenario.sim)
+        server_ip = scenario.net.add_host("home", server_node)
+        from repro.transport import TransportStack
+
+        stack = TransportStack(server_node)
+        server = NFSServer(stack, exports=[scenario.home.prefix])
+        return scenario, server, server_ip
+
+    def test_local_client_granted(self):
+        scenario, server, server_ip = self.build()
+        local = Node("workstation", scenario.sim)
+        scenario.net.add_host("home", local)
+        from repro.transport import TransportStack
+
+        client = NFSClient(TransportStack(local), server_ip)
+        results = []
+        client.call("read", "/export/file", results.append)
+        scenario.sim.run_for(10)
+        assert results and results[0].ok
+        assert server.requests_granted == 1
+
+    def test_mobile_out_dh_killed_by_home_boundary(self):
+        """Figure 2 with NFS: the legitimate mobile request with a home
+        source address is dropped at the home boundary (inbound spoof
+        check), so the RPC times out."""
+        scenario, server, server_ip = self.build(seed=102)
+        client = NFSClient(scenario.mh.stack, server_ip, max_retries=1)
+        # Force Out-DH by policy: optimistic toward home.
+        scenario.mh.engine.policy.add("10.1.0.0/16",
+                                      __import__("repro.core.policy",
+                                                 fromlist=["Disposition"]).Disposition.OPTIMISTIC)
+        scenario.mh.engine.cache.reset_all()
+        results = []
+        client.call("read", "/export/file", results.append,
+                    src_override=MH_HOME_ADDRESS)
+        scenario.sim.run_for(30)
+        assert results == [None]   # timed out
+        assert server.requests_granted == 0
+        drops = scenario.sim.trace.drops_by_reason
+        assert any("source-address-filter" in reason for reason in drops)
+
+    def test_mobile_out_ie_restores_access(self):
+        """Figure 3 with NFS: reverse tunneling gets the request in."""
+        scenario, server, server_ip = self.build(seed=103)
+        client = NFSClient(scenario.mh.stack, server_ip)
+        results = []
+        client.call("read", "/export/file", results.append,
+                    src_override=MH_HOME_ADDRESS)
+        scenario.sim.run_for(30)
+        assert results and results[0] is not None and results[0].ok
+        # The request went through the reverse tunnel.
+        assert scenario.ha.packets_reverse_forwarded >= 1
+
+    def test_spoofed_source_refused_or_dropped(self):
+        """§3.1: an outside host claiming an inside source."""
+        scenario, server, server_ip = self.build(seed=104)
+        outsider = Node("attacker", scenario.sim)
+        scenario.net.add_host("visited", outsider)
+        from repro.transport import TransportStack
+
+        stack = TransportStack(outsider)
+        client = NFSClient(stack, server_ip, max_retries=0)
+        results = []
+        client.call("read", "/export/secret", results.append,
+                    src_override=IPAddress("10.1.0.99"))
+        scenario.sim.run_for(30)
+        # With filtering the packet never arrives; the server grants
+        # nothing either way.
+        assert server.requests_granted == 0
+
+    def test_untrusted_source_denied_by_server(self):
+        scenario, server, server_ip = self.build(seed=105,
+                                                 visited_filtering=False,
+                                                 home_filtering=False)
+        outsider = Node("visitor", scenario.sim)
+        scenario.net.add_host("visited", outsider)
+        from repro.transport import TransportStack
+
+        client = NFSClient(TransportStack(outsider), server_ip)
+        results = []
+        client.call("read", "/export/file", results.append)
+        scenario.sim.run_for(30)
+        assert results and results[0] is not None
+        assert not results[0].ok
+        assert server.requests_refused == 1
+
+
+class TestMulticast:
+    GROUP = IPAddress("224.5.6.7")
+
+    def test_local_join_receives_stream(self):
+        scenario = build_scenario(seed=111, ch_awareness=None)
+        sender = Node("src", scenario.sim)
+        scenario.net.add_host("visited", sender)
+        from repro.transport import TransportStack
+
+        source = MulticastSource(TransportStack(sender), self.GROUP,
+                                 count=10, interval=0.05)
+        receiver = MulticastReceiver(scenario.mh.stack, self.GROUP)
+        source.start()
+        scenario.sim.run_for(10)
+        assert receiver.received == 10
+
+    def test_home_tunnel_relay_delivers_with_overhead(self):
+        """§6.4: the self-defeating alternative still works, but every
+        packet crosses the backbone encapsulated."""
+        scenario = build_scenario(seed=112, ch_awareness=None)
+        sender = Node("src", scenario.sim)
+        scenario.net.add_host("home", sender)
+        from repro.transport import TransportStack
+
+        source = MulticastSource(TransportStack(sender), self.GROUP,
+                                 count=5, interval=0.05)
+        relay = HomeTunnelRelay(scenario.ha, scenario.ha.tunnel, self.GROUP)
+        relay.relay_to(scenario.mh.care_of)
+        receiver = MulticastReceiver(scenario.mh.stack, self.GROUP)
+        source.start()
+        scenario.sim.run_for(10)
+        assert relay.relayed == 5
+        assert receiver.received == 5
+        assert scenario.mh.tunnel.decapsulated_count == 5
+
+    def test_source_requires_multicast_group(self):
+        scenario = build_scenario(seed=113, ch_awareness=None)
+        with pytest.raises(ValueError):
+            MulticastSource(scenario.mh.stack, IPAddress("10.0.0.1"))
+
+    def test_receiver_leave_stops_delivery(self):
+        scenario = build_scenario(seed=114, ch_awareness=None)
+        sender = Node("src", scenario.sim)
+        scenario.net.add_host("visited", sender)
+        from repro.transport import TransportStack
+
+        source = MulticastSource(TransportStack(sender), self.GROUP,
+                                 count=5, interval=0.05)
+        receiver = MulticastReceiver(scenario.mh.stack, self.GROUP)
+        receiver.leave()
+        source.start()
+        scenario.sim.run_for(10)
+        assert receiver.received == 0
+
+
+class TestDNSWorkload:
+    def test_lookup_latency_recorded(self):
+        scenario = build_scenario(seed=121, ch_awareness=None, with_dns=True)
+        workload = DNSLookupWorkload(scenario.mh.stack, scenario.dns_ip)
+        record = workload.lookup("mh.home.example")
+        scenario.sim.run_for(10)
+        assert record.resolved
+        assert record.latency > 0
+        assert workload.mean_latency() == record.latency
+
+    def test_lookup_many_spacing(self):
+        scenario = build_scenario(seed=122, ch_awareness=None, with_dns=True)
+        workload = DNSLookupWorkload(scenario.mh.stack, scenario.dns_ip)
+        workload.lookup_many(["mh.home.example"] * 5, interval=0.1)
+        scenario.sim.run_for(10)
+        assert len(workload.completed) == 5
+
+    def test_lookup_uses_out_dt(self):
+        """§7.1.1: DNS queries from an away host use the care-of source."""
+        scenario = build_scenario(seed=123, ch_awareness=None, with_dns=True)
+        workload = DNSLookupWorkload(scenario.mh.stack, scenario.dns_ip)
+        workload.lookup("mh.home.example")
+        scenario.sim.run_for(10)
+        sends = [e for e in scenario.sim.trace.entries
+                 if e.node == "mh" and e.action == "send"
+                 and e.dst == str(scenario.dns_ip)]
+        assert sends
+        assert all(e.src == str(scenario.mh.care_of) for e in sends)

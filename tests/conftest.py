@@ -1,0 +1,52 @@
+"""Shared fixtures: small pre-built topologies and actors.
+
+The figure-level integration tests use the canonical builders in
+:mod:`repro.analysis.scenarios`; the unit-level fixtures here are
+deliberately smaller (one simulator, one or two segments) so failures
+point at the module under test rather than the whole stack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import Internet, IPAddress, Network, Node, Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def two_domain_net(sim):
+    """Two permissive domains, one backbone hop apart, one host each.
+
+    Returns (sim, net, host_a, ip_a, host_b, ip_b).
+    """
+    net = Internet(sim, backbone_size=2)
+    net.add_domain("a", "10.1.0.0/16", attach_at=0, source_filtering=False)
+    net.add_domain("b", "10.2.0.0/16", attach_at=1, source_filtering=False)
+    host_a = Node("host-a", sim)
+    host_b = Node("host-b", sim)
+    ip_a = net.add_host("a", host_a)
+    ip_b = net.add_host("b", host_b)
+    return sim, net, host_a, ip_a, host_b, ip_b
+
+
+@pytest.fixture
+def lan(sim):
+    """A single shared segment with two plain hosts.
+
+    Returns (sim, segment, host_a, host_b); both hosts are configured
+    on 192.168.1.0/24 with addresses .1 and .2 and a direct route.
+    """
+    segment = sim.segment("lan")
+    prefix = Network("192.168.1.0/24")
+    host_a = Node("lan-a", sim)
+    host_b = Node("lan-b", sim)
+    for index, host in enumerate((host_a, host_b), start=1):
+        iface = host.add_interface("eth0", segment)
+        iface.configure(IPAddress(f"192.168.1.{index}"), prefix)
+        host.routes.add(prefix, "eth0")
+    return sim, segment, host_a, host_b

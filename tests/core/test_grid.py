@@ -1,0 +1,180 @@
+"""Tests that the grid object is exactly Figure 10."""
+
+import pytest
+
+from repro.core.grid import GRID, CellClass, FourByFourGrid, Requirement
+from repro.core.modes import InMode, OutMode
+
+
+class TestCellCensus:
+    def test_sixteen_cells(self):
+        assert len(GRID.cells()) == 16
+
+    def test_seven_useful(self):
+        assert len(GRID.useful) == 7
+
+    def test_three_valid_unlikely(self):
+        assert len(GRID.valid_unlikely) == 3
+
+    def test_six_inapplicable(self):
+        assert len(GRID.inapplicable) == 6
+
+    def test_useful_cells_are_the_papers_seven(self):
+        expected = {
+            (InMode.IN_IE, OutMode.OUT_IE),
+            (InMode.IN_IE, OutMode.OUT_DE),
+            (InMode.IN_IE, OutMode.OUT_DH),
+            (InMode.IN_DE, OutMode.OUT_DE),
+            (InMode.IN_DE, OutMode.OUT_DH),
+            (InMode.IN_DH, OutMode.OUT_DH),
+            (InMode.IN_DT, OutMode.OUT_DT),
+        }
+        assert {cell.key for cell in GRID.useful} == expected
+
+    def test_valid_unlikely_cells(self):
+        expected = {
+            (InMode.IN_DE, OutMode.OUT_IE),
+            (InMode.IN_DH, OutMode.OUT_IE),
+            (InMode.IN_DH, OutMode.OUT_DE),
+        }
+        assert {cell.key for cell in GRID.valid_unlikely} == expected
+
+    def test_dark_cells_are_fourth_row_and_column(self):
+        """§6.5: every inapplicable cell involves In-DT or Out-DT."""
+        for cell in GRID.inapplicable:
+            assert cell.in_mode is InMode.IN_DT or cell.out_mode is OutMode.OUT_DT
+
+    def test_mixed_temporary_permanent_never_works(self):
+        """§6.5: mixing temporary and permanent endpoints is useless."""
+        for cell in GRID.cells():
+            mixed = (cell.in_mode is InMode.IN_DT) != (cell.out_mode is OutMode.OUT_DT)
+            if mixed:
+                assert cell.cell_class is CellClass.INAPPLICABLE
+
+
+class TestCellProperties:
+    def test_tcp_compatibility_matches_shading(self):
+        for cell in GRID.cells():
+            assert cell.works_with_tcp == (
+                cell.cell_class is not CellClass.INAPPLICABLE
+            )
+
+    def test_survives_movement_requires_home_address_both_ways(self):
+        assert GRID.cell(InMode.IN_IE, OutMode.OUT_IE).survives_movement
+        assert not GRID.cell(InMode.IN_DT, OutMode.OUT_DT).survives_movement
+
+    def test_most_conservative_cell_has_no_requirements(self):
+        cell = GRID.cell(InMode.IN_IE, OutMode.OUT_IE)
+        assert cell.requirements == frozenset({Requirement.NONE})
+
+    def test_out_dh_in_row_a_requires_permissive_path(self):
+        cell = GRID.cell(InMode.IN_IE, OutMode.OUT_DH)
+        assert Requirement.NO_SOURCE_FILTERING in cell.requirements
+
+    def test_out_de_in_row_a_requires_decap(self):
+        cell = GRID.cell(InMode.IN_IE, OutMode.OUT_DE)
+        assert Requirement.DECAP_CAPABLE_CH in cell.requirements
+
+    def test_row_b_requires_mobile_awareness(self):
+        for out_mode in (OutMode.OUT_DE, OutMode.OUT_DH):
+            cell = GRID.cell(InMode.IN_DE, out_mode)
+            assert Requirement.MOBILE_AWARE_CH in cell.requirements
+
+    def test_row_c_requires_same_segment(self):
+        cell = GRID.cell(InMode.IN_DH, OutMode.OUT_DH)
+        assert Requirement.SAME_SEGMENT in cell.requirements
+
+    def test_no_mobile_ip_cell_forgoes_mobility(self):
+        cell = GRID.cell(InMode.IN_DT, OutMode.OUT_DT)
+        assert Requirement.FORGOES_MOBILITY in cell.requirements
+
+
+class TestRowsAndColumns:
+    def test_row_has_four_cells(self):
+        for in_mode in InMode:
+            assert len(GRID.row(in_mode)) == 4
+
+    def test_column_has_four_cells(self):
+        for out_mode in OutMode:
+            assert len(GRID.column(out_mode)) == 4
+
+    def test_row_a_has_three_useful(self):
+        useful = [c for c in GRID.row(InMode.IN_IE)
+                  if c.cell_class is CellClass.USEFUL]
+        assert len(useful) == 3
+
+    def test_column_d_has_one_useful(self):
+        useful = [c for c in GRID.column(OutMode.OUT_DT)
+                  if c.cell_class is CellClass.USEFUL]
+        assert [c.key for c in useful] == [(InMode.IN_DT, OutMode.OUT_DT)]
+
+
+class TestBestCell:
+    """The §6 narrative: best available cell per situation."""
+
+    def test_no_mobility_needed_goes_row_d(self):
+        cell = GRID.best_cell(
+            same_segment=False, ch_mobile_aware=True, ch_decap_capable=True,
+            path_filtered=False, needs_mobility=False,
+        )
+        assert cell.key == (InMode.IN_DT, OutMode.OUT_DT)
+
+    def test_same_segment_beats_everything_else(self):
+        cell = GRID.best_cell(
+            same_segment=True, ch_mobile_aware=True, ch_decap_capable=True,
+            path_filtered=True, needs_mobility=True,
+        )
+        assert cell.key == (InMode.IN_DH, OutMode.OUT_DH)
+
+    def test_aware_ch_unfiltered_path(self):
+        cell = GRID.best_cell(
+            same_segment=False, ch_mobile_aware=True, ch_decap_capable=True,
+            path_filtered=False, needs_mobility=True,
+        )
+        assert cell.key == (InMode.IN_DE, OutMode.OUT_DH)
+
+    def test_aware_ch_filtered_path(self):
+        cell = GRID.best_cell(
+            same_segment=False, ch_mobile_aware=True, ch_decap_capable=True,
+            path_filtered=True, needs_mobility=True,
+        )
+        assert cell.key == (InMode.IN_DE, OutMode.OUT_DE)
+
+    def test_conventional_ch_filtered_path_is_most_conservative(self):
+        cell = GRID.best_cell(
+            same_segment=False, ch_mobile_aware=False, ch_decap_capable=False,
+            path_filtered=True, needs_mobility=True,
+        )
+        assert cell.key == (InMode.IN_IE, OutMode.OUT_IE)
+
+    def test_conventional_ch_decap_filtered(self):
+        cell = GRID.best_cell(
+            same_segment=False, ch_mobile_aware=False, ch_decap_capable=True,
+            path_filtered=True, needs_mobility=True,
+        )
+        assert cell.key == (InMode.IN_IE, OutMode.OUT_DE)
+
+    def test_best_cell_is_always_useful(self):
+        for same in (False, True):
+            for aware in (False, True):
+                for decap in (False, True):
+                    for filtered in (False, True):
+                        for needs in (False, True):
+                            cell = GRID.best_cell(same, aware, decap, filtered, needs)
+                            assert cell.cell_class is CellClass.USEFUL
+
+
+class TestRendering:
+    def test_render_contains_all_modes(self):
+        rendered = GRID.render()
+        for mode in list(InMode) + list(OutMode):
+            assert mode.value in rendered
+
+    def test_render_legend(self):
+        assert "legend" in GRID.render()
+
+    def test_fresh_grid_equals_module_grid(self):
+        fresh = FourByFourGrid()
+        assert {c.key: c.cell_class for c in fresh.cells()} == {
+            c.key: c.cell_class for c in GRID.cells()
+        }

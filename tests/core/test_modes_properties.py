@@ -1,0 +1,105 @@
+"""Property tests: the mode address tables over random address plans.
+
+Build/classify must be exact inverses for *any* cast of four distinct
+addresses, and every mode's address invariants must hold — this is the
+grid's foundation, so it gets the heaviest randomization.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.modes import (
+    AddressPlan,
+    InMode,
+    OutMode,
+    build_incoming_direct,
+    build_outgoing,
+    classify_incoming,
+    classify_outgoing,
+)
+from repro.netsim import IPAddress
+from repro.netsim.encap import EncapScheme
+
+addresses = st.integers(min_value=1, max_value=0xDFFFFFFE)  # unicast-ish
+
+
+@st.composite
+def plans(draw):
+    values = draw(st.lists(addresses, min_size=4, max_size=4, unique=True))
+    home, care_of, home_agent, correspondent = (IPAddress(v) for v in values)
+    plan = AddressPlan(home=home, care_of=care_of, home_agent=home_agent,
+                       correspondent=correspondent)
+    # Multicast/broadcast addresses would change send semantics.
+    assume(not any(a.is_multicast or a.is_broadcast
+                   for a in (home, care_of, home_agent, correspondent)))
+    return plan
+
+
+class TestModeTableProperties:
+    @settings(max_examples=150)
+    @given(plan=plans(), size=st.integers(min_value=0, max_value=2000))
+    def test_outgoing_roundtrip_all_modes(self, plan, size):
+        for mode in OutMode:
+            packet = build_outgoing(mode, plan, payload_size=size)
+            assert classify_outgoing(packet, plan) is mode
+
+    @settings(max_examples=150)
+    @given(plan=plans(), size=st.integers(min_value=0, max_value=2000))
+    def test_incoming_roundtrip_all_modes(self, plan, size):
+        for mode in InMode:
+            packet = build_incoming_direct(mode, plan, payload_size=size)
+            assert classify_incoming(packet, plan) is mode
+
+    @settings(max_examples=100)
+    @given(plan=plans())
+    def test_home_address_visibility_invariant(self, plan):
+        """A mode 'uses the home address' iff the home address appears
+        as the innermost source (outgoing) / destination (incoming)."""
+        for mode in OutMode:
+            packet = build_outgoing(mode, plan, payload_size=10)
+            visible = packet.innermost.src == plan.home
+            assert visible == mode.uses_home_address
+        for mode in InMode:
+            packet = build_incoming_direct(mode, plan, payload_size=10)
+            visible = packet.innermost.dst == plan.home
+            assert visible == mode.uses_home_address
+
+    @settings(max_examples=100)
+    @given(plan=plans())
+    def test_encapsulated_modes_outer_addresses(self, plan):
+        """Figures 7/9: the outer source of Out-* is always the COA;
+        the outer destination of In-* is always the COA."""
+        for mode in (OutMode.OUT_IE, OutMode.OUT_DE):
+            packet = build_outgoing(mode, plan, payload_size=10)
+            assert packet.src == plan.care_of
+        for mode in (InMode.IN_IE, InMode.IN_DE):
+            packet = build_incoming_direct(mode, plan, payload_size=10)
+            assert packet.dst == plan.care_of
+
+    @settings(max_examples=60)
+    @given(plan=plans(),
+           scheme=st.sampled_from(list(EncapScheme)),
+           size=st.integers(min_value=0, max_value=2000))
+    def test_roundtrip_under_every_scheme(self, plan, scheme, size):
+        for mode in (OutMode.OUT_IE, OutMode.OUT_DE):
+            packet = build_outgoing(mode, plan, payload_size=size,
+                                    scheme=scheme)
+            assert classify_outgoing(packet, plan) is mode
+        for mode in (InMode.IN_IE, InMode.IN_DE):
+            packet = build_incoming_direct(mode, plan, payload_size=size,
+                                           scheme=scheme)
+            assert classify_incoming(packet, plan) is mode
+
+    @settings(max_examples=100)
+    @given(plan=plans(), size=st.integers(min_value=0, max_value=2000))
+    def test_unencapsulated_sizes_equal_across_modes(self, plan, size):
+        """§3.3's baseline: the four plain modes all cost the same."""
+        sizes = {
+            build_outgoing(OutMode.OUT_DH, plan, payload_size=size).wire_size,
+            build_outgoing(OutMode.OUT_DT, plan, payload_size=size).wire_size,
+            build_incoming_direct(InMode.IN_DH, plan,
+                                  payload_size=size).wire_size,
+            build_incoming_direct(InMode.IN_DT, plan,
+                                  payload_size=size).wire_size,
+        }
+        assert len(sizes) == 1

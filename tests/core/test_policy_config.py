@@ -1,0 +1,90 @@
+"""Tests for the §7.1.2 policy configuration format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.policy import Disposition, MobilityPolicyTable
+from repro.netsim import IPAddress
+
+CONFIG = """
+# corporate laptop policy
+default     pessimistic
+10.1.0.0/16 home-only      # everything at HQ stays private
+10.3.0.0/16 optimistic     # the lab network never filters
+192.0.2.0/24 no-mobile-ip  # public kiosks: plain IP only
+"""
+
+
+class TestParse:
+    def test_full_config(self):
+        table = MobilityPolicyTable.parse(CONFIG)
+        assert table.default is Disposition.PESSIMISTIC
+        assert table.lookup(IPAddress("10.1.0.50")) is Disposition.HOME_ONLY
+        assert table.lookup(IPAddress("10.3.9.9")) is Disposition.OPTIMISTIC
+        assert table.lookup(IPAddress("192.0.2.7")) is Disposition.NO_MOBILE_IP
+        assert table.lookup(IPAddress("8.8.8.8")) is Disposition.PESSIMISTIC
+
+    def test_blank_and_comment_lines_ignored(self):
+        table = MobilityPolicyTable.parse("\n\n# only comments\n\n")
+        assert len(table) == 0
+
+    def test_case_insensitive_dispositions(self):
+        table = MobilityPolicyTable.parse("10.0.0.0/8 OPTIMISTIC")
+        assert table.lookup(IPAddress("10.1.1.1")) is Disposition.OPTIMISTIC
+
+    def test_bad_arity_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            MobilityPolicyTable.parse("default pessimistic\n10.0.0.0/8\n")
+
+    def test_unknown_disposition_lists_valid_ones(self):
+        with pytest.raises(ValueError, match="valid:"):
+            MobilityPolicyTable.parse("10.0.0.0/8 yolo")
+
+    def test_bad_prefix_reports_line(self):
+        with pytest.raises(ValueError, match="bad prefix"):
+            MobilityPolicyTable.parse("10.0.0.999/8 optimistic")
+
+    def test_dump_parse_roundtrip(self):
+        table = MobilityPolicyTable.parse(CONFIG)
+        again = MobilityPolicyTable.parse(table.dump())
+        assert again.default is table.default
+        probes = ["10.1.0.1", "10.3.0.1", "192.0.2.1", "1.2.3.4"]
+        for probe in probes:
+            assert again.lookup(IPAddress(probe)) is table.lookup(
+                IPAddress(probe))
+
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**32 - 1),
+            st.integers(min_value=0, max_value=32),
+            st.sampled_from(list(Disposition)),
+        ),
+        max_size=10,
+    ))
+    def test_dump_parse_roundtrip_property(self, entries):
+        from repro.netsim import Network
+
+        table = MobilityPolicyTable()
+        for value, length, disposition in entries:
+            mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+            try:
+                table.add(Network(IPAddress(value & mask), length), disposition)
+            except Exception:
+                continue
+        again = MobilityPolicyTable.parse(table.dump())
+        for value, _length, _d in entries:
+            probe = IPAddress(value)
+            assert again.lookup(probe) is table.lookup(probe)
+
+    def test_engine_accepts_parsed_table(self):
+        """The parsed table drives real mode decisions end-to-end."""
+        from repro.analysis.scenarios import build_scenario
+        from repro.core import OutMode, ProbeStrategy
+        from repro.mobileip import Awareness
+
+        policy = MobilityPolicyTable.parse("10.3.0.0/16 optimistic")
+        scenario = build_scenario(seed=981, strategy=ProbeStrategy.RULE_SEEDED,
+                                  policy=policy, visited_filtering=False,
+                                  ch_awareness=Awareness.CONVENTIONAL)
+        assert scenario.mh.engine.out_mode_for(scenario.ch_ip) is OutMode.OUT_DH

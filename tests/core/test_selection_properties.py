@@ -1,0 +1,149 @@
+"""Property-based tests for the delivery-method cache state machine.
+
+The §7.1.2 ladder must hold its invariants under *any* interleaving of
+failure suspicions and progress signals — these are the properties a
+deployment would rely on: the current mode is always a home-address
+mode, a pinned record never moves, failed modes are never revisited by
+upgrades, and the mode-change counter matches observed transitions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.modes import OutMode
+from repro.core.policy import Disposition, MobilityPolicyTable
+from repro.core.selection import (
+    LADDER_AGGRESSIVE_FIRST,
+    DeliveryMethodCache,
+    ProbeStrategy,
+)
+from repro.netsim import IPAddress
+
+CH = IPAddress("10.3.0.2")
+
+events = st.lists(
+    st.sampled_from(["suspect", "progress", "packet"]),
+    min_size=0, max_size=60,
+)
+strategies = st.sampled_from(list(ProbeStrategy))
+
+
+def drive(cache: DeliveryMethodCache, sequence):
+    """Apply an event sequence, recording every observed transition."""
+    transitions = []
+    previous = cache.record_for(CH).current
+    for event in sequence:
+        if event == "suspect":
+            cache.on_suspect(CH)
+        elif event == "progress":
+            cache.on_progress(CH)
+        else:
+            cache.mode_for(CH)
+        current = cache.record_for(CH).current
+        if current is not previous:
+            transitions.append((previous, current))
+            previous = current
+    return transitions
+
+
+class TestCacheProperties:
+    @settings(max_examples=200)
+    @given(strategy=strategies, sequence=events)
+    def test_current_mode_always_on_ladder(self, strategy, sequence):
+        cache = DeliveryMethodCache(strategy, upgrade_after=2)
+        drive(cache, sequence)
+        assert cache.record_for(CH).current in LADDER_AGGRESSIVE_FIRST
+
+    @settings(max_examples=200)
+    @given(strategy=strategies, sequence=events)
+    def test_mode_changes_counter_matches_transitions(self, strategy, sequence):
+        cache = DeliveryMethodCache(strategy, upgrade_after=2)
+        transitions = drive(cache, sequence)
+        assert cache.record_for(CH).mode_changes == len(transitions)
+
+    @settings(max_examples=200)
+    @given(strategy=strategies, sequence=events)
+    def test_upgrades_never_enter_failed_modes(self, strategy, sequence):
+        cache = DeliveryMethodCache(strategy, upgrade_after=2)
+        record = cache.record_for(CH)
+        previous = record.current
+        for event in sequence:
+            if event == "suspect":
+                cache.on_suspect(CH)
+            elif event == "progress":
+                failed_before = set(record.failed)
+                cache.on_progress(CH)
+                if record.current is not previous:
+                    # An upgrade transition must land outside the
+                    # failed set as it was when the upgrade happened.
+                    assert record.current not in failed_before
+            else:
+                cache.mode_for(CH)
+            previous = record.current
+
+    @settings(max_examples=200)
+    @given(sequence=events)
+    def test_pinned_record_never_moves(self, sequence):
+        policy = MobilityPolicyTable()
+        policy.add("10.3.0.0/16", Disposition.HOME_ONLY)
+        cache = DeliveryMethodCache(ProbeStrategy.RULE_SEEDED, policy=policy,
+                                    upgrade_after=1)
+        for event in sequence:
+            if event == "progress":
+                cache.on_progress(CH)
+            elif event == "packet":
+                cache.mode_for(CH)
+            # (suspicions may demote even a pinned record in principle,
+            # but HOME_ONLY already sits at the bottom of the ladder)
+            else:
+                cache.on_suspect(CH)
+        assert cache.record_for(CH).current is OutMode.OUT_IE
+
+    @settings(max_examples=100)
+    @given(strategy=strategies, sequence=events)
+    def test_all_failed_means_out_ie(self, strategy, sequence):
+        """Once every aggressive mode has failed, the record must sit at
+        Out-IE and stay there regardless of further progress."""
+        cache = DeliveryMethodCache(strategy, upgrade_after=1)
+        record = cache.record_for(CH)
+        record.failed.update({OutMode.OUT_DH, OutMode.OUT_DE})
+        record.current = OutMode.OUT_IE
+        drive(cache, sequence)
+        assert record.current is OutMode.OUT_IE
+
+    @settings(max_examples=100)
+    @given(strategy=strategies, sequence=events)
+    def test_reset_all_restores_strategy_start(self, strategy, sequence):
+        cache = DeliveryMethodCache(strategy, upgrade_after=2)
+        drive(cache, sequence)
+        cache.reset_all()
+        fresh = cache.record_for(CH)
+        expected = (OutMode.OUT_DH
+                    if strategy is ProbeStrategy.AGGRESSIVE_FIRST
+                    else OutMode.OUT_IE)
+        assert fresh.current is expected
+        assert fresh.failed == set()
+        assert fresh.mode_changes == 0
+
+
+class TestAllocatorProperties:
+    """Regression properties for the address allocator (a claim()ed
+    address must never be re-issued by allocate())."""
+
+    @settings(max_examples=100)
+    @given(claims=st.lists(st.integers(min_value=1, max_value=50),
+                           unique=True, max_size=20),
+           allocations=st.integers(min_value=0, max_value=25))
+    def test_allocate_never_returns_claimed(self, claims, allocations):
+        from repro.netsim import AddressAllocator, IPAddress, Network
+
+        allocator = AddressAllocator(Network("10.0.0.0/24"), reserve=0)
+        claimed = set()
+        for octet in claims:
+            claimed.add(allocator.claim(IPAddress(f"10.0.0.{octet}")))
+        issued = set()
+        for _ in range(allocations):
+            address = allocator.allocate()
+            assert address not in claimed
+            assert address not in issued
+            issued.add(address)

@@ -1,0 +1,217 @@
+"""Integration tests: §2 connection durability across movement, §7.1.2
+probe strategies, and both-hosts-mobile operation (§1)."""
+
+import pytest
+
+from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+from repro.apps import TelnetServer, TelnetSession
+from repro.core import OutMode, ProbeStrategy
+from repro.core.policy import Disposition, MobilityPolicyTable
+from repro.mobileip import Awareness, HomeAgent, MobileHost
+from repro.netsim import Internet, IPAddress, Simulator
+
+
+class TestDurabilityAcrossMoves:
+    def run_session(self, bound_to_care_of: bool, seed: int):
+        scenario = build_scenario(seed=seed,
+                                  ch_awareness=Awareness.CONVENTIONAL)
+        TelnetServer(scenario.ch.stack)
+        scenario.net.add_domain("visited2", "10.5.0.0/16", attach_at=3)
+        session = TelnetSession(
+            scenario.mh.stack, scenario.ch_ip, think_time=1.0, keystrokes=8,
+            bound_ip=scenario.mh.care_of if bound_to_care_of else None,
+        )
+        scenario.sim.events.schedule(
+            3.5, lambda: scenario.mh.move_to(scenario.net, "visited2")
+        )
+        scenario.sim.run_for(200)
+        return session
+
+    def test_mobile_ip_session_survives(self):
+        session = self.run_session(bound_to_care_of=False, seed=501)
+        assert session.survived
+        assert session.echoes_received == 8
+
+    def test_out_dt_session_breaks(self):
+        session = self.run_session(bound_to_care_of=True, seed=502)
+        assert not session.survived
+
+    def test_multiple_moves_survived(self):
+        scenario = build_scenario(seed=503, ch_awareness=Awareness.CONVENTIONAL)
+        TelnetServer(scenario.ch.stack)
+        scenario.net.add_domain("visited2", "10.5.0.0/16", attach_at=3)
+        scenario.net.add_domain("visited3", "10.6.0.0/16", attach_at=1)
+        session = TelnetSession(scenario.mh.stack, scenario.ch_ip,
+                                think_time=1.0, keystrokes=12)
+        scenario.sim.events.schedule(
+            3.5, lambda: scenario.mh.move_to(scenario.net, "visited2"))
+        scenario.sim.events.schedule(
+            7.5, lambda: scenario.mh.move_to(scenario.net, "visited3"))
+        scenario.sim.run_for(300)
+        assert session.survived
+        assert session.echoes_received == 12
+
+    def test_return_home_mid_session(self):
+        scenario = build_scenario(seed=504, ch_awareness=Awareness.CONVENTIONAL)
+        TelnetServer(scenario.ch.stack)
+        session = TelnetSession(scenario.mh.stack, scenario.ch_ip,
+                                think_time=1.0, keystrokes=8)
+        scenario.sim.events.schedule(
+            3.5, lambda: scenario.mh.return_home(scenario.net, "home"))
+        scenario.sim.run_for(200)
+        assert session.survived
+        assert session.echoes_received == 8
+
+
+class TestProbeStrategyOutcomes:
+    """§7.1.2: where each strategy lands, and what it costs."""
+
+    def converse(self, strategy, visited_filtering, awareness, seed):
+        """A TCP conversation so feedback signals arise naturally: the
+        MH connects (port 6000 is not in the temporary-port heuristics,
+        so the home address and the mode ladder are used) and sends a
+        message every 2 seconds; the server echoes each one."""
+        scenario = build_scenario(seed=seed, strategy=strategy,
+                                  visited_filtering=visited_filtering,
+                                  ch_awareness=awareness)
+        got = []
+        scenario.ch.stack.listen(
+            6000,
+            lambda conn: setattr(conn, "on_data",
+                                 lambda d, s: conn.send(20, ("ack", d))),
+        )
+        conn = scenario.mh.stack.connect(scenario.ch_ip, 6000)
+        conn.on_data = lambda d, s: got.append(d)
+
+        def tick(count=[0]):
+            if not conn.is_open and conn.state.value != "SYN_SENT":
+                return
+            if count[0] >= 12:
+                return
+            count[0] += 1
+            conn.send(50, count[0])
+            scenario.sim.events.schedule(2.0, tick)
+
+        conn.on_established = tick
+        scenario.sim.run_for(180)
+        record = scenario.mh.engine.cache.records.get(scenario.ch_ip)
+        return got, record, scenario
+
+    def test_aggressive_lands_on_dh_when_permissive(self):
+        got, record, _ = self.converse(
+            ProbeStrategy.AGGRESSIVE_FIRST, False, Awareness.CONVENTIONAL, 511)
+        assert record.current is OutMode.OUT_DH
+        assert record.mode_changes == 0
+        assert len(got) == 12
+
+    def test_aggressive_falls_back_to_ie_when_filtered(self):
+        got, record, _ = self.converse(
+            ProbeStrategy.AGGRESSIVE_FIRST, True, Awareness.CONVENTIONAL, 512)
+        assert record.current is OutMode.OUT_IE
+        assert record.mode_changes >= 1
+        assert got  # conversation eventually flows
+
+    def test_conservative_upgrades_when_permissive(self):
+        got, record, _ = self.converse(
+            ProbeStrategy.CONSERVATIVE_FIRST, False, Awareness.DECAP_CAPABLE, 513)
+        # Started at IE, climbed toward DH over the conversation.
+        assert record.current in (OutMode.OUT_DE, OutMode.OUT_DH)
+        assert record.mode_changes >= 1
+        assert got
+
+    def test_rule_seeded_skips_probing_with_correct_rule(self):
+        policy = MobilityPolicyTable()
+        policy.add("10.3.0.0/16", Disposition.OPTIMISTIC)
+        scenario = build_scenario(seed=514, strategy=ProbeStrategy.RULE_SEEDED,
+                                  policy=policy, visited_filtering=False,
+                                  ch_awareness=Awareness.CONVENTIONAL)
+        got = []
+        sock = scenario.ch.stack.udp_socket(6000)
+        sock.on_receive(lambda d, s, ip, p: got.append(d))
+        mh_sock = scenario.mh.stack.udp_socket()
+        mh_sock.sendto("x", 50, scenario.ch_ip, 6000,
+                       src_override=MH_HOME_ADDRESS)
+        scenario.sim.run_for(20)
+        record = scenario.mh.engine.cache.records.get(scenario.ch_ip)
+        assert got == ["x"]
+        assert record.current is OutMode.OUT_DH
+        assert record.mode_changes == 0
+        assert scenario.mh.tunnel.encapsulated_count == 0
+
+    def test_rule_seeded_home_only_never_leaves_tunnel(self):
+        policy = MobilityPolicyTable()
+        policy.add("0.0.0.0/0", Disposition.HOME_ONLY)
+        got, record, scenario = self.converse(
+            ProbeStrategy.RULE_SEEDED, False, Awareness.CONVENTIONAL, 515)
+        # converse() builds its own scenario; emulate by direct check:
+        cache = scenario.mh.engine.cache
+        assert cache is not None  # structural sanity
+        # Dedicated scenario for the pinning check:
+        pinned = build_scenario(seed=516, strategy=ProbeStrategy.RULE_SEEDED,
+                                policy=policy, visited_filtering=False,
+                                ch_awareness=Awareness.CONVENTIONAL)
+        sock = pinned.ch.stack.udp_socket(6000)
+        seen = []
+        sock.on_receive(lambda d, s, ip, p: seen.append(d))
+        mh_sock = pinned.mh.stack.udp_socket(6001)
+        mh_sock.on_receive(lambda *a: None)
+        for index in range(6):
+            pinned.sim.events.schedule(
+                index * 1.0,
+                lambda i=index: mh_sock.sendto(i, 50, pinned.ch_ip, 6000,
+                                               src_override=MH_HOME_ADDRESS))
+        pinned.sim.run_for(30)
+        assert len(seen) == 6
+        assert pinned.mh.tunnel.encapsulated_count == 6   # every packet Out-IE
+        assert pinned.mh.engine.cache.record_for(pinned.ch_ip).pinned
+
+
+class TestBothHostsMobile:
+    """§1: 'the same techniques and optimizations apply equally well if
+    both hosts are mobile' — two mobile hosts, both away from home,
+    conversing through their home agents."""
+
+    def test_two_mobile_hosts_converse(self):
+        sim = Simulator(seed=521)
+        net = Internet(sim, backbone_size=5)
+        home_a = net.add_domain("home-a", "10.1.0.0/16", attach_at=0)
+        home_b = net.add_domain("home-b", "10.7.0.0/16", attach_at=2)
+        net.add_domain("visit-a", "10.2.0.0/16", attach_at=4)
+        net.add_domain("visit-b", "10.8.0.0/16", attach_at=3)
+
+        ha_a = HomeAgent("ha-a", sim, home_network=home_a.prefix)
+        ha_a_ip = net.add_host("home-a", ha_a)
+        ha_b = HomeAgent("ha-b", sim, home_network=home_b.prefix)
+        ha_b_ip = net.add_host("home-b", ha_b)
+
+        mh_a = MobileHost("mh-a", sim, home_address=IPAddress("10.1.0.10"),
+                          home_network=home_a.prefix, home_agent_address=ha_a_ip)
+        mh_a.attach_home(net, "home-a")
+        mh_b = MobileHost("mh-b", sim, home_address=IPAddress("10.7.0.10"),
+                          home_network=home_b.prefix, home_agent_address=ha_b_ip)
+        mh_b.attach_home(net, "home-b")
+
+        mh_a.move_to(net, "visit-a")
+        mh_b.move_to(net, "visit-b")
+        sim.run(until=sim.now + 5)
+        assert mh_a.registered and mh_b.registered
+
+        got_a, got_b = [], []
+        sock_b = mh_b.stack.udp_socket(7000)
+
+        def echo(d, s, ip, p):
+            got_b.append(d)
+            sock_b.sendto("echo", s, ip, p,
+                          src_override=IPAddress("10.7.0.10"))
+
+        sock_b.on_receive(echo)
+        sock_a = mh_a.stack.udp_socket(7001)
+        sock_a.on_receive(lambda d, s, ip, p: got_a.append((d, str(ip))))
+        sock_a.sendto("hello", 50, IPAddress("10.7.0.10"), 7000,
+                      src_override=IPAddress("10.1.0.10"))
+        sim.run(until=sim.now + 30)
+        assert got_b == ["hello"]
+        assert got_a == [("echo", "10.7.0.10")]
+        # Each direction transited the respective home agent.
+        assert ha_b.packets_tunneled >= 1
+        assert ha_a.packets_tunneled >= 1

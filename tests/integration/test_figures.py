@@ -1,0 +1,202 @@
+"""End-to-end reproductions of Figures 1-5 as assertions.
+
+(Figures 6-9 are address-table diagrams — covered by
+tests/core/test_modes.py; Figure 10 by test_grid_matrix.py.)
+"""
+
+import pytest
+
+from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+from repro.core import ProbeStrategy
+from repro.mobileip import Awareness
+from repro.netsim import IPAddress
+
+
+def udp_roundtrip(scenario, data="ping", port=7000, src_override=None):
+    """CH sends to the home address; MH echoes; returns events."""
+    events = {"mh_got": [], "ch_got": []}
+    mh_sock = scenario.mh.stack.udp_socket(port)
+
+    def echo(payload, size, src_ip, src_port):
+        events["mh_got"].append(payload)
+        mh_sock.sendto("echo:" + str(payload), size, src_ip, src_port,
+                       src_override=src_override or MH_HOME_ADDRESS)
+
+    mh_sock.on_receive(echo)
+    ch_sock = scenario.ch.stack.udp_socket()
+    ch_sock.on_receive(lambda d, s, ip, p: events["ch_got"].append((d, str(ip))))
+    ch_sock.sendto(data, 100, MH_HOME_ADDRESS, port)
+    scenario.sim.run_for(30)
+    return events
+
+
+class TestFigure1BasicMobileIP:
+    """CH -> home network -> HA tunnel -> MH;  MH -> CH direct."""
+
+    def test_incoming_travels_via_home_agent(self):
+        scenario = build_scenario(seed=401, ch_awareness=Awareness.CONVENTIONAL,
+                                  visited_filtering=False,
+                                  strategy=ProbeStrategy.AGGRESSIVE_FIRST)
+        events = udp_roundtrip(scenario)
+        assert events["mh_got"] == ["ping"]
+        assert scenario.ha.packets_tunneled == 1
+        # The reply went direct (Out-DH), not through the home agent.
+        assert events["ch_got"] == [("echo:ping", str(MH_HOME_ADDRESS))]
+        assert scenario.ha.packets_reverse_forwarded == 0
+        assert scenario.mh.tunnel.encapsulated_count == 0
+
+    def test_incoming_path_visits_home_domain(self):
+        scenario = build_scenario(seed=402, ch_awareness=Awareness.CONVENTIONAL,
+                                  visited_filtering=False)
+        udp_roundtrip(scenario)
+        forwards = [e.node for e in scenario.sim.trace.entries
+                    if e.action == "forward" and e.dst == str(MH_HOME_ADDRESS)]
+        assert "home-gw" in forwards    # the triangle's corner
+
+
+class TestFigure2SourceAddressFiltering:
+    """The MH's plain home-source packets never reach the CH."""
+
+    def test_out_dh_reply_discarded(self):
+        scenario = build_scenario(seed=403, ch_awareness=Awareness.CONVENTIONAL,
+                                  visited_filtering=True,
+                                  strategy=ProbeStrategy.AGGRESSIVE_FIRST)
+        # Disable demotion so the MH stubbornly keeps using Out-DH the
+        # way Figure 2's naive host would.
+        scenario.mh.engine.detector.threshold = 10**9
+        events = udp_roundtrip(scenario)
+        assert events["mh_got"] == ["ping"]      # inbound worked (via HA)
+        assert events["ch_got"] == []            # reply was eaten
+        drops = scenario.sim.trace.drops_by_reason
+        assert drops.get(
+            "source-address-filter:foreign-source-leaving-site", 0) >= 1
+
+    def test_drop_happens_at_boundary_router(self):
+        scenario = build_scenario(seed=404, ch_awareness=Awareness.CONVENTIONAL,
+                                  visited_filtering=True,
+                                  strategy=ProbeStrategy.AGGRESSIVE_FIRST)
+        scenario.mh.engine.detector.threshold = 10**9
+        udp_roundtrip(scenario)
+        drop_nodes = [e.node for e in scenario.sim.trace.entries
+                      if e.action == "drop" and "source-address-filter" in e.detail]
+        assert drop_nodes and all(node == "visited-gw" for node in drop_nodes)
+
+
+class TestFigure3BidirectionalTunneling:
+    """Out-IE evades the boundary checks at the cost of path length."""
+
+    def test_reverse_tunnel_restores_deliverability(self):
+        scenario = build_scenario(seed=405, ch_awareness=Awareness.CONVENTIONAL,
+                                  visited_filtering=True,
+                                  strategy=ProbeStrategy.CONSERVATIVE_FIRST)
+        events = udp_roundtrip(scenario)
+        assert events["ch_got"] == [("echo:ping", str(MH_HOME_ADDRESS))]
+        assert scenario.mh.tunnel.encapsulated_count >= 1
+        assert scenario.ha.packets_reverse_forwarded >= 1
+
+    def test_tunneled_path_is_longer_than_direct(self):
+        """§3.2: indirect delivery costs hops."""
+        # Out-IE path: visited -> home -> chdom; direct: visited -> chdom.
+        tunneled = build_scenario(seed=406, ch_awareness=Awareness.CONVENTIONAL,
+                                  visited_filtering=True,
+                                  strategy=ProbeStrategy.CONSERVATIVE_FIRST)
+        udp_roundtrip(tunneled)
+        direct = build_scenario(seed=406, ch_awareness=Awareness.CONVENTIONAL,
+                                visited_filtering=False,
+                                strategy=ProbeStrategy.AGGRESSIVE_FIRST)
+        udp_roundtrip(direct)
+
+        def reply_hops(scenario):
+            hops = [e for e in scenario.sim.trace.entries
+                    if e.action == "forward"
+                    and e.src in (str(MH_HOME_ADDRESS), str(scenario.mh.care_of))
+                    and e.dst in (str(scenario.ch_ip), str(scenario.ha_ip))]
+            return len(hops)
+
+        assert reply_hops(tunneled) > reply_hops(direct)
+
+
+class TestFigure4NearbyCorrespondent:
+    """Triangle routing is painful exactly when the CH is near the MH."""
+
+    @staticmethod
+    def measure_rtt(scenario):
+        mh_sock = scenario.mh.stack.udp_socket(7000)
+        mh_sock.on_receive(
+            lambda d, s, ip, p: mh_sock.sendto("echo", s, ip, p,
+                                               src_override=MH_HOME_ADDRESS)
+        )
+        ch_sock = scenario.ch.stack.udp_socket()
+        times = []
+        start = {}
+
+        def send():
+            start["t"] = scenario.sim.now
+            ch_sock.sendto("ping", 100, MH_HOME_ADDRESS, 7000)
+
+        ch_sock.on_receive(lambda d, s, ip, p: times.append(
+            scenario.sim.now - start["t"]))
+        send()
+        scenario.sim.run_for(30)
+        return times[0] if times else None
+
+    def test_stretch_grows_as_ch_approaches_mh(self):
+        """In-IE RTT vs. CH position: nearer CH = worse triangle."""
+        rtts = {}
+        for ch_attach in (1, 4):   # near home vs. near visited
+            scenario = build_scenario(
+                seed=407, backbone_size=5, ch_attach=ch_attach,
+                ch_awareness=Awareness.CONVENTIONAL,
+                strategy=ProbeStrategy.CONSERVATIVE_FIRST,
+            )
+            rtts[ch_attach] = self.measure_rtt(scenario)
+        # Both delivered, and the absolute RTT is similar (both cross
+        # the backbone to home) even though attach=4 is adjacent to the
+        # MH — that is precisely the waste Figure 4 depicts.
+        assert rtts[1] is not None and rtts[4] is not None
+        # Direct RTT for attach=4 would be tiny; via the HA it is not.
+        direct = build_scenario(
+            seed=408, backbone_size=5, ch_attach=4,
+            ch_awareness=Awareness.MOBILE_AWARE, visited_filtering=False,
+            strategy=ProbeStrategy.AGGRESSIVE_FIRST,
+        )
+        direct.ch.learn_binding(MH_HOME_ADDRESS, direct.mh.care_of, 300.0)
+        direct_rtt = self.measure_rtt(direct)
+        assert direct_rtt is not None
+        assert rtts[4] > 3 * direct_rtt
+
+
+class TestFigure5SmartCorrespondent:
+    """A mobile-aware CH learns the binding and sends In-DE directly."""
+
+    def test_advisory_learning_cuts_the_triangle(self):
+        scenario = build_scenario(seed=409, ch_awareness=Awareness.MOBILE_AWARE,
+                                  notify_correspondents=True,
+                                  visited_filtering=False,
+                                  strategy=ProbeStrategy.AGGRESSIVE_FIRST)
+        mh_sock = scenario.mh.stack.udp_socket(7000)
+        mh_sock.on_receive(lambda *a: None)
+        ch_sock = scenario.ch.stack.udp_socket()
+        for index in range(5):
+            scenario.sim.events.schedule(
+                index * 1.0,
+                lambda: ch_sock.sendto("x", 50, MH_HOME_ADDRESS, 7000),
+            )
+        scenario.sim.run_for(30)
+        assert scenario.ha.packets_tunneled == 1       # only the first packet
+        assert scenario.ch.direct_tunneled == 4        # the rest: In-DE
+        assert scenario.mh.tunnel.decapsulated_count == 5
+
+    def test_in_de_latency_beats_in_ie_for_nearby_ch(self):
+        near_args = dict(seed=410, backbone_size=5, ch_attach=4,
+                         visited_filtering=False)
+        triangle = build_scenario(ch_awareness=Awareness.CONVENTIONAL,
+                                  strategy=ProbeStrategy.CONSERVATIVE_FIRST,
+                                  **near_args)
+        rtt_triangle = TestFigure4NearbyCorrespondent.measure_rtt(triangle)
+        smart = build_scenario(ch_awareness=Awareness.MOBILE_AWARE,
+                               strategy=ProbeStrategy.AGGRESSIVE_FIRST,
+                               **near_args)
+        smart.ch.learn_binding(MH_HOME_ADDRESS, smart.mh.care_of, 300.0)
+        rtt_smart = TestFigure4NearbyCorrespondent.measure_rtt(smart)
+        assert rtt_smart < rtt_triangle / 3

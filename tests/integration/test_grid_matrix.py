@@ -1,0 +1,165 @@
+"""Empirical Figure 10: run all sixteen (In, Out) combinations.
+
+For every cell we stage a UDP request/response conversation with the
+incoming packet delivered per the row's mechanism and the reply built
+per the column's address table, on a permissive network.  A cell is
+*empirically viable* when (a) the reply arrives at the correspondent,
+and (b) the reply's visible source address matches the address the
+correspondent originally sent to — the association rule of §6.5 ("the
+correspondent host will have no way to associate the reply with the
+packet that caused it").
+
+The test asserts that empirical viability is exactly the grid's
+works-with-TCP classification: the seven useful and three
+valid-but-unlikely cells converse; the six dark cells do not.
+"""
+
+import pytest
+
+from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+from repro.core.grid import GRID, CellClass
+from repro.core.modes import AddressPlan, InMode, OutMode, build_outgoing
+from repro.mobileip import Awareness
+from repro.netsim.packet import IPProto
+from repro.transport import UDPDatagram
+
+MH_PORT = 7000
+
+
+def run_cell(in_mode: InMode, out_mode: OutMode, seed: int = 300):
+    """Stage one conversation; returns (reply_arrived, visible_src, sent_to)."""
+    ch_on_lan = in_mode is InMode.IN_DH
+    scenario = build_scenario(
+        seed=seed,
+        ch_awareness=Awareness.MOBILE_AWARE,
+        ch_in_visited_lan=ch_on_lan,
+        visited_filtering=False,
+        ch_filtering=False,
+    )
+    mh, ch, sim = scenario.mh, scenario.ch, scenario.sim
+    plan = AddressPlan(
+        home=MH_HOME_ADDRESS,
+        care_of=mh.care_of,
+        home_agent=scenario.ha_ip,
+        correspondent=scenario.ch_ip,
+    )
+
+    # Row mechanism: binding only for rows B and C (In-DE / In-DH).
+    if in_mode in (InMode.IN_DE, InMode.IN_DH):
+        ch.learn_binding(MH_HOME_ADDRESS, mh.care_of, 300.0)
+    sent_to = plan.care_of if in_mode is InMode.IN_DT else plan.home
+
+    # The mobile host echoes with a reply built per the column's
+    # address table (bypassing the engine so every cell can be forced,
+    # including the valid-but-unlikely ones the engine would not pick).
+    def on_request(data, size, src_ip, src_port):
+        reply = UDPDatagram(MH_PORT, src_port, ("rep", data), 30)
+        packet = build_outgoing(
+            out_mode, plan, payload=reply, payload_size=reply.size,
+            proto=IPProto.UDP,
+        )
+        mh.ip_send(packet, bypass_overrides=True)
+
+    mh_sock = mh.stack.udp_socket(MH_PORT)
+    mh_sock.on_receive(on_request)
+
+    replies = []
+    ch_sock = ch.stack.udp_socket()
+    ch_sock.on_receive(lambda d, s, ip, p: replies.append(ip))
+    ch_sock.sendto(("req", 1), 40, sent_to, MH_PORT)
+    sim.run_for(20)
+
+    arrived = bool(replies)
+    visible_src = replies[0] if replies else None
+    return arrived, visible_src, sent_to
+
+
+class TestAllSixteenCells:
+    @pytest.mark.parametrize(
+        "in_mode,out_mode",
+        [(i, o) for i in InMode for o in OutMode],
+        ids=lambda m: m.value,
+    )
+    def test_cell_viability_matches_figure_10(self, in_mode, out_mode):
+        arrived, visible_src, sent_to = run_cell(in_mode, out_mode)
+        viable = arrived and visible_src == sent_to
+        cell = GRID.cell(in_mode, out_mode)
+        assert viable == cell.works_with_tcp, (
+            f"{in_mode.value}/{out_mode.value}: empirical viable={viable} "
+            f"(arrived={arrived}, saw {visible_src}, sent to {sent_to}) but "
+            f"grid says {cell.cell_class.value}"
+        )
+
+
+class TestRequirementsBite:
+    """Figure 10's per-cell requirements, violated on purpose."""
+
+    def test_out_dh_fails_under_source_filtering(self):
+        """(In-IE, Out-DH) requires a permissive path: turn filtering
+        back on and the reply dies at the visited boundary."""
+        scenario = build_scenario(seed=301, ch_awareness=Awareness.CONVENTIONAL,
+                                  visited_filtering=True)
+        plan = AddressPlan(MH_HOME_ADDRESS, scenario.mh.care_of,
+                           scenario.ha_ip, scenario.ch_ip)
+        replies = []
+        mh_sock = scenario.mh.stack.udp_socket(MH_PORT)
+
+        def on_request(data, size, src_ip, src_port):
+            reply = UDPDatagram(MH_PORT, src_port, "rep", 30)
+            packet = build_outgoing(OutMode.OUT_DH, plan, payload=reply,
+                                    payload_size=reply.size, proto=IPProto.UDP)
+            scenario.mh.ip_send(packet, bypass_overrides=True)
+
+        mh_sock.on_receive(on_request)
+        ch_sock = scenario.ch.stack.udp_socket()
+        ch_sock.on_receive(lambda d, s, ip, p: replies.append(d))
+        ch_sock.sendto("req", 40, MH_HOME_ADDRESS, MH_PORT)
+        scenario.sim.run_for(20)
+        assert replies == []
+        drops = scenario.sim.trace.drops_by_reason
+        assert any("source-address-filter" in r or "transit" in r for r in drops)
+
+    def test_out_de_fails_without_decap_capability(self):
+        """(In-IE, Out-DE) requires a decapsulating correspondent."""
+        scenario = build_scenario(seed=302, ch_awareness=Awareness.CONVENTIONAL,
+                                  visited_filtering=False)
+        plan = AddressPlan(MH_HOME_ADDRESS, scenario.mh.care_of,
+                           scenario.ha_ip, scenario.ch_ip)
+        replies = []
+        mh_sock = scenario.mh.stack.udp_socket(MH_PORT)
+
+        def on_request(data, size, src_ip, src_port):
+            reply = UDPDatagram(MH_PORT, src_port, "rep", 30)
+            packet = build_outgoing(OutMode.OUT_DE, plan, payload=reply,
+                                    payload_size=reply.size, proto=IPProto.UDP)
+            scenario.mh.ip_send(packet, bypass_overrides=True)
+
+        mh_sock.on_receive(on_request)
+        ch_sock = scenario.ch.stack.udp_socket()
+        ch_sock.on_receive(lambda d, s, ip, p: replies.append(d))
+        ch_sock.sendto("req", 40, MH_HOME_ADDRESS, MH_PORT)
+        scenario.sim.run_for(20)
+        assert replies == []
+
+    def test_out_ie_works_even_under_filtering_with_conventional_ch(self):
+        """(In-IE, Out-IE): 'the only method that can be relied upon to
+        work in all situations'."""
+        scenario = build_scenario(seed=303, ch_awareness=Awareness.CONVENTIONAL,
+                                  visited_filtering=True)
+        plan = AddressPlan(MH_HOME_ADDRESS, scenario.mh.care_of,
+                           scenario.ha_ip, scenario.ch_ip)
+        replies = []
+        mh_sock = scenario.mh.stack.udp_socket(MH_PORT)
+
+        def on_request(data, size, src_ip, src_port):
+            reply = UDPDatagram(MH_PORT, src_port, "rep", 30)
+            packet = build_outgoing(OutMode.OUT_IE, plan, payload=reply,
+                                    payload_size=reply.size, proto=IPProto.UDP)
+            scenario.mh.ip_send(packet, bypass_overrides=True)
+
+        mh_sock.on_receive(on_request)
+        ch_sock = scenario.ch.stack.udp_socket()
+        ch_sock.on_receive(lambda d, s, ip, p: replies.append(str(ip)))
+        ch_sock.sendto("req", 40, MH_HOME_ADDRESS, MH_PORT)
+        scenario.sim.run_for(20)
+        assert replies == [str(MH_HOME_ADDRESS)]

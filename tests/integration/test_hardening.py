@@ -1,0 +1,245 @@
+"""Hardening tests: firewalls, fragmentation end-to-end, failure
+injection, and recovery behaviours the figures imply but do not draw."""
+
+import pytest
+
+from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+from repro.core import ProbeStrategy
+from repro.mobileip import Awareness, HomeAgent, MobileHost
+from repro.netsim import Internet, IPAddress, Node, Simulator
+from repro.netsim.filters import firewall_allow_only
+from repro.netsim.packet import IPProto
+from repro.transport import TransportStack
+
+
+class TestFirewallHomeAgent:
+    """§3.1: 'we anticipate that the firewall itself would be set up to
+    act as the mobile user's home agent.'  We model the firewall as a
+    default-deny boundary whose allow-list admits exactly the tunnel
+    traffic terminating at the home-agent function (the HA host and the
+    mobile addresses it proxies)."""
+
+    def build(self, seed=901):
+        sim = Simulator(seed=seed)
+        net = Internet(sim, backbone_size=3)
+        ha_ip = IPAddress("10.1.0.2")
+        from repro.netsim import Network
+
+        home_prefix = Network("10.1.0.0/16")
+        rules = firewall_allow_only(
+            home_prefix,
+            allowed_protos=[],                      # default deny
+            allowed_hosts=[ha_ip, MH_HOME_ADDRESS],  # HA + its proxied MH
+        )
+        home = net.add_domain("home", "10.1.0.0/16", attach_at=0,
+                              source_filtering=False, forbid_transit=True,
+                              extra_rules=rules)
+        net.add_domain("visited", "10.2.0.0/16", attach_at=2)
+        ha = HomeAgent("ha", sim, home_network=home.prefix)
+        assert net.add_host("home", ha, address=ha_ip) == ha_ip
+        mh = MobileHost("mh", sim, home_address=MH_HOME_ADDRESS,
+                        home_network=home.prefix, home_agent_address=ha_ip,
+                        strategy=ProbeStrategy.CONSERVATIVE_FIRST)
+        mh.attach_home(net, "home")
+        inside = Node("inside-server", sim)
+        inside_ip = net.add_host("home", inside)
+        mh.move_to(net, "visited")
+        sim.run(until=sim.now + 5)
+        return sim, net, ha, mh, inside, inside_ip
+
+    def test_registration_passes_firewall(self):
+        sim, _net, ha, mh, _inside, _ip = self.build()
+        assert mh.registered
+        assert len(ha.bindings) == 1
+
+    def test_tunnel_traffic_reaches_protected_services(self):
+        """The roaming user reaches home services through the firewall
+        via the reverse tunnel (inner packets re-sent by the HA)."""
+        sim, _net, _ha, mh, inside, inside_ip = self.build(seed=902)
+        stack = TransportStack(inside)
+        got = []
+        sock = stack.udp_socket(6000)
+        sock.on_receive(lambda d, s, ip, p: got.append((d, str(ip))))
+        mh_sock = mh.stack.udp_socket(6001)
+        replies = []
+        mh_sock.on_receive(lambda d, s, ip, p: replies.append(d))
+
+        mh_sock.sendto("inward", 50, inside_ip, 6000,
+                       src_override=MH_HOME_ADDRESS)
+        sim.run(until=sim.now + 10)
+        assert got == [("inward", str(MH_HOME_ADDRESS))]
+        # And the reply comes back out through the HA capture + tunnel.
+        sock.sendto("outward", 50, MH_HOME_ADDRESS, 6001)
+        sim.run(until=sim.now + 10)
+        assert replies == ["outward"]
+
+    def test_direct_probes_to_other_hosts_blocked(self):
+        """Anything not addressed to the HA/MH allow-list dies at the
+        firewall — including an outsider's direct UDP at the server."""
+        sim, net, _ha, _mh, inside, inside_ip = self.build(seed=903)
+        outsider = Node("outsider", sim)
+        net.add_host("visited", outsider)
+        stack = TransportStack(outsider)
+        inside_stack = TransportStack(inside)
+        got = []
+        sock = inside_stack.udp_socket(7000)
+        sock.on_receive(lambda *a: got.append(a))
+        out_sock = stack.udp_socket()
+        out_sock.sendto("knock", 50, inside_ip, 7000)
+        sim.run(until=sim.now + 10)
+        assert got == []
+        assert sim.trace.drops_by_reason.get("firewall-policy", 0) >= 1
+
+
+class TestFragmentationEndToEnd:
+    """§3.3's doubling claim, across a real narrow link (not just the
+    fragment() unit): a 576-byte-MTU backbone hop forces tunneled
+    packets to fragment and reassemble transparently."""
+
+    def build(self, seed=911):
+        sim = Simulator(seed=seed)
+        net = Internet(sim, backbone_size=2)
+        net.add_domain("a", "10.1.0.0/16", attach_at=0, source_filtering=False)
+        net.add_domain("b", "10.2.0.0/16", attach_at=1, source_filtering=False)
+        # Shrink the inter-backbone link's MTU to ancient-internet 576.
+        sim.segments["p2p-bb0-bb1"].mtu = 576
+        a, b = Node("a1", sim), Node("b1", sim)
+        ip_a = net.add_host("a", a)
+        ip_b = net.add_host("b", b)
+        return sim, a, ip_a, b, ip_b
+
+    @pytest.mark.parametrize("payload", [500, 548, 600, 1400, 3000])
+    def test_udp_payloads_cross_narrow_link(self, payload):
+        sim, a, ip_a, b, ip_b = self.build()
+        sa, sb = TransportStack(a), TransportStack(b)
+        got = []
+        sock = sb.udp_socket(6000)
+        sock.on_receive(lambda d, s, ip, p: got.append((d, s)))
+        client = sa.udp_socket()
+        client.sendto("payload", payload, ip_b, 6000)
+        sim.run(until=30)
+        assert got == [("payload", payload)]
+
+    def test_fragments_counted_on_narrow_link(self):
+        sim, a, ip_a, b, ip_b = self.build(seed=912)
+        sa, sb = TransportStack(a), TransportStack(b)
+        sock = sb.udp_socket(6000)
+        sock.on_receive(lambda *args: None)
+        client = sa.udp_socket()
+        client.sendto("big", 1400, ip_b, 6000)
+        sim.run(until=30)
+        # 1400+8+20 = 1428B packet over a 576 MTU: ceil(1408/552)=3 frags.
+        assert sim.trace.action_counts["fragment"] == 1
+        assert b.reassembler.reassembled == 1
+
+    def test_tunneled_packet_fragments_and_reassembles(self):
+        """An Out-IE tunnel packet crossing the narrow hop: the outer
+        packet fragments; the HA reassembles before decapsulation."""
+        sim = Simulator(seed=913)
+        net = Internet(sim, backbone_size=2)
+        home = net.add_domain("home", "10.1.0.0/16", attach_at=0)
+        net.add_domain("visited", "10.2.0.0/16", attach_at=1)
+        sim.segments["p2p-bb0-bb1"].mtu = 576
+        ha = HomeAgent("ha", sim, home_network=home.prefix)
+        ha_ip = net.add_host("home", ha)
+        mh = MobileHost("mh", sim, home_address=MH_HOME_ADDRESS,
+                        home_network=home.prefix, home_agent_address=ha_ip,
+                        strategy=ProbeStrategy.CONSERVATIVE_FIRST)
+        mh.attach_home(net, "home")
+        inside = Node("server", sim)
+        inside_ip = net.add_host("home", inside)
+        mh.move_to(net, "visited")
+        sim.run(until=sim.now + 5)
+        stack = TransportStack(inside)
+        got = []
+        sock = stack.udp_socket(6000)
+        sock.on_receive(lambda d, s, ip, p: got.append(s))
+        mh_sock = mh.stack.udp_socket()
+        mh_sock.sendto("big", 1200, inside_ip, 6000,
+                       src_override=MH_HOME_ADDRESS)
+        sim.run(until=sim.now + 10)
+        assert got == [1200]
+        assert ha.reassembler.reassembled >= 1
+
+
+class TestFailureInjection:
+    def test_home_agent_outage_kills_tunneled_traffic_only(self):
+        """The home agent is Mobile IP's single point of failure — but
+        only for the conversations that use it: Out-DT traffic
+        continues."""
+        scenario = build_scenario(seed=921,
+                                  ch_awareness=Awareness.CONVENTIONAL,
+                                  visited_filtering=True)
+        sim = scenario.sim
+        ch_tunnel, ch_direct = [], []
+        tunnel_sock = scenario.ch.stack.udp_socket(6000)
+        tunnel_sock.on_receive(lambda d, s, ip, p: ch_tunnel.append(d))
+        direct_sock = scenario.ch.stack.udp_socket(53)
+        direct_sock.on_receive(lambda d, s, ip, p: ch_direct.append(d))
+        mh_sock = scenario.mh.stack.udp_socket()
+
+        # Kill the home agent's interface.
+        scenario.ha.interfaces["eth0"].up = False
+        mh_sock.sendto("via-ha", 50, scenario.ch_ip, 6000,
+                       src_override=MH_HOME_ADDRESS)
+        mh_sock.sendto("direct", 50, scenario.ch_ip, 53)   # DNS heuristic
+        sim.run_for(20)
+        assert ch_tunnel == []          # tunnel endpoint is gone
+        assert ch_direct == ["direct"]  # Out-DT does not care
+
+    def test_binding_expiry_without_reregistration(self):
+        """Registrations have lifetimes; a silent mobile host falls out
+        of the binding table and incoming packets are dropped on the
+        home LAN (nobody answers ARP for it)."""
+        scenario = build_scenario(seed=922,
+                                  ch_awareness=Awareness.CONVENTIONAL,
+                                  mobile_starts_away=False)
+        # Model the silent host: the keep-alive is off.
+        scenario.mh.auto_reregister = False
+        scenario.mh.move_to(scenario.net, "visited", lifetime=3.0)
+        scenario.sim.run_for(10)   # binding now expired
+        assert scenario.ha.bindings.lookup(MH_HOME_ADDRESS,
+                                           scenario.sim.now) is None
+        got = []
+        sock = scenario.mh.stack.udp_socket(7000)
+        sock.on_receive(lambda *a: got.append(a))
+        ch_sock = scenario.ch.stack.udp_socket()
+        ch_sock.sendto("late", 50, MH_HOME_ADDRESS, 7000)
+        scenario.sim.run_for(10)
+        assert got == []
+
+    def test_reregistration_refreshes_binding(self):
+        scenario = build_scenario(seed=923, ch_awareness=None,
+                                  mobile_starts_away=False)
+        scenario.mh.move_to(scenario.net, "visited", lifetime=3.0)
+        scenario.sim.run_for(2)
+        scenario.mh.register_with_home_agent(lifetime=300.0)
+        scenario.sim.run_for(10)
+        assert scenario.ha.bindings.lookup(MH_HOME_ADDRESS,
+                                           scenario.sim.now) is not None
+
+    def test_smart_ch_recovers_after_stale_binding_expires(self):
+        """Figure 5's cache gone stale: the CH tunnels to the old
+        care-of address until the binding lifetime runs out, then falls
+        back to the home agent — which re-advises the new binding."""
+        scenario = build_scenario(seed=924,
+                                  ch_awareness=Awareness.MOBILE_AWARE,
+                                  notify_correspondents=True)
+        scenario.ha.advisory_lifetime = 5.0
+        scenario.net.add_domain("visited2", "10.5.0.0/16", attach_at=3)
+        sim = scenario.sim
+        got = []
+        sock = scenario.mh.stack.udp_socket(7000)
+        sock.on_receive(lambda d, s, ip, p: got.append(d))
+        ch_sock = scenario.ch.stack.udp_socket()
+        for index in range(16):
+            sim.events.schedule(
+                index * 1.0,
+                lambda i=index: ch_sock.sendto(i, 50, MH_HOME_ADDRESS, 7000))
+        sim.events.schedule(3.5, lambda: scenario.mh.move_to(scenario.net,
+                                                             "visited2"))
+        sim.run_for(60)
+        # Some packets die against the stale binding, but delivery
+        # resumes within the advisory lifetime.
+        assert len(got) >= 16 - (5 + 2)
+        assert got[-1] == 15   # the tail of the stream arrived

@@ -1,0 +1,112 @@
+"""Scale test: one home agent serving a fleet of roaming mobile hosts.
+
+The paper's home agent "acts as a proxy on behalf of the mobile host
+for the duration of its absence" — per host.  This test checks the
+machinery stays correct (not just fast) when many hosts share one
+agent: independent bindings, independent proxy-ARP entries, per-host
+mode ladders, and no cross-talk between conversations.
+"""
+
+import pytest
+
+from repro.core import ProbeStrategy
+from repro.mobileip import Awareness, CorrespondentHost, HomeAgent, MobileHost
+from repro.netsim import Internet, IPAddress, Simulator
+
+FLEET = 12
+
+
+@pytest.fixture
+def fleet():
+    sim = Simulator(seed=961)
+    net = Internet(sim, backbone_size=4)
+    home = net.add_domain("home", "10.1.0.0/16", attach_at=0)
+    net.add_domain("visited-a", "10.2.0.0/16", attach_at=3)
+    net.add_domain("visited-b", "10.4.0.0/16", attach_at=2)
+    chdom = net.add_domain("chdom", "10.3.0.0/16", attach_at=1,
+                           source_filtering=False, forbid_transit=False)
+    ha = HomeAgent("ha", sim, home_network=home.prefix)
+    ha_ip = net.add_host("home", ha)
+    ch = CorrespondentHost("ch", sim, awareness=Awareness.CONVENTIONAL)
+    ch_ip = net.add_host("chdom", ch)
+
+    hosts = []
+    for index in range(FLEET):
+        mh = MobileHost(
+            f"mh{index}", sim,
+            home_address=IPAddress(f"10.1.1.{index + 1}"),
+            home_network=home.prefix,
+            home_agent_address=ha_ip,
+            strategy=ProbeStrategy.CONSERVATIVE_FIRST,
+        )
+        mh.attach_home(net, "home")
+        hosts.append(mh)
+    return sim, net, ha, ch, ch_ip, hosts
+
+
+class TestFleet:
+    def test_all_register_independently(self, fleet):
+        sim, net, ha, _ch, _ch_ip, hosts = fleet
+        for index, mh in enumerate(hosts):
+            mh.move_to(net, "visited-a" if index % 2 == 0 else "visited-b")
+        sim.run(until=sim.now + 10)
+        assert all(mh.registered for mh in hosts)
+        assert len(ha.bindings) == FLEET
+        care_ofs = {mh.care_of for mh in hosts}
+        assert len(care_ofs) == FLEET   # no address collisions
+
+    def test_conversations_do_not_cross_talk(self, fleet):
+        sim, net, ha, ch, ch_ip, hosts = fleet
+        for index, mh in enumerate(hosts):
+            mh.move_to(net, "visited-a" if index % 2 == 0 else "visited-b")
+        sim.run(until=sim.now + 10)
+
+        inboxes = {mh.name: [] for mh in hosts}
+        for mh in hosts:
+            sock = mh.stack.udp_socket(7000)
+            sock.on_receive(
+                lambda d, s, ip, p, name=mh.name: inboxes[name].append(d)
+            )
+        ch_sock = ch.stack.udp_socket()
+        for index, mh in enumerate(hosts):
+            ch_sock.sendto(f"for-{mh.name}", 50, mh.home_address, 7000)
+        sim.run(until=sim.now + 30)
+        for mh in hosts:
+            assert inboxes[mh.name] == [f"for-{mh.name}"]
+        assert ha.packets_tunneled == FLEET
+
+    def test_fleet_roundtrips_with_replies(self, fleet):
+        sim, net, ha, ch, ch_ip, hosts = fleet
+        for index, mh in enumerate(hosts):
+            mh.move_to(net, "visited-a" if index % 2 == 0 else "visited-b")
+        sim.run(until=sim.now + 10)
+        got = []
+        ch_sock = ch.stack.udp_socket(6000)
+        ch_sock.on_receive(lambda d, s, ip, p: got.append((d, str(ip))))
+        for mh in hosts:
+            sock = mh.stack.udp_socket()
+            sock.sendto(mh.name, 50, ch_ip, 6000,
+                        src_override=mh.home_address)
+        sim.run(until=sim.now + 30)
+        assert sorted(d for d, _src in got) == sorted(mh.name for mh in hosts)
+        # Each reply source is the corresponding permanent address.
+        for name, src in got:
+            index = int(name[2:])
+            assert src == f"10.1.1.{index + 1}"
+
+    def test_partial_fleet_returns_home(self, fleet):
+        sim, net, ha, _ch, _ch_ip, hosts = fleet
+        for mh in hosts:
+            mh.move_to(net, "visited-a")
+        sim.run(until=sim.now + 10)
+        returning = hosts[: FLEET // 2]
+        for mh in returning:
+            mh.return_home(net, "home")
+        sim.run(until=sim.now + 10)
+        assert len(ha.bindings) == FLEET - len(returning)
+        for mh in returning:
+            assert mh.at_home
+            replies = []
+            ha.ping(mh.home_address, replies.append)
+            sim.run(until=sim.now + 5)
+            assert len(replies) == 1

@@ -1,0 +1,124 @@
+"""All three encapsulation schemes, end-to-end through every tunnel
+path: HA forward tunnel, MH reverse tunnel, smart-CH direct tunnel,
+and the foreign-agent final hop."""
+
+import pytest
+
+from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+from repro.core import ProbeStrategy
+from repro.mobileip import Awareness
+from repro.netsim import EncapScheme
+
+SCHEMES = list(EncapScheme)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.value)
+class TestSchemeMatrix:
+    def test_bidirectional_tunnel_roundtrip(self, scheme):
+        """Figure 3 under each scheme: In-IE down, Out-IE back."""
+        scenario = build_scenario(seed=931, ch_awareness=Awareness.CONVENTIONAL,
+                                  scheme=scheme,
+                                  strategy=ProbeStrategy.CONSERVATIVE_FIRST)
+        got = {"mh": [], "ch": []}
+        mh_sock = scenario.mh.stack.udp_socket(7000)
+
+        def echo(data, size, src_ip, src_port):
+            got["mh"].append(data)
+            mh_sock.sendto("echo", size, src_ip, src_port,
+                           src_override=MH_HOME_ADDRESS)
+
+        mh_sock.on_receive(echo)
+        ch_sock = scenario.ch.stack.udp_socket()
+        ch_sock.on_receive(lambda d, s, ip, p: got["ch"].append((d, str(ip))))
+        ch_sock.sendto("ping", 100, MH_HOME_ADDRESS, 7000)
+        scenario.sim.run_for(20)
+        assert got["mh"] == ["ping"]
+        assert got["ch"] == [("echo", str(MH_HOME_ADDRESS))]
+        assert scenario.mh.tunnel.decapsulated_count == 1
+        assert scenario.ha.tunnel.decapsulated_count == 1
+
+    def test_smart_correspondent_in_de(self, scheme):
+        scenario = build_scenario(seed=932, ch_awareness=Awareness.MOBILE_AWARE,
+                                  scheme=scheme)
+        scenario.ch.learn_binding(MH_HOME_ADDRESS, scenario.mh.care_of, 300.0)
+        got = []
+        sock = scenario.mh.stack.udp_socket(7000)
+        sock.on_receive(lambda d, s, ip, p: got.append(d))
+        ch_sock = scenario.ch.stack.udp_socket()
+        ch_sock.sendto("direct", 100, MH_HOME_ADDRESS, 7000)
+        scenario.sim.run_for(20)
+        assert got == ["direct"]
+        assert scenario.ha.packets_tunneled == 0
+
+    def test_out_de_to_decap_capable_ch(self, scheme):
+        scenario = build_scenario(seed=933, ch_awareness=Awareness.DECAP_CAPABLE,
+                                  scheme=scheme,
+                                  strategy=ProbeStrategy.AGGRESSIVE_FIRST)
+        scenario.mh.engine.cache.mode_for(scenario.ch_ip)
+        scenario.mh.engine.cache.on_suspect(scenario.ch_ip)  # force Out-DE
+        got = []
+        sock = scenario.ch.stack.udp_socket(6000)
+        sock.on_receive(lambda d, s, ip, p: got.append(str(ip)))
+        mh_sock = scenario.mh.stack.udp_socket()
+        mh_sock.sendto("x", 100, scenario.ch_ip, 6000,
+                       src_override=MH_HOME_ADDRESS)
+        scenario.sim.run_for(20)
+        assert got == [str(MH_HOME_ADDRESS)]
+
+    def test_foreign_agent_final_hop(self, scheme):
+        scenario = build_scenario(seed=934, ch_awareness=Awareness.CONVENTIONAL,
+                                  scheme=scheme, with_foreign_agent=True)
+        got = []
+        sock = scenario.mh.stack.udp_socket(7000)
+        sock.on_receive(lambda d, s, ip, p: got.append(d))
+        ch_sock = scenario.ch.stack.udp_socket()
+        ch_sock.sendto("via-fa", 100, MH_HOME_ADDRESS, 7000)
+        scenario.sim.run_for(20)
+        assert got == ["via-fa"]
+        assert scenario.fa.tunnel.decapsulated_count == 1
+
+
+class TestMinimalEncapSpecifics:
+    def test_reverse_tunnel_uses_12_byte_form(self):
+        """The reverse tunnel's outer src (care-of) differs from the
+        inner src (home), forcing the source-preserving 12-byte form."""
+        scenario = build_scenario(seed=935, ch_awareness=Awareness.CONVENTIONAL,
+                                  scheme=EncapScheme.MINIMAL,
+                                  strategy=ProbeStrategy.CONSERVATIVE_FIRST)
+        sizes = []
+        original = scenario.mh.tunnel.send_encapsulated
+
+        def spy(inner, outer_src, outer_dst, scheme=None):
+            before = inner.wire_size
+            outer = original(inner, outer_src, outer_dst, scheme)
+            sizes.append(outer.wire_size - before)
+            return outer
+
+        scenario.mh.tunnel.send_encapsulated = spy
+        mh_sock = scenario.mh.stack.udp_socket()
+        mh_sock.sendto("x", 100, scenario.ch_ip, 9000,
+                       src_override=MH_HOME_ADDRESS)
+        scenario.sim.run_for(10)
+        assert sizes == [12]
+
+    def test_forward_tunnel_also_12_byte(self):
+        """The HA's forward tunnel preserves the CH's source, which also
+        differs from the HA's own outer source: 12-byte form again."""
+        scenario = build_scenario(seed=936, ch_awareness=Awareness.CONVENTIONAL,
+                                  scheme=EncapScheme.MINIMAL)
+        sizes = []
+        original = scenario.ha.tunnel.send_encapsulated
+
+        def spy(inner, outer_src, outer_dst, scheme=None):
+            before = inner.wire_size
+            outer = original(inner, outer_src, outer_dst, scheme)
+            sizes.append(outer.wire_size - before)
+            return outer
+
+        scenario.ha.tunnel.send_encapsulated = spy
+        sock = scenario.mh.stack.udp_socket(7000)
+        sock.on_receive(lambda *a: None)
+        ch_sock = scenario.ch.stack.udp_socket()
+        ch_sock.sendto("in", 100, MH_HOME_ADDRESS, 7000)
+        scenario.sim.run_for(10)
+        assert sizes == [12]

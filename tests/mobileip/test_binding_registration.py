@@ -1,0 +1,105 @@
+"""Tests for binding tables and registration message semantics."""
+
+import pytest
+
+from repro.mobileip.binding import Binding, BindingTable
+from repro.mobileip.registration import (
+    RegistrationReply,
+    RegistrationRequest,
+    ReplyCode,
+)
+from repro.netsim import IPAddress
+
+HOME = IPAddress("10.1.0.10")
+COA = IPAddress("10.2.0.2")
+COA2 = IPAddress("10.4.0.7")
+
+
+class TestBindingTable:
+    def test_register_and_lookup(self):
+        table = BindingTable()
+        table.register(HOME, COA, now=0.0, lifetime=100.0)
+        binding = table.lookup(HOME, now=50.0)
+        assert binding is not None
+        assert binding.care_of_address == COA
+
+    def test_expiry(self):
+        table = BindingTable()
+        table.register(HOME, COA, now=0.0, lifetime=100.0)
+        assert table.lookup(HOME, now=100.0) is None
+        assert table.expirations == 1
+        assert len(table) == 0
+
+    def test_expires_exactly_at_lifetime_boundary(self):
+        table = BindingTable()
+        table.register(HOME, COA, now=10.0, lifetime=100.0)
+        assert table.lookup(HOME, now=109.999) is not None
+        assert table.lookup(HOME, now=110.0) is None
+
+    def test_reregistration_replaces_care_of(self):
+        """A new registration = the mobile host moved again."""
+        table = BindingTable()
+        table.register(HOME, COA, now=0.0)
+        table.register(HOME, COA2, now=1.0)
+        assert table.lookup(HOME, now=2.0).care_of_address == COA2
+        assert len(table) == 1
+
+    def test_refresh_extends_lifetime(self):
+        table = BindingTable()
+        table.register(HOME, COA, now=0.0, lifetime=100.0)
+        table.register(HOME, COA, now=90.0, lifetime=100.0)
+        assert table.lookup(HOME, now=150.0) is not None
+
+    def test_deregister(self):
+        table = BindingTable()
+        table.register(HOME, COA, now=0.0)
+        removed = table.deregister(HOME)
+        assert removed is not None
+        assert table.lookup(HOME, now=0.0) is None
+        assert table.deregistrations == 1
+
+    def test_deregister_absent_is_noop(self):
+        table = BindingTable()
+        assert table.deregister(HOME) is None
+        assert table.deregistrations == 0
+
+    def test_active_listing_excludes_expired(self):
+        table = BindingTable()
+        table.register(HOME, COA, now=0.0, lifetime=10.0)
+        table.register(IPAddress("10.1.0.11"), COA2, now=0.0, lifetime=1000.0)
+        active = table.active(now=100.0)
+        assert len(active) == 1
+        assert active[0].care_of_address == COA2
+
+    def test_contains(self):
+        table = BindingTable()
+        table.register(HOME, COA, now=0.0)
+        assert HOME in table
+        assert COA not in table
+
+    def test_binding_expires_at(self):
+        binding = Binding(HOME, COA, registered_at=5.0, lifetime=60.0)
+        assert binding.expires_at == 65.0
+        assert binding.valid_at(64.9)
+        assert not binding.valid_at(65.0)
+
+
+class TestRegistrationMessages:
+    def test_deregistration_is_lifetime_zero(self):
+        request = RegistrationRequest(HOME, HOME, lifetime=0.0, ident=1)
+        assert request.is_deregistration
+
+    def test_normal_registration(self):
+        request = RegistrationRequest(HOME, COA, lifetime=300.0, ident=2)
+        assert not request.is_deregistration
+        assert request.size == 28
+
+    def test_reply_accepted(self):
+        reply = RegistrationReply(ReplyCode.ACCEPTED, HOME, 300.0, ident=2)
+        assert reply.accepted
+
+    def test_reply_denied(self):
+        reply = RegistrationReply(
+            ReplyCode.DENIED_UNKNOWN_HOME_ADDRESS, HOME, 0.0, ident=2
+        )
+        assert not reply.accepted

@@ -1,0 +1,300 @@
+"""Tests for correspondent hosts, the DNS extension, and foreign agents."""
+
+import pytest
+
+from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+from repro.mobileip import Awareness, DNSAnswer, DNSQuery, Resolver
+from repro.netsim import IPAddress
+from repro.netsim.packet import IPProto
+
+
+class TestConventionalCorrespondent:
+    def test_cannot_decapsulate(self):
+        scenario = build_scenario(seed=71, ch_awareness=Awareness.CONVENTIONAL,
+                                  visited_filtering=False)
+        assert scenario.ch.tunnel is None
+        # An Out-DE tunnel packet sent at it produces a proto-unreachable
+        # (exercised in the mobile-host ICMP test); here just check that
+        # a tunneled packet is not delivered as data.
+        got = []
+        sock = scenario.ch.stack.udp_socket(5000)
+        sock.on_receive(lambda *a: got.append(a))
+        from repro.core.modes import AddressPlan, OutMode, build_outgoing
+        from repro.transport import UDPDatagram
+
+        plan = AddressPlan(MH_HOME_ADDRESS, scenario.mh.care_of,
+                           scenario.ha_ip, scenario.ch_ip)
+        datagram = UDPDatagram(6000, 5000, "x", 10)
+        outer = build_outgoing(OutMode.OUT_DE, plan, payload=datagram,
+                               payload_size=datagram.size, proto=IPProto.UDP)
+        # Replace inner proto with UDP but keep tunnel outer proto.
+        scenario.mh.ip_send(outer, bypass_overrides=True)
+        scenario.sim.run_for(5)
+        assert got == []
+
+    def test_ignores_care_of_advisory(self):
+        scenario = build_scenario(seed=72, ch_awareness=Awareness.CONVENTIONAL,
+                                  notify_correspondents=True)
+        sock = scenario.mh.stack.udp_socket(8000)
+        sock.on_receive(lambda *a: None)
+        ch_sock = scenario.ch.stack.udp_socket()
+        for index in range(3):
+            scenario.sim.events.schedule(
+                index * 1.0, lambda: ch_sock.sendto("x", 10, MH_HOME_ADDRESS, 8000)
+            )
+        scenario.sim.run_for(15)
+        # Advisory was sent but the conventional host keeps triangling.
+        assert scenario.ha.advisories_sent >= 1
+        assert len(scenario.ch.bindings) == 0
+        assert scenario.ha.packets_tunneled == 3
+
+
+class TestDecapCapableCorrespondent:
+    def test_receives_out_de(self):
+        from repro.core import ProbeStrategy
+
+        scenario = build_scenario(seed=73, ch_awareness=Awareness.DECAP_CAPABLE,
+                                  strategy=ProbeStrategy.AGGRESSIVE_FIRST)
+        got = []
+        sock = scenario.ch.stack.udp_socket(5000)
+        sock.on_receive(lambda d, s, ip, p: got.append((d, str(ip))))
+        # Mark Out-DH failed so the engine lands on Out-DE.
+        scenario.mh.engine.cache.mode_for(scenario.ch_ip)
+        scenario.mh.engine.cache.on_suspect(scenario.ch_ip)
+        mh_sock = scenario.mh.stack.udp_socket()
+        mh_sock.sendto("tunneled", 10, scenario.ch_ip, 5000,
+                       src_override=MH_HOME_ADDRESS)
+        scenario.sim.run_for(5)
+        assert got == [("tunneled", str(MH_HOME_ADDRESS))]
+        assert scenario.ch.tunnel.decapsulated_count == 1
+
+    def test_paranoid_host_refuses_unknown_peers(self):
+        """§6.1: automatic decapsulation weakens address-trust; the
+        paranoid knob refuses tunnels from unknown peers."""
+        from repro.core import ProbeStrategy
+
+        scenario = build_scenario(seed=74, ch_awareness=Awareness.DECAP_CAPABLE,
+                                  strategy=ProbeStrategy.AGGRESSIVE_FIRST)
+        scenario.ch.require_known_peer = True
+        got = []
+        sock = scenario.ch.stack.udp_socket(5000)
+        sock.on_receive(lambda *a: got.append(a))
+        scenario.mh.engine.cache.mode_for(scenario.ch_ip)
+        scenario.mh.engine.cache.on_suspect(scenario.ch_ip)
+        mh_sock = scenario.mh.stack.udp_socket()
+        mh_sock.sendto("tunneled", 10, scenario.ch_ip, 5000,
+                       src_override=MH_HOME_ADDRESS)
+        scenario.sim.run_for(5)
+        assert got == []
+        assert scenario.ch.decap_refused == 1
+
+    def test_paranoid_host_accepts_known_peer(self):
+        from repro.core import ProbeStrategy
+
+        scenario = build_scenario(seed=75, ch_awareness=Awareness.MOBILE_AWARE,
+                                  strategy=ProbeStrategy.AGGRESSIVE_FIRST)
+        scenario.ch.require_known_peer = True
+        scenario.ch.learn_binding(MH_HOME_ADDRESS, scenario.mh.care_of, 300.0)
+        got = []
+        sock = scenario.ch.stack.udp_socket(5000)
+        sock.on_receive(lambda d, s, ip, p: got.append(d))
+        scenario.mh.engine.cache.mode_for(scenario.ch_ip)
+        scenario.mh.engine.cache.on_suspect(scenario.ch_ip)
+        mh_sock = scenario.mh.stack.udp_socket()
+        mh_sock.sendto("tunneled", 10, scenario.ch_ip, 5000,
+                       src_override=MH_HOME_ADDRESS)
+        scenario.sim.run_for(5)
+        assert got == ["tunneled"]
+
+
+class TestMobileAwareCorrespondent:
+    def test_advisory_installs_binding_and_upgrades_to_in_de(self):
+        """Figure 5 via the ICMP mechanism."""
+        scenario = build_scenario(seed=76, ch_awareness=Awareness.MOBILE_AWARE,
+                                  notify_correspondents=True)
+        sock = scenario.mh.stack.udp_socket(8000)
+        sock.on_receive(lambda *a: None)
+        ch_sock = scenario.ch.stack.udp_socket()
+        for index in range(4):
+            scenario.sim.events.schedule(
+                index * 1.0, lambda: ch_sock.sendto("x", 10, MH_HOME_ADDRESS, 8000)
+            )
+        scenario.sim.run_for(20)
+        assert scenario.ha.packets_tunneled == 1      # only the first
+        assert scenario.ch.direct_tunneled == 3       # the rest went In-DE
+
+    def test_binding_expiry_falls_back_to_triangle(self):
+        scenario = build_scenario(seed=77, ch_awareness=Awareness.MOBILE_AWARE)
+        scenario.ch.learn_binding(MH_HOME_ADDRESS, scenario.mh.care_of,
+                                  lifetime=2.0)
+        sock = scenario.mh.stack.udp_socket(8000)
+        got = []
+        sock.on_receive(lambda d, *a: got.append(d))
+        ch_sock = scenario.ch.stack.udp_socket()
+        ch_sock.sendto("fresh", 10, MH_HOME_ADDRESS, 8000)
+        scenario.sim.run_for(5)   # binding now expired
+        ch_sock.sendto("stale", 10, MH_HOME_ADDRESS, 8000)
+        scenario.sim.run_for(10)
+        assert got == ["fresh", "stale"]
+        assert scenario.ch.direct_tunneled == 1
+        assert scenario.ha.packets_tunneled == 1
+
+    def test_same_segment_uses_in_dh(self):
+        """§7.2: binding's care-of on my own segment -> one-hop In-DH."""
+        scenario = build_scenario(seed=78, ch_awareness=Awareness.MOBILE_AWARE,
+                                  ch_in_visited_lan=True)
+        scenario.ch.learn_binding(MH_HOME_ADDRESS, scenario.mh.care_of, 300.0)
+        got = []
+        sock = scenario.mh.stack.udp_socket(8000)
+        sock.on_receive(lambda d, s, ip, p: got.append(d))
+        ch_sock = scenario.ch.stack.udp_socket()
+        ch_sock.sendto("one-hop", 10, MH_HOME_ADDRESS, 8000)
+        scenario.sim.run_for(5)
+        assert got == ["one-hop"]
+        assert scenario.ch.link_directed == 1
+        assert scenario.ch.direct_tunneled == 0
+        assert scenario.ha.packets_tunneled == 0
+        # The mobile host received it unencapsulated at its home address.
+        assert scenario.mh.tunnel.decapsulated_count == 0
+
+
+class TestDNSExtension:
+    def build(self, want_tmp=True, register_tmp=True, seed=79):
+        scenario = build_scenario(seed=seed, ch_awareness=Awareness.MOBILE_AWARE,
+                                  with_dns=True)
+        if register_tmp:
+            scenario.dns.register_temporary(
+                "mh.home.example", scenario.mh.care_of, lifetime=120.0
+            )
+        resolver = Resolver(scenario.ch.stack, scenario.dns_ip, want_tmp=want_tmp)
+        return scenario, resolver
+
+    def test_smart_resolver_sees_temporary_record(self):
+        scenario, resolver = self.build()
+        answers = []
+        resolver.lookup("mh.home.example", answers.append)
+        scenario.sim.run_for(5)
+        assert len(answers) == 1
+        assert answers[0].address == MH_HOME_ADDRESS
+        assert answers[0].temporary == scenario.mh.care_of
+
+    def test_conventional_resolver_gets_only_a_record(self):
+        scenario, resolver = self.build(want_tmp=False)
+        answers = []
+        resolver.lookup("mh.home.example", answers.append)
+        scenario.sim.run_for(5)
+        assert answers[0].address == MH_HOME_ADDRESS
+        assert answers[0].temporary is None
+
+    def test_tmp_record_expires(self):
+        scenario, resolver = self.build()
+        scenario.dns.register_temporary("mh.home.example", scenario.mh.care_of,
+                                        lifetime=1.0)
+        answers = []
+        scenario.sim.run_for(5)  # past the lifetime
+        resolver.lookup("mh.home.example", answers.append)
+        scenario.sim.run_for(5)
+        assert answers[0].temporary is None
+
+    def test_withdraw_temporary(self):
+        scenario, resolver = self.build()
+        scenario.dns.withdraw_temporary("mh.home.example")
+        answers = []
+        resolver.lookup("mh.home.example", answers.append)
+        scenario.sim.run_for(5)
+        assert answers[0].temporary is None
+
+    def test_unknown_name(self):
+        scenario, resolver = self.build()
+        answers = []
+        resolver.lookup("nobody.example", answers.append)
+        scenario.sim.run_for(5)
+        assert answers[0].address is None
+
+    def test_tmp_registration_requires_a_record(self):
+        scenario, _resolver = self.build(register_tmp=False)
+        with pytest.raises(KeyError):
+            scenario.dns.register_temporary("ghost.example", IPAddress("1.2.3.4"))
+
+    def test_lookup_enables_in_de(self):
+        """§3.2's full loop: DNS TMP record -> binding -> direct send."""
+        scenario, resolver = self.build(seed=80)
+        got = []
+        sock = scenario.mh.stack.udp_socket(8000)
+        sock.on_receive(lambda d, *a: got.append(d))
+
+        def on_answer(answer):
+            if answer.temporary is not None:
+                scenario.ch.learn_binding(answer.name and MH_HOME_ADDRESS,
+                                          answer.temporary, answer.tmp_lifetime)
+            ch_sock = scenario.ch.stack.udp_socket()
+            ch_sock.sendto("found-you", 10, MH_HOME_ADDRESS, 8000)
+
+        resolver.lookup("mh.home.example", on_answer)
+        scenario.sim.run_for(10)
+        assert got == ["found-you"]
+        assert scenario.ha.packets_tunneled == 0
+        assert scenario.ch.direct_tunneled == 1
+
+
+class TestForeignAgent:
+    def test_registration_relayed_and_accepted(self):
+        scenario = build_scenario(seed=81, ch_awareness=None,
+                                  with_foreign_agent=True)
+        assert scenario.mh.registered
+        binding = scenario.ha.bindings.lookup(MH_HOME_ADDRESS, scenario.sim.now)
+        assert binding is not None
+        assert binding.care_of_address == scenario.fa.care_of_address
+
+    def test_incoming_via_fa_final_hop(self):
+        """HA tunnels to the FA; FA decapsulates and link-delivers."""
+        scenario = build_scenario(seed=82, ch_awareness=Awareness.CONVENTIONAL,
+                                  with_foreign_agent=True)
+        got = []
+        sock = scenario.mh.stack.udp_socket(8000)
+        sock.on_receive(lambda d, s, ip, p: got.append(d))
+        ch_sock = scenario.ch.stack.udp_socket()
+        ch_sock.sendto("via-fa", 10, MH_HOME_ADDRESS, 8000)
+        scenario.sim.run_for(10)
+        assert got == ["via-fa"]
+        assert scenario.fa.packets_delivered_final_hop == 1
+        assert scenario.ha.packets_tunneled == 1
+
+    def test_outgoing_via_fa_plain_routing(self):
+        """FA mode restricts the MH to plain sends (paper §2's point
+        about foreign agents limiting optimization freedom)."""
+        scenario = build_scenario(seed=83, ch_awareness=Awareness.CONVENTIONAL,
+                                  with_foreign_agent=True,
+                                  visited_filtering=False)
+        got = []
+        sock = scenario.ch.stack.udp_socket(5000)
+        sock.on_receive(lambda d, s, ip, p: got.append(str(ip)))
+        mh_sock = scenario.mh.stack.udp_socket()
+        mh_sock.sendto("x", 10, scenario.ch_ip, 5000,
+                       src_override=MH_HOME_ADDRESS)
+        scenario.sim.run_for(10)
+        assert got == [str(MH_HOME_ADDRESS)]
+        assert scenario.mh.tunnel.encapsulated_count == 0
+
+    def test_outgoing_via_fa_killed_by_filtering(self):
+        """...and therefore dies when the visited domain filters."""
+        scenario = build_scenario(seed=84, ch_awareness=Awareness.CONVENTIONAL,
+                                  with_foreign_agent=True,
+                                  visited_filtering=True)
+        got = []
+        sock = scenario.ch.stack.udp_socket(5000)
+        sock.on_receive(lambda d, s, ip, p: got.append(str(ip)))
+        mh_sock = scenario.mh.stack.udp_socket()
+        mh_sock.sendto("x", 10, scenario.ch_ip, 5000,
+                       src_override=MH_HOME_ADDRESS)
+        scenario.sim.run_for(10)
+        assert got == []
+        drops = scenario.sim.trace.drops_by_reason
+        assert drops.get("source-address-filter:foreign-source-leaving-site", 0) >= 1
+
+    def test_advertisements_broadcast(self):
+        scenario = build_scenario(seed=85, ch_awareness=None,
+                                  with_foreign_agent=True)
+        scenario.fa._schedule_advertisement()
+        scenario.sim.run_for(1)
+        assert scenario.fa.advertisements_sent >= 1

@@ -1,0 +1,100 @@
+"""Tests for the remote DNS TMP-record update (§3.2 end-to-end)."""
+
+import pytest
+
+from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+from repro.mobileip import Awareness, DNSUpdate, DNSUpdateAck, Resolver
+from repro.netsim import IPAddress
+
+
+@pytest.fixture
+def stage():
+    scenario = build_scenario(seed=941, ch_awareness=Awareness.MOBILE_AWARE,
+                              with_dns=True)
+    resolver = Resolver(scenario.ch.stack, scenario.dns_ip)
+    return scenario, resolver
+
+
+def lookup(scenario, resolver, name="mh.home.example"):
+    answers = []
+    resolver.lookup(name, answers.append)
+    scenario.sim.run_for(5)
+    return answers[0]
+
+
+class TestDnsUpdateProtocol:
+    def test_update_registers_tmp_record(self, stage):
+        scenario, resolver = stage
+        scenario.mh.update_dns("mh.home.example", scenario.dns_ip,
+                               lifetime=120.0)
+        scenario.sim.run_for(5)
+        answer = lookup(scenario, resolver)
+        assert answer.temporary == scenario.mh.care_of
+
+    def test_withdraw_removes_tmp_record(self, stage):
+        scenario, resolver = stage
+        scenario.mh.update_dns("mh.home.example", scenario.dns_ip,
+                               lifetime=120.0)
+        scenario.sim.run_for(5)
+        scenario.mh.update_dns("mh.home.example", scenario.dns_ip,
+                               withdraw=True)
+        scenario.sim.run_for(5)
+        answer = lookup(scenario, resolver)
+        assert answer.temporary is None
+
+    def test_update_for_unknown_name_nacked(self, stage):
+        scenario, _resolver = stage
+        acks = []
+        socket = scenario.mh.stack.udp_socket()
+        socket.on_receive(lambda d, s, ip, p: acks.append(d))
+        update = DNSUpdate("ghost.example", ident=99,
+                           care_of=scenario.mh.care_of)
+        socket.sendto(update, update.size, scenario.dns_ip, 53)
+        scenario.sim.run_for(5)
+        assert len(acks) == 1
+        assert isinstance(acks[0], DNSUpdateAck)
+        assert not acks[0].ok
+
+    def test_update_travels_out_dt(self, stage):
+        """The update is UDP to port 53, so the §7.1.1 heuristics send
+        it from the care-of address without Mobile IP."""
+        scenario, _resolver = stage
+        before = scenario.mh.tunnel.encapsulated_count
+        scenario.mh.update_dns("mh.home.example", scenario.dns_ip)
+        scenario.sim.run_for(5)
+        assert scenario.mh.tunnel.encapsulated_count == before
+        sends = [e for e in scenario.sim.trace.entries
+                 if e.node == "mh" and e.action == "send"
+                 and e.dst == str(scenario.dns_ip)]
+        assert sends
+        assert sends[-1].src == str(scenario.mh.care_of)
+
+    def test_update_without_care_of_rejected(self, stage):
+        scenario, _resolver = stage
+        scenario.mh.return_home(scenario.net, "home")
+        scenario.sim.run_for(5)
+        with pytest.raises(RuntimeError):
+            scenario.mh.update_dns("mh.home.example", scenario.dns_ip)
+
+    def test_full_loop_update_lookup_in_de(self, stage):
+        """Register via update, CH looks it up, installs the binding,
+        and sends In-DE — zero triangling."""
+        scenario, resolver = stage
+        scenario.mh.update_dns("mh.home.example", scenario.dns_ip,
+                               lifetime=300.0)
+        scenario.sim.run_for(5)
+        got = []
+        sock = scenario.mh.stack.udp_socket(7000)
+        sock.on_receive(lambda d, s, ip, p: got.append(d))
+
+        def on_answer(answer):
+            assert answer.temporary is not None
+            scenario.ch.learn_binding(MH_HOME_ADDRESS, answer.temporary,
+                                      answer.tmp_lifetime)
+            ch_sock = scenario.ch.stack.udp_socket()
+            ch_sock.sendto("hello", 50, MH_HOME_ADDRESS, 7000)
+
+        resolver.lookup("mh.home.example", on_answer)
+        scenario.sim.run_for(10)
+        assert got == ["hello"]
+        assert scenario.ha.packets_tunneled == 0

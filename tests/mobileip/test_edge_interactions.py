@@ -1,0 +1,99 @@
+"""Edge interactions between subsystems that no single-module test hits."""
+
+import pytest
+
+from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+from repro.core import OutMode, ProbeStrategy
+from repro.mobileip import Awareness
+from repro.netsim import IPAddress
+
+
+class TestAdvisoryParanoiaInterplay:
+    def test_advisory_unlocks_paranoid_decapsulation(self):
+        """A paranoid correspondent (require_known_peer) refuses tunnels
+        from strangers — until the home agent's advisory installs the
+        binding, which whitelists the mobile host's addresses."""
+        scenario = build_scenario(seed=1701,
+                                  ch_awareness=Awareness.MOBILE_AWARE,
+                                  notify_correspondents=True,
+                                  strategy=ProbeStrategy.AGGRESSIVE_FIRST,
+                                  visited_filtering=True)
+        scenario.ch.require_known_peer = True
+        got = []
+        sock = scenario.ch.stack.udp_socket(6000)
+        sock.on_receive(lambda d, s, ip, p: got.append(d))
+        mh_sock = scenario.mh.stack.udp_socket(6001)
+        mh_sock.on_receive(lambda *a: None)
+        # Force Out-DE (DH already failed under filtering).
+        scenario.mh.engine.cache.record_for(scenario.ch_ip).current = (
+            OutMode.OUT_DE)
+        # Before any advisory: the tunnel is refused.
+        mh_sock.sendto("stranger", 30, scenario.ch_ip, 6000,
+                       src_override=MH_HOME_ADDRESS)
+        scenario.sim.run_for(5)
+        assert got == []
+        assert scenario.ch.decap_refused == 1
+        # The CH talks to the MH's home address; the HA tunnels it and
+        # advises the CH of the binding.
+        ch_out = scenario.ch.stack.udp_socket()
+        ch_out.sendto("hello", 30, MH_HOME_ADDRESS, 6001)
+        scenario.sim.run_for(5)
+        assert len(scenario.ch.bindings) == 1
+        # Now the same Out-DE tunnel is accepted.
+        mh_sock.sendto("known-now", 30, scenario.ch_ip, 6000,
+                       src_override=MH_HOME_ADDRESS)
+        scenario.sim.run_for(5)
+        assert got == ["known-now"]
+
+
+class TestEngineMulticastSource:
+    def test_multicast_destination_selects_care_of(self):
+        """§6.4 via the engine: a send to a multicast group from an
+        unbound socket uses the temporary address."""
+        scenario = build_scenario(seed=1702, ch_awareness=None)
+        group = IPAddress("224.3.3.3")
+        sock = scenario.mh.stack.udp_socket()
+        sock.sendto("frame", 100, group, 5004)
+        scenario.sim.run_for(2)
+        sends = [e for e in scenario.sim.trace.entries
+                 if e.node == "mh" and e.action == "send"
+                 and e.dst == str(group)]
+        assert sends
+        assert sends[0].src == str(scenario.mh.care_of)
+        assert scenario.mh.tunnel.encapsulated_count == 0
+
+
+class TestSameSegmentAfterMove:
+    def test_same_segment_shortcut_follows_the_host(self):
+        """The Row C shortcut is a property of the *current* segment:
+        after moving away, the former neighbour is reached through the
+        ladder again."""
+        scenario = build_scenario(seed=1703,
+                                  ch_awareness=Awareness.CONVENTIONAL,
+                                  ch_in_visited_lan=True,
+                                  strategy=ProbeStrategy.CONSERVATIVE_FIRST)
+        assert scenario.mh.engine.out_mode_for(scenario.ch_ip) is OutMode.OUT_DH
+        scenario.net.add_domain("visited2", "10.5.0.0/16", attach_at=2)
+        scenario.mh.move_to(scenario.net, "visited2")
+        scenario.sim.run_for(5)
+        # No longer one hop away: conservative ladder applies again.
+        assert scenario.mh.engine.out_mode_for(scenario.ch_ip) is OutMode.OUT_IE
+
+    def test_shortcut_not_applied_to_own_address(self):
+        scenario = build_scenario(seed=1704, ch_awareness=None)
+        assert not scenario.mh._same_segment(scenario.mh.care_of)
+
+
+class TestHomeAgentSelfTraffic:
+    def test_ha_reaches_its_own_mobile_host(self):
+        """The HA itself talking to the MH's home address: captured by
+        its own binding table and tunneled like anyone else's packet."""
+        scenario = build_scenario(seed=1705, ch_awareness=None)
+        got = []
+        sock = scenario.mh.stack.udp_socket(7000)
+        sock.on_receive(lambda d, s, ip, p: got.append(d))
+        ha_sock = scenario.ha.stack.udp_socket()
+        ha_sock.sendto("from-your-agent", 40, MH_HOME_ADDRESS, 7000)
+        scenario.sim.run_for(10)
+        assert got == ["from-your-agent"]
+        assert scenario.ha.packets_tunneled == 1

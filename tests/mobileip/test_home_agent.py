@@ -1,0 +1,195 @@
+"""Tests for the home agent: registration service, proxy-ARP capture,
+In-IE forwarding, reverse tunneling, advisories."""
+
+import pytest
+
+from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+from repro.mobileip import (
+    MOBILE_IP_PORT,
+    HomeAgent,
+    RegistrationReply,
+    RegistrationRequest,
+    ReplyCode,
+)
+from repro.netsim import Internet, IPAddress, Network, Node, Packet, Simulator
+from repro.netsim.encap import encapsulate
+from repro.netsim.packet import IPProto
+from repro.transport import TransportStack
+
+
+@pytest.fixture
+def stage():
+    """Home agent on its LAN plus an outside host, no mobile host yet."""
+    sim = Simulator(seed=21)
+    net = Internet(sim, backbone_size=2)
+    home = net.add_domain("home", "10.1.0.0/16", attach_at=0)
+    net.add_domain("outside", "10.2.0.0/16", attach_at=1, source_filtering=False)
+    ha = HomeAgent("ha", sim, home_network=home.prefix)
+    ha_ip = net.add_host("home", ha)
+    remote = Node("remote", sim)
+    remote_ip = net.add_host("outside", remote)
+    return sim, net, ha, ha_ip, remote, remote_ip
+
+
+def register(sim, ha_ip, remote, home_addr, care_of, lifetime=300.0, ident=1):
+    """Send a registration from an outside node, return replies seen."""
+    stack = TransportStack(remote)
+    socket = stack.udp_socket(MOBILE_IP_PORT)
+    replies = []
+    socket.on_receive(lambda d, s, ip, p: replies.append(d))
+    request = RegistrationRequest(home_addr, care_of, lifetime, ident)
+    socket.sendto(request, request.size, ha_ip, MOBILE_IP_PORT)
+    sim.run(until=sim.now + 5)
+    return replies
+
+
+class TestRegistrationService:
+    def test_accepts_home_network_address(self, stage):
+        sim, _net, ha, ha_ip, remote, remote_ip = stage
+        replies = register(sim, ha_ip, remote, MH_HOME_ADDRESS, remote_ip)
+        assert len(replies) == 1
+        assert replies[0].accepted
+        assert len(ha.bindings) == 1
+
+    def test_denies_foreign_home_address(self, stage):
+        sim, _net, ha, ha_ip, remote, remote_ip = stage
+        replies = register(sim, ha_ip, remote, IPAddress("10.9.0.1"), remote_ip)
+        assert replies[0].code is ReplyCode.DENIED_UNKNOWN_HOME_ADDRESS
+        assert len(ha.bindings) == 0
+
+    def test_deregistration_clears_binding(self, stage):
+        sim, _net, ha, ha_ip, remote, remote_ip = stage
+        register(sim, ha_ip, remote, MH_HOME_ADDRESS, remote_ip, ident=1)
+        replies = register(sim, ha_ip, remote, MH_HOME_ADDRESS, remote_ip,
+                           lifetime=0.0, ident=2)
+        assert replies[-1].accepted
+        assert len(ha.bindings) == 0
+
+    def test_binding_cap(self, stage):
+        sim, _net, ha, ha_ip, remote, remote_ip = stage
+        ha.max_bindings = 1
+        register(sim, ha_ip, remote, IPAddress("10.1.0.100"), remote_ip, ident=1)
+        replies = register(sim, ha_ip, remote, IPAddress("10.1.0.101"), remote_ip,
+                           ident=2)
+        assert replies[-1].code is ReplyCode.DENIED_TOO_MANY_BINDINGS
+
+    def test_refresh_not_blocked_by_cap(self, stage):
+        sim, _net, ha, ha_ip, remote, remote_ip = stage
+        ha.max_bindings = 1
+        register(sim, ha_ip, remote, MH_HOME_ADDRESS, remote_ip, ident=1)
+        replies = register(sim, ha_ip, remote, MH_HOME_ADDRESS, remote_ip, ident=2)
+        assert replies[-1].accepted
+
+    def test_proxy_arp_installed_on_registration(self, stage):
+        sim, _net, ha, ha_ip, remote, remote_ip = stage
+        register(sim, ha_ip, remote, MH_HOME_ADDRESS, remote_ip)
+        iface = ha._home_iface()
+        assert MH_HOME_ADDRESS in ha.arp.proxies_on(iface)
+
+    def test_proxy_arp_removed_on_deregistration(self, stage):
+        sim, _net, ha, ha_ip, remote, remote_ip = stage
+        register(sim, ha_ip, remote, MH_HOME_ADDRESS, remote_ip, ident=1)
+        register(sim, ha_ip, remote, MH_HOME_ADDRESS, remote_ip, lifetime=0.0,
+                 ident=2)
+        assert MH_HOME_ADDRESS not in ha.arp.proxies_on(ha._home_iface())
+
+
+class TestCaptureAndForward:
+    def test_captured_packet_tunneled_to_care_of(self, stage):
+        sim, net, ha, ha_ip, remote, remote_ip = stage
+        register(sim, ha_ip, remote, MH_HOME_ADDRESS, remote_ip)
+        # The remote (acting as its own care-of endpoint) should get the
+        # tunneled packet when a third party on the home LAN sends to
+        # the home address.
+        arrivals = []
+        remote.register_proto_handler(IPProto.IPIP, arrivals.append)
+        # A host on the home LAN sends to the absent mobile host.
+        neighbor = Node("neighbor", sim)
+        neighbor_ip = net.add_host("home", neighbor)
+        packet = Packet(src=neighbor_ip, dst=MH_HOME_ADDRESS, proto=IPProto.UDP,
+                        payload="x", payload_size=50)
+        neighbor.ip_send(packet)
+        sim.run(until=sim.now + 5)
+        assert len(arrivals) == 1
+        assert arrivals[0].innermost.dst == MH_HOME_ADDRESS
+        assert ha.packets_tunneled == 1
+
+    def test_expired_binding_stops_capture(self, stage):
+        sim, net, ha, ha_ip, remote, remote_ip = stage
+        register(sim, ha_ip, remote, MH_HOME_ADDRESS, remote_ip, lifetime=2.0)
+        # Let the binding expire.
+        sim.events.schedule(10.0, lambda: None)
+        sim.run()
+        neighbor = Node("neighbor", sim)
+        neighbor_ip = net.add_host("home", neighbor)
+        packet = Packet(src=neighbor_ip, dst=MH_HOME_ADDRESS, proto=IPProto.UDP,
+                        payload="x", payload_size=50)
+        neighbor.ip_send(packet)
+        sim.run(until=sim.now + 5)
+        assert ha.packets_tunneled == 0
+
+    def test_reverse_tunnel_forwarded_on_behalf(self, stage):
+        """Figure 3's return half: Out-IE inner packets are re-sent by
+        the HA."""
+        sim, net, ha, ha_ip, remote, remote_ip = stage
+        neighbor = Node("neighbor", sim)
+        neighbor_ip = net.add_host("home", neighbor)
+        seen = []
+        neighbor.register_proto_handler(IPProto.UDP, seen.append)
+        inner = Packet(src=MH_HOME_ADDRESS, dst=neighbor_ip, proto=IPProto.UDP,
+                       payload="x", payload_size=50)
+        outer = encapsulate(inner, remote_ip, ha_ip)
+        remote.ip_send(outer)
+        sim.run(until=sim.now + 5)
+        assert len(seen) == 1
+        assert seen[0].src == MH_HOME_ADDRESS
+        assert ha.packets_reverse_forwarded == 1
+
+    def test_mobile_to_mobile_retunneled(self, stage):
+        """A reverse-tunneled inner packet addressed to another
+        registered mobile host is re-encapsulated to its care-of."""
+        sim, _net, ha, ha_ip, remote, remote_ip = stage
+        other_home = IPAddress("10.1.0.11")
+        register(sim, ha_ip, remote, other_home, remote_ip)
+        tunnels = []
+        remote.register_proto_handler(IPProto.IPIP, tunnels.append)
+        inner = Packet(src=MH_HOME_ADDRESS, dst=other_home, proto=IPProto.UDP,
+                       payload="x", payload_size=50)
+        outer = encapsulate(inner, remote_ip, ha_ip)
+        remote.ip_send(outer)
+        sim.run(until=sim.now + 5)
+        assert len(tunnels) == 1
+        assert tunnels[0].innermost.dst == other_home
+
+
+class TestAdvisories:
+    def test_advisory_sent_once_per_interval(self):
+        from repro.mobileip import Awareness
+
+        scenario = build_scenario(
+            seed=31, ch_awareness=Awareness.CONVENTIONAL,
+            notify_correspondents=True,
+        )
+        mh_sock = scenario.mh.stack.udp_socket(8000)
+        mh_sock.on_receive(lambda *a: None)
+        ch_sock = scenario.ch.stack.udp_socket(8001)
+        for index in range(3):
+            scenario.sim.events.schedule(
+                index * 0.5,
+                lambda: ch_sock.sendto("x", 10, MH_HOME_ADDRESS, 8000),
+            )
+        scenario.sim.run(until=scenario.sim.now + 10)
+        assert scenario.ha.packets_tunneled == 3
+        assert scenario.ha.advisories_sent == 1   # rate-limited
+
+    def test_no_advisory_for_local_correspondents(self):
+        scenario = build_scenario(seed=32, ch_awareness=None,
+                                  notify_correspondents=True)
+        neighbor = Node("neighbor", scenario.sim)
+        neighbor_ip = scenario.net.add_host("home", neighbor)
+        packet = Packet(src=neighbor_ip, dst=MH_HOME_ADDRESS, proto=IPProto.UDP,
+                        payload="x", payload_size=20)
+        neighbor.ip_send(packet)
+        scenario.sim.run(until=scenario.sim.now + 5)
+        assert scenario.ha.packets_tunneled == 1
+        assert scenario.ha.advisories_sent == 0

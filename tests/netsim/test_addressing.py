@@ -1,0 +1,174 @@
+"""Unit and property tests for IPv4 addressing primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.addressing import (
+    AddressAllocator,
+    AddressError,
+    IPAddress,
+    Network,
+)
+
+
+class TestIPAddress:
+    def test_parse_dotted_quad(self):
+        assert int(IPAddress("10.0.0.1")) == (10 << 24) + 1
+
+    def test_str_roundtrip(self):
+        assert str(IPAddress("192.168.1.200")) == "192.168.1.200"
+
+    def test_from_int(self):
+        assert str(IPAddress(0x0A000001)) == "10.0.0.1"
+
+    def test_from_ipaddress_copy(self):
+        original = IPAddress("1.2.3.4")
+        assert IPAddress(original) == original
+
+    def test_equality_and_hash(self):
+        assert IPAddress("10.0.0.1") == IPAddress(0x0A000001)
+        assert hash(IPAddress("10.0.0.1")) == hash(IPAddress(0x0A000001))
+
+    def test_ordering(self):
+        assert IPAddress("10.0.0.1") < IPAddress("10.0.0.2")
+
+    @pytest.mark.parametrize(
+        "bad", ["10.0.0", "10.0.0.256", "a.b.c.d", "10..0.1", "10.0.0.1.2", ""]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AddressError):
+            IPAddress(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(AddressError):
+            IPAddress(2**32)
+        with pytest.raises(AddressError):
+            IPAddress(-1)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(AddressError):
+            IPAddress(1.5)  # type: ignore[arg-type]
+
+    def test_multicast_detection(self):
+        assert IPAddress("224.0.0.1").is_multicast
+        assert IPAddress("239.255.255.255").is_multicast
+        assert not IPAddress("223.255.255.255").is_multicast
+        assert not IPAddress("240.0.0.1").is_multicast
+
+    def test_broadcast_and_unspecified(self):
+        assert IPAddress("255.255.255.255").is_broadcast
+        assert IPAddress("0.0.0.0").is_unspecified
+        assert not IPAddress("10.0.0.1").is_broadcast
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_str_parse_roundtrip_property(self, value):
+        address = IPAddress(value)
+        assert int(IPAddress(str(address))) == value
+
+
+class TestNetwork:
+    def test_parse_cidr(self):
+        net = Network("10.1.0.0/16")
+        assert str(net) == "10.1.0.0/16"
+        assert net.prefix_len == 16
+
+    def test_contains_address(self):
+        net = Network("10.1.0.0/16")
+        assert net.contains(IPAddress("10.1.255.254"))
+        assert not net.contains(IPAddress("10.2.0.1"))
+
+    def test_contains_subnetwork(self):
+        assert Network("10.0.0.0/8").contains(Network("10.1.0.0/16"))
+        assert not Network("10.1.0.0/16").contains(Network("10.0.0.0/8"))
+
+    def test_overlaps(self):
+        assert Network("10.0.0.0/8").overlaps(Network("10.1.0.0/16"))
+        assert Network("10.1.0.0/16").overlaps(Network("10.0.0.0/8"))
+        assert not Network("10.1.0.0/16").overlaps(Network("10.2.0.0/16"))
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(AddressError):
+            Network("10.1.0.1/16")
+
+    def test_bad_prefix_len_rejected(self):
+        with pytest.raises(AddressError):
+            Network("10.0.0.0/33")
+        with pytest.raises(AddressError):
+            Network("10.0.0.0/x")
+
+    def test_missing_prefix_len_rejected(self):
+        with pytest.raises(AddressError):
+            Network("10.0.0.0")
+
+    def test_netmask_and_broadcast(self):
+        net = Network("192.168.4.0/22")
+        assert str(net.netmask) == "255.255.252.0"
+        assert str(net.broadcast_address) == "192.168.7.255"
+
+    def test_hosts_skip_network_and_broadcast(self):
+        hosts = list(Network("192.168.1.0/30").hosts())
+        assert [str(h) for h in hosts] == ["192.168.1.1", "192.168.1.2"]
+
+    def test_hosts_point_to_point_31(self):
+        hosts = list(Network("192.168.1.0/31").hosts())
+        assert [str(h) for h in hosts] == ["192.168.1.0", "192.168.1.1"]
+
+    def test_num_addresses(self):
+        assert Network("10.0.0.0/24").num_addresses == 256
+        assert Network("0.0.0.0/0").num_addresses == 2**32
+
+    def test_zero_length_prefix_contains_everything(self):
+        default = Network("0.0.0.0/0")
+        assert default.contains(IPAddress("255.255.255.255"))
+        assert default.contains(IPAddress("0.0.0.0"))
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(0, 32))
+    def test_membership_matches_mask_arithmetic(self, value, prefix_len):
+        mask = (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF if prefix_len else 0
+        net = Network(IPAddress(value & mask), prefix_len)
+        assert net.contains(IPAddress(value))
+
+
+class TestAddressAllocator:
+    def test_allocates_sequentially_after_reserve(self):
+        alloc = AddressAllocator(Network("10.0.0.0/24"), reserve=1)
+        assert str(alloc.allocate()) == "10.0.0.2"
+        assert str(alloc.allocate()) == "10.0.0.3"
+
+    def test_claim_specific(self):
+        alloc = AddressAllocator(Network("10.0.0.0/24"))
+        claimed = alloc.claim(IPAddress("10.0.0.77"))
+        assert claimed in alloc.in_use
+
+    def test_claim_outside_rejected(self):
+        alloc = AddressAllocator(Network("10.0.0.0/24"))
+        with pytest.raises(AddressError):
+            alloc.claim(IPAddress("10.0.1.1"))
+
+    def test_double_claim_rejected(self):
+        alloc = AddressAllocator(Network("10.0.0.0/24"))
+        alloc.claim(IPAddress("10.0.0.9"))
+        with pytest.raises(AddressError):
+            alloc.claim(IPAddress("10.0.0.9"))
+
+    def test_release_and_recycle_fifo(self):
+        alloc = AddressAllocator(Network("10.0.0.0/24"), reserve=0)
+        first = alloc.allocate()
+        second = alloc.allocate()
+        alloc.release(first)
+        alloc.release(second)
+        assert alloc.allocate() == first
+        assert alloc.allocate() == second
+
+    def test_release_unallocated_rejected(self):
+        alloc = AddressAllocator(Network("10.0.0.0/24"))
+        with pytest.raises(AddressError):
+            alloc.release(IPAddress("10.0.0.5"))
+
+    def test_exhaustion(self):
+        alloc = AddressAllocator(Network("192.168.0.0/30"), reserve=0)
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(AddressError):
+            alloc.allocate()

@@ -1,0 +1,113 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.netsim.events import EventQueue, SimClock
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(3.0, order.append, "c")
+        queue.schedule(1.0, order.append, "a")
+        queue.schedule(2.0, order.append, "b")
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for label in "abc":
+            queue.schedule(1.0, order.append, label)
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(2.5, lambda: seen.append(queue.clock.now))
+        queue.run()
+        assert seen == [2.5]
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_at(5.0, lambda: seen.append(queue.clock.now))
+        queue.run()
+        assert seen == [5.0]
+
+    def test_events_scheduled_during_run(self):
+        queue = EventQueue()
+        order = []
+
+        def first():
+            order.append("first")
+            queue.schedule(1.0, lambda: order.append("second"))
+
+        queue.schedule(1.0, first)
+        queue.run()
+        assert order == ["first", "second"]
+        assert queue.clock.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        queue = EventQueue()
+        ran = []
+        event = queue.schedule(1.0, ran.append, "x")
+        event.cancel()
+        queue.run()
+        assert ran == []
+
+    def test_pending_excludes_cancelled(self):
+        queue = EventQueue()
+        keep = queue.schedule(1.0, lambda: None)
+        gone = queue.schedule(2.0, lambda: None)
+        gone.cancel()
+        assert queue.pending == 1
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        queue = EventQueue()
+        ran = []
+        queue.schedule(1.0, ran.append, "early")
+        queue.schedule(10.0, ran.append, "late")
+        queue.run(until=5.0)
+        assert ran == ["early"]
+        assert queue.clock.now == 5.0
+        queue.run()
+        assert ran == ["early", "late"]
+
+    def test_until_before_any_event(self):
+        queue = EventQueue()
+        queue.schedule(10.0, lambda: None)
+        assert queue.run(until=1.0) == 1.0
+
+    def test_event_budget_guards_runaway(self):
+        queue = EventQueue()
+
+        def forever():
+            queue.schedule(0.0, forever)
+
+        queue.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            queue.run(max_events=100)
+
+
+class TestClock:
+    def test_time_never_goes_backwards(self):
+        clock = SimClock()
+        clock._advance(5.0)
+        with pytest.raises(RuntimeError):
+            clock._advance(4.0)
+
+    def test_step_returns_false_when_empty(self):
+        queue = EventQueue()
+        assert queue.step() is False

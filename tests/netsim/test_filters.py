@@ -1,0 +1,166 @@
+"""Tests for the §3.1 filtering policies."""
+
+import pytest
+
+from repro.netsim.addressing import IPAddress, Network
+from repro.netsim.filters import (
+    Direction,
+    FilterEngine,
+    FilterRule,
+    Verdict,
+    egress_source_filter,
+    firewall_allow_only,
+    ingress_spoof_filter,
+    transit_traffic_filter,
+)
+from repro.netsim.packet import IPProto, Packet
+
+INSIDE = Network("10.1.0.0/16")
+
+
+def packet(src, dst, proto=IPProto.UDP):
+    return Packet(src=IPAddress(src), dst=IPAddress(dst), proto=proto)
+
+
+class TestIngressSpoofFilter:
+    """Figure 2: inside-source packets arriving from outside are dropped."""
+
+    def setup_method(self):
+        self.engine = FilterEngine([ingress_spoof_filter(INSIDE)])
+
+    def test_drops_spoofed_inside_source(self):
+        verdict, reason = self.engine.evaluate(
+            packet("10.1.0.10", "10.1.0.2"), Direction.INBOUND
+        )
+        assert verdict is Verdict.DROP
+        assert "source-address-filter" in reason
+
+    def test_accepts_outside_source(self):
+        verdict, _ = self.engine.evaluate(
+            packet("10.3.0.2", "10.1.0.2"), Direction.INBOUND
+        )
+        assert verdict is Verdict.ACCEPT
+
+    def test_outbound_not_checked_by_ingress_rule(self):
+        verdict, _ = self.engine.evaluate(
+            packet("10.1.0.10", "10.3.0.2"), Direction.OUTBOUND
+        )
+        assert verdict is Verdict.ACCEPT
+
+    def test_tunneled_packet_judged_by_outer_header_only(self):
+        """Figure 3: 'the inner packets are protected from scrutiny'."""
+        from repro.netsim.encap import encapsulate
+
+        inner = packet("10.1.0.10", "10.3.0.2")       # would be dropped bare
+        outer = encapsulate(inner, IPAddress("10.2.0.2"), IPAddress("10.1.0.1"))
+        verdict, _ = self.engine.evaluate(outer, Direction.INBOUND)
+        assert verdict is Verdict.ACCEPT
+
+
+class TestEgressSourceFilter:
+    """§3.1: packets leaving a site with a foreign source are dropped."""
+
+    def setup_method(self):
+        self.engine = FilterEngine([egress_source_filter(INSIDE)])
+
+    def test_drops_foreign_source_leaving(self):
+        verdict, reason = self.engine.evaluate(
+            packet("10.9.0.10", "10.3.0.2"), Direction.OUTBOUND
+        )
+        assert verdict is Verdict.DROP
+        assert "foreign-source" in reason
+
+    def test_accepts_local_source_leaving(self):
+        verdict, _ = self.engine.evaluate(
+            packet("10.1.0.10", "10.3.0.2"), Direction.OUTBOUND
+        )
+        assert verdict is Verdict.ACCEPT
+
+    def test_inbound_not_checked_by_egress_rule(self):
+        verdict, _ = self.engine.evaluate(
+            packet("10.9.0.10", "10.1.0.2"), Direction.INBOUND
+        )
+        assert verdict is Verdict.ACCEPT
+
+
+class TestTransitFilter:
+    def setup_method(self):
+        self.engine = FilterEngine([transit_traffic_filter(INSIDE)])
+
+    def test_drops_pure_transit(self):
+        verdict, reason = self.engine.evaluate(
+            packet("10.8.0.1", "10.9.0.1"), Direction.INBOUND
+        )
+        assert verdict is Verdict.DROP
+        assert reason == "transit-traffic-forbidden"
+
+    def test_accepts_traffic_to_site(self):
+        verdict, _ = self.engine.evaluate(
+            packet("10.8.0.1", "10.1.0.2"), Direction.INBOUND
+        )
+        assert verdict is Verdict.ACCEPT
+
+    def test_accepts_traffic_from_site(self):
+        verdict, _ = self.engine.evaluate(
+            packet("10.1.0.2", "10.9.0.1"), Direction.OUTBOUND
+        )
+        assert verdict is Verdict.ACCEPT
+
+
+class TestFirewall:
+    def test_default_deny_except_allowed_protocol(self):
+        rules = firewall_allow_only(INSIDE, allowed_protos=[IPProto.TCP])
+        engine = FilterEngine(rules)
+        verdict, _ = engine.evaluate(
+            packet("10.9.0.1", "10.1.0.2", proto=IPProto.UDP), Direction.INBOUND
+        )
+        assert verdict is Verdict.DROP
+        verdict, _ = engine.evaluate(
+            packet("10.9.0.1", "10.1.0.2", proto=IPProto.TCP), Direction.INBOUND
+        )
+        assert verdict is Verdict.ACCEPT
+
+    def test_allowed_host_bypasses_protocol_restriction(self):
+        """§3.1: the firewall lets its resident home agent receive tunnels."""
+        ha = IPAddress("10.1.0.1")
+        rules = firewall_allow_only(INSIDE, allowed_protos=[], allowed_hosts=[ha])
+        engine = FilterEngine(rules)
+        verdict, _ = engine.evaluate(
+            packet("10.9.0.1", str(ha), proto=IPProto.IPIP), Direction.INBOUND
+        )
+        assert verdict is Verdict.ACCEPT
+        verdict, _ = engine.evaluate(
+            packet("10.9.0.1", "10.1.0.2", proto=IPProto.IPIP), Direction.INBOUND
+        )
+        assert verdict is Verdict.DROP
+
+    def test_firewall_still_blocks_spoofing(self):
+        rules = firewall_allow_only(INSIDE, allowed_protos=[IPProto.TCP])
+        engine = FilterEngine(rules)
+        verdict, reason = engine.evaluate(
+            packet("10.1.0.50", "10.1.0.2", proto=IPProto.TCP), Direction.INBOUND
+        )
+        assert verdict is Verdict.DROP
+        assert "source-address-filter" in reason
+
+
+class TestEngine:
+    def test_first_match_wins(self):
+        drop_all = FilterRule("drop-all", lambda p, d: True, Verdict.DROP, "wall")
+        accept_all = FilterRule("accept-all", lambda p, d: True, Verdict.ACCEPT)
+        engine = FilterEngine([accept_all, drop_all])
+        verdict, _ = engine.evaluate(packet("1.1.1.1", "2.2.2.2"), Direction.INBOUND)
+        assert verdict is Verdict.ACCEPT
+
+    def test_default_verdict_when_nothing_matches(self):
+        engine = FilterEngine(default=Verdict.DROP)
+        verdict, reason = engine.evaluate(packet("1.1.1.1", "2.2.2.2"), Direction.INBOUND)
+        assert verdict is Verdict.DROP
+        assert reason == "default"
+
+    def test_hit_counting(self):
+        rule = ingress_spoof_filter(INSIDE)
+        engine = FilterEngine([rule])
+        for _ in range(3):
+            engine.evaluate(packet("10.1.0.10", "10.1.0.2"), Direction.INBOUND)
+        assert engine.hits[rule.name] == 3

@@ -1,0 +1,187 @@
+"""Tests for IP fragmentation/reassembly and the §3.3 doubling claim."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.addressing import IPAddress
+from repro.netsim.encap import encapsulate
+from repro.netsim.fragmentation import (
+    FragmentationNeeded,
+    Reassembler,
+    fragment,
+)
+from repro.netsim.packet import IPV4_HEADER_SIZE, IPProto, Packet
+
+
+def make_packet(size, df=False):
+    return Packet(
+        src=IPAddress("10.0.0.1"), dst=IPAddress("10.0.0.2"),
+        proto=IPProto.UDP, payload="data", payload_size=size,
+        dont_fragment=df,
+    )
+
+
+class TestFragment:
+    def test_under_mtu_passes_through(self):
+        packet = make_packet(100)
+        assert fragment(packet, 1500) == [packet]
+
+    def test_exact_mtu_passes_through(self):
+        packet = make_packet(1480)
+        assert packet.wire_size == 1500
+        assert fragment(packet, 1500) == [packet]
+
+    def test_one_byte_over_mtu_doubles_packet_count(self):
+        """§3.3: '...the packet will be fragmented, doubling the packet
+        count' — an encapsulated near-MTU packet becomes two."""
+        inner = make_packet(1480)                      # exactly 1500 on wire
+        outer = encapsulate(inner, IPAddress("1.1.1.1"), IPAddress("2.2.2.2"))
+        assert outer.wire_size == 1520
+        pieces = fragment(outer, 1500)
+        assert len(pieces) == 2
+
+    def test_fragment_sizes_and_offsets(self):
+        packet = make_packet(3000)
+        pieces = fragment(packet, 1500)
+        assert len(pieces) == 3
+        offset = 0
+        for piece in pieces[:-1]:
+            assert piece.frag_offset == offset
+            assert piece.more_fragments
+            assert piece.wire_size <= 1500
+            assert piece.payload_size % 8 == 0
+            offset += piece.payload_size
+        last = pieces[-1]
+        assert not last.more_fragments
+        assert offset + last.payload_size == 3000
+
+    def test_fragments_share_ident_and_trace(self):
+        packet = make_packet(3000)
+        pieces = fragment(packet, 1500)
+        assert len({p.ident for p in pieces}) == 1
+        assert len({p.trace_id for p in pieces}) == 1
+
+    def test_df_raises(self):
+        packet = make_packet(3000, df=True)
+        with pytest.raises(FragmentationNeeded) as info:
+            fragment(packet, 1500)
+        assert info.value.mtu == 1500
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(ValueError):
+            fragment(make_packet(100), IPV4_HEADER_SIZE)
+
+    @given(st.integers(min_value=1, max_value=20000),
+           st.integers(min_value=68, max_value=1500))
+    def test_total_bytes_conserved(self, size, mtu):
+        packet = make_packet(size)
+        pieces = fragment(packet, mtu)
+        assert sum(p.payload_size for p in pieces) == size
+        for piece in pieces:
+            assert piece.wire_size <= mtu
+
+
+class TestReassembly:
+    def test_roundtrip(self):
+        packet = make_packet(3000)
+        pieces = fragment(packet, 1500)
+        reassembler = Reassembler()
+        results = [reassembler.accept(p, now=0.0) for p in pieces]
+        whole = results[-1]
+        assert all(r is None for r in results[:-1])
+        assert whole is not None
+        assert whole.payload == "data"
+        assert whole.inner_size == 3000
+        assert reassembler.reassembled == 1
+
+    def test_out_of_order_arrival(self):
+        packet = make_packet(3000)
+        pieces = fragment(packet, 1500)
+        reassembler = Reassembler()
+        whole = None
+        for piece in reversed(pieces):
+            whole = reassembler.accept(piece, now=0.0)
+        assert whole is not None
+        assert whole.inner_size == 3000
+
+    def test_unfragmented_passes_straight_through(self):
+        reassembler = Reassembler()
+        packet = make_packet(100)
+        assert reassembler.accept(packet, now=0.0) is packet
+
+    def test_missing_fragment_blocks(self):
+        packet = make_packet(3000)
+        pieces = fragment(packet, 1500)
+        reassembler = Reassembler()
+        assert reassembler.accept(pieces[0], now=0.0) is None
+        assert reassembler.accept(pieces[2], now=0.0) is None
+        assert reassembler.pending == 1
+
+    def test_timeout_discards_incomplete(self):
+        packet = make_packet(3000)
+        pieces = fragment(packet, 1500)
+        reassembler = Reassembler()
+        reassembler.accept(pieces[0], now=0.0)
+        # A later unrelated arrival triggers expiry.
+        reassembler.accept(make_packet(50), now=100.0)
+        assert reassembler.pending == 0
+        assert reassembler.timeouts == 1
+
+    def test_interleaved_datagrams_keep_separate_buffers(self):
+        first = make_packet(3000)
+        second = make_packet(3000)
+        pieces_a = fragment(first, 1500)
+        pieces_b = fragment(second, 1500)
+        reassembler = Reassembler()
+        for pa, pb in zip(pieces_a, pieces_b):
+            out_a = reassembler.accept(pa, now=0.0)
+            out_b = reassembler.accept(pb, now=0.0)
+        assert out_a is not None and out_b is not None
+        assert out_a.ident != out_b.ident
+
+    def test_encapsulated_payload_survives_reassembly(self):
+        inner = make_packet(1480)
+        outer = encapsulate(inner, IPAddress("1.1.1.1"), IPAddress("2.2.2.2"))
+        pieces = fragment(outer, 1500)
+        reassembler = Reassembler()
+        whole = None
+        for piece in pieces:
+            whole = reassembler.accept(piece, now=0.0)
+        assert whole is not None
+        assert whole.is_encapsulated
+        assert whole.payload is inner
+
+
+class TestFragmentSizeAccounting:
+    def test_encapsulated_first_fragment_reports_literal_size(self):
+        """Regression: the first fragment of a tunnel packet must report
+        its own byte count, not the whole inner packet's — otherwise it
+        is re-fragmented at every subsequent hop."""
+        inner = make_packet(1480)
+        outer = encapsulate(inner, IPAddress("1.1.1.1"), IPAddress("2.2.2.2"))
+        pieces = fragment(outer, 1500)
+        assert len(pieces) == 2
+        for piece in pieces:
+            assert piece.wire_size <= 1500
+            # A second pass over the same MTU must be a no-op.
+            assert fragment(piece, 1500) == [piece]
+
+    def test_fragment_sizes_sum_to_original(self):
+        inner = make_packet(1480)
+        outer = encapsulate(inner, IPAddress("1.1.1.1"), IPAddress("2.2.2.2"))
+        pieces = fragment(outer, 1500)
+        data_bytes = sum(p.payload_size for p in pieces)
+        assert data_bytes == outer.inner_size == 1500
+
+    def test_reassembled_whole_recovers_structured_size(self):
+        inner = make_packet(1480)
+        outer = encapsulate(inner, IPAddress("1.1.1.1"), IPAddress("2.2.2.2"))
+        reassembler = Reassembler()
+        whole = None
+        for piece in fragment(outer, 1500):
+            whole = reassembler.accept(piece, now=0.0)
+        assert whole is not None
+        assert not whole.is_fragment
+        assert whole.wire_size == 1520        # structured sizing again
+        assert whole.payload is inner

@@ -1,0 +1,183 @@
+"""Tests for segments, interfaces, frames, and ARP (incl. proxy ARP)."""
+
+import pytest
+
+from repro.netsim.addressing import IPAddress, Network
+from repro.netsim.link import BROADCAST_LINK_ADDR, Frame, Segment
+from repro.netsim.node import Node
+from repro.netsim.packet import IPProto, Packet
+from repro.netsim.simulator import Simulator
+
+
+def udp_packet(src, dst, size=100):
+    return Packet(src=IPAddress(src), dst=IPAddress(dst), proto=IPProto.UDP,
+                  payload="x", payload_size=size)
+
+
+class TestSegmentDelivery:
+    def test_unicast_frame_reaches_only_target(self, lan):
+        sim, segment, a, b = lan
+        b.proto_handlers[IPProto.UDP] = lambda p: None
+        packet = udp_packet("192.168.1.1", "192.168.1.2")
+        a.ip_send(packet)
+        sim.run()
+        assert b.packets_received == 1
+        assert a.packets_received == 0
+
+    def test_latency_and_serialization_delay(self, sim):
+        segment = sim.segment("slow", latency=0.5, bandwidth=8000)  # 1 kB/s
+        received_at = []
+        a, b = Node("a", sim), Node("b", sim)
+        prefix = Network("10.0.0.0/24")
+        a.add_interface("eth0", segment).configure(IPAddress("10.0.0.1"), prefix)
+        b.add_interface("eth0", segment).configure(IPAddress("10.0.0.2"), prefix)
+        a.routes.add(prefix, "eth0")
+        b.proto_handlers[IPProto.UDP] = lambda p: received_at.append(sim.now)
+        # Pre-seed ARP so we measure only the data frame's delay.
+        a.arp.learn(a.interfaces["eth0"], IPAddress("10.0.0.2"),
+                    b.interfaces["eth0"].link_address)
+        packet = udp_packet("10.0.0.1", "10.0.0.2", size=986)  # 1006B + 14 = 1020B
+        a.ip_send(packet)
+        sim.run()
+        assert len(received_at) == 1
+        assert received_at[0] == pytest.approx(0.5 + 1020 * 8 / 8000)
+
+    def test_bytes_accounted(self, lan):
+        sim, segment, a, b = lan
+        b.proto_handlers[IPProto.UDP] = lambda p: None
+        a.ip_send(udp_packet("192.168.1.1", "192.168.1.2", size=200))
+        sim.run()
+        # ARP request + reply + one data frame
+        assert segment.frames_carried == 3
+        assert segment.bytes_carried >= 200
+
+    def test_detached_interface_loses_frames(self, lan):
+        sim, segment, a, b = lan
+        b.interfaces["eth0"].detach()
+        a.ip_send(udp_packet("192.168.1.1", "192.168.1.2"))
+        sim.run()
+        assert b.packets_received == 0
+
+    def test_interface_down_drops_receive(self, lan):
+        sim, segment, a, b = lan
+        a.arp.learn(a.interfaces["eth0"], IPAddress("192.168.1.2"),
+                    b.interfaces["eth0"].link_address)
+        b.interfaces["eth0"].up = False
+        a.ip_send(udp_packet("192.168.1.1", "192.168.1.2"))
+        sim.run()
+        assert b.packets_received == 0
+
+    def test_bad_segment_parameters_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Segment("bad", sim, latency=-1)
+        with pytest.raises(ValueError):
+            Segment("bad2", sim, bandwidth=0)
+
+
+class TestInterface:
+    def test_configure_checks_membership(self, sim):
+        node = Node("n", sim)
+        iface = node.add_interface("eth0")
+        with pytest.raises(ValueError):
+            iface.configure(IPAddress("10.0.0.1"), Network("192.168.0.0/24"))
+
+    def test_secondary_addresses(self, sim):
+        node = Node("n", sim)
+        iface = node.add_interface("eth0")
+        iface.configure(IPAddress("10.0.0.1"), Network("10.0.0.0/24"))
+        iface.add_secondary(IPAddress("10.1.0.10"))
+        iface.add_secondary(IPAddress("10.1.0.10"))  # idempotent
+        assert iface.addresses == [IPAddress("10.0.0.1"), IPAddress("10.1.0.10")]
+        assert node.owns_address(IPAddress("10.1.0.10"))
+
+    def test_duplicate_interface_name_rejected(self, sim):
+        node = Node("n", sim)
+        node.add_interface("eth0")
+        with pytest.raises(ValueError):
+            node.add_interface("eth0")
+
+    def test_deconfigure_clears_everything(self, sim):
+        node = Node("n", sim)
+        iface = node.add_interface("eth0")
+        iface.configure(IPAddress("10.0.0.1"), Network("10.0.0.0/24"))
+        iface.add_secondary(IPAddress("10.1.0.10"))
+        iface.deconfigure()
+        assert iface.addresses == []
+
+
+class TestArp:
+    def test_resolution_then_delivery(self, lan):
+        sim, segment, a, b = lan
+        a.ip_send(udp_packet("192.168.1.1", "192.168.1.2"))
+        sim.run()
+        # a should now have a cache entry for b
+        learned = a.arp.lookup(a.interfaces["eth0"], IPAddress("192.168.1.2"))
+        assert learned == b.interfaces["eth0"].link_address
+
+    def test_pending_queue_drains_in_order(self, lan):
+        sim, segment, a, b = lan
+        received = []
+        b.proto_handlers[IPProto.UDP] = lambda p: received.append(p.payload)
+        for index in range(3):
+            packet = Packet(src=IPAddress("192.168.1.1"), dst=IPAddress("192.168.1.2"),
+                            proto=IPProto.UDP, payload=index, payload_size=10)
+            a.ip_send(packet)
+        sim.run()
+        assert received == [0, 1, 2]
+
+    def test_pending_queue_overflow_drops(self, lan):
+        sim, segment, a, b = lan
+        # Unresolvable address: nobody owns it, queue fills then drops.
+        for _ in range(20):
+            a.ip_send(udp_packet("192.168.1.1", "192.168.1.99"))
+        sim.run()
+        assert sim.trace.drops_by_reason.get("arp-queue-overflow", 0) == 4
+
+    def test_gratuitous_arp_overwrites_cache(self, lan):
+        sim, segment, a, b = lan
+        iface_a = a.interfaces["eth0"]
+        stale = b.interfaces["eth0"].link_address
+        a.arp.learn(iface_a, IPAddress("192.168.1.50"), stale)
+        # b announces it now holds .50
+        b.interfaces["eth0"].add_secondary(IPAddress("192.168.1.50"))
+        b.arp.announce(b.interfaces["eth0"], IPAddress("192.168.1.50"))
+        sim.run()
+        assert a.arp.lookup(iface_a, IPAddress("192.168.1.50")) == stale  # same addr here
+        # and a third party learns it fresh
+        assert b.arp.proxies_on(b.interfaces["eth0"]) == frozenset()
+
+    def test_proxy_arp_answers_for_other_hosts(self, lan):
+        """RFC 1027 behaviour: the home agent's capture mechanism."""
+        sim, segment, a, b = lan
+        absent = IPAddress("192.168.1.77")
+        b.arp.add_proxy(b.interfaces["eth0"], absent)
+        a.ip_send(udp_packet("192.168.1.1", str(absent)))
+        sim.run()
+        resolved = a.arp.lookup(a.interfaces["eth0"], absent)
+        assert resolved == b.interfaces["eth0"].link_address
+
+    def test_proxy_removal_stops_answering(self, lan):
+        sim, segment, a, b = lan
+        absent = IPAddress("192.168.1.77")
+        iface_b = b.interfaces["eth0"]
+        b.arp.add_proxy(iface_b, absent)
+        b.arp.remove_proxy(iface_b, absent)
+        a.ip_send(udp_packet("192.168.1.1", str(absent)))
+        sim.run()
+        assert a.arp.lookup(a.interfaces["eth0"], absent) is None
+
+    def test_flush_clears_cache(self, lan):
+        sim, segment, a, b = lan
+        a.ip_send(udp_packet("192.168.1.1", "192.168.1.2"))
+        sim.run()
+        a.arp.flush()
+        assert a.arp.lookup(a.interfaces["eth0"], IPAddress("192.168.1.2")) is None
+
+    def test_cache_entries_expire(self, lan):
+        sim, segment, a, b = lan
+        iface = a.interfaces["eth0"]
+        a.arp.learn(iface, IPAddress("192.168.1.2"), b.interfaces["eth0"].link_address)
+        # Advance time beyond the cache lifetime.
+        sim.events.schedule(700.0, lambda: None)
+        sim.run()
+        assert a.arp.lookup(iface, IPAddress("192.168.1.2")) is None

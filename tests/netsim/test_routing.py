@@ -1,0 +1,90 @@
+"""Tests for longest-prefix-match routing tables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.addressing import IPAddress, Network
+from repro.netsim.routing import Route, RoutingError, RoutingTable
+
+
+class TestLookup:
+    def test_longest_prefix_wins(self):
+        table = RoutingTable()
+        table.add(Network("10.0.0.0/8"), "coarse")
+        table.add(Network("10.1.0.0/16"), "fine")
+        route = table.lookup(IPAddress("10.1.2.3"))
+        assert route is not None and route.interface == "fine"
+
+    def test_default_route_matches_everything(self):
+        table = RoutingTable()
+        table.add_default("uplink", IPAddress("192.0.2.1"))
+        route = table.lookup(IPAddress("8.8.8.8"))
+        assert route is not None and route.interface == "uplink"
+
+    def test_specific_beats_default(self):
+        table = RoutingTable()
+        table.add_default("uplink", IPAddress("192.0.2.1"))
+        table.add(Network("10.1.0.0/16"), "lan")
+        assert table.lookup(IPAddress("10.1.0.5")).interface == "lan"
+        assert table.lookup(IPAddress("11.0.0.1")).interface == "uplink"
+
+    def test_metric_breaks_equal_length_ties(self):
+        table = RoutingTable()
+        table.add(Network("10.1.0.0/16"), "worse", metric=10)
+        table.add(Network("10.1.0.0/16"), "better", metric=1)
+        assert table.lookup(IPAddress("10.1.0.1")).interface == "better"
+
+    def test_no_match_returns_none(self):
+        table = RoutingTable()
+        table.add(Network("10.1.0.0/16"), "lan")
+        assert table.lookup(IPAddress("11.0.0.1")) is None
+
+    def test_lookup_or_raise(self):
+        table = RoutingTable()
+        with pytest.raises(RoutingError):
+            table.lookup_or_raise(IPAddress("1.2.3.4"))
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_chosen_route_always_contains_destination(self, value):
+        table = RoutingTable()
+        table.add(Network("0.0.0.0/0"), "default")
+        table.add(Network("10.0.0.0/8"), "eight")
+        table.add(Network("10.1.0.0/16"), "sixteen")
+        table.add(Network("10.1.2.0/24"), "twentyfour")
+        destination = IPAddress(value)
+        route = table.lookup(destination)
+        assert route is not None
+        assert route.prefix.contains(destination)
+        # And no other route is strictly longer while still matching.
+        for other in table.routes:
+            if other.prefix.contains(destination):
+                assert other.prefix.prefix_len <= route.prefix.prefix_len
+
+
+class TestMutation:
+    def test_remove_prefix(self):
+        table = RoutingTable()
+        table.add(Network("10.1.0.0/16"), "a")
+        table.add(Network("10.1.0.0/16"), "b", metric=5)
+        table.add(Network("10.2.0.0/16"), "c")
+        removed = table.remove_prefix(Network("10.1.0.0/16"))
+        assert removed == 2
+        assert len(table) == 1
+
+    def test_clear(self):
+        table = RoutingTable()
+        table.add(Network("10.1.0.0/16"), "a")
+        table.clear()
+        assert len(table) == 0
+        assert table.lookup(IPAddress("10.1.0.1")) is None
+
+    def test_string_form_lists_routes(self):
+        table = RoutingTable()
+        table.add(Network("10.1.0.0/16"), "eth0", gateway=IPAddress("10.1.0.1"))
+        rendered = str(table)
+        assert "10.1.0.0/16" in rendered
+        assert "via 10.1.0.1" in rendered
+
+    def test_empty_table_renders_placeholder(self):
+        assert "empty" in str(RoutingTable())

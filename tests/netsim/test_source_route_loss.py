@@ -1,0 +1,171 @@
+"""Tests for loose source routing (§4's rejected alternative) and
+lossy links (the wireless-media knob)."""
+
+import pytest
+
+from repro.netsim import Internet, IPAddress, Node, Simulator
+from repro.netsim.packet import IPProto, Packet
+from repro.transport import TransportStack
+
+
+def udp(src, dst, size=100, route=()):
+    return Packet(src=IPAddress(src), dst=IPAddress(dst), proto=IPProto.UDP,
+                  payload="x", payload_size=size,
+                  source_route=tuple(IPAddress(h) for h in route))
+
+
+class TestSourceRouteMechanics:
+    def test_options_size(self):
+        assert udp("1.1.1.1", "2.2.2.2").options_size == 0
+        one_hop = udp("1.1.1.1", "2.2.2.2", route=("3.3.3.3",))
+        assert one_hop.options_size == 8      # 3 + 4, padded to 8
+        two_hops = udp("1.1.1.1", "2.2.2.2", route=("3.3.3.3", "4.4.4.4"))
+        assert two_hops.options_size == 12    # 3 + 8, padded to 12
+        assert one_hop.wire_size == 20 + 8 + 100
+
+    def test_lsr_visits_intermediate_then_final(self, two_domain_net):
+        sim, _net, a, ip_a, b, ip_b = two_domain_net
+        relay = Node("relay", sim)
+        relay_ip = _net.add_host("a", relay)
+        seen = []
+        b.proto_handlers[IPProto.UDP] = lambda p: seen.append(p)
+        packet = udp(str(ip_a), str(relay_ip), route=(str(ip_b),))
+        a.ip_send(packet)
+        sim.run(until=10)
+        assert len(seen) == 1
+        final = seen[0]
+        assert final.dst == ip_b
+        assert final.src == ip_a                 # source never rewritten
+        assert final.route_pointer == 1
+        lsr_hops = [e for e in sim.trace.entries if e.action == "source-route"]
+        assert [e.node for e in lsr_hops] == ["relay"]
+
+    def test_multi_hop_route(self, two_domain_net):
+        sim, net, a, ip_a, b, ip_b = two_domain_net
+        r1 = Node("r1", sim)
+        r2 = Node("r2", sim)
+        ip_r1 = net.add_host("a", r1)
+        ip_r2 = net.add_host("b", r2)
+        seen = []
+        b.proto_handlers[IPProto.UDP] = lambda p: seen.append(p)
+        packet = udp(str(ip_a), str(ip_r1), route=(str(ip_r2), str(ip_b)))
+        a.ip_send(packet)
+        sim.run(until=20)
+        assert len(seen) == 1
+        assert seen[0].route_pointer == 2
+
+    def test_lsr_does_not_evade_source_filtering(self):
+        """The §4 argument: LSR leaves the source address visible, so
+        a foreign-source packet still dies at the filtering boundary —
+        unlike the encapsulating header."""
+        sim = Simulator(seed=71)
+        net = Internet(sim, backbone_size=2)
+        net.add_domain("site", "10.1.0.0/16", attach_at=0)      # filtering
+        net.add_domain("other", "10.2.0.0/16", attach_at=1,
+                       source_filtering=False, forbid_transit=False)
+        visitor = Node("visitor", sim)
+        net.add_host("site", visitor)
+        relay = Node("relay", sim)
+        relay_ip = net.add_host("other", relay)
+        target = Node("target", sim)
+        target_ip = net.add_host("other", target)
+        target.proto_handlers[IPProto.UDP] = lambda p: pytest.fail("leaked")
+        # Foreign source (10.9.0.1) trying to leave via a source route.
+        packet = udp("10.9.0.1", str(relay_ip), route=(str(target_ip),))
+        visitor.ip_send(packet)
+        sim.run(until=10)
+        drops = sim.trace.drops_by_reason
+        assert any("source-address-filter" in reason for reason in drops)
+
+    def test_slow_path_adds_latency(self, two_domain_net):
+        sim, net, a, ip_a, b, ip_b = two_domain_net
+        times = {}
+        b.proto_handlers[IPProto.UDP] = lambda p: times.setdefault(
+            "with" if p.has_options else "without", sim.now)
+        relay = Node("relay2", sim)
+        relay_ip = net.add_host("b", relay)
+        # Warm ARP with a plain packet first.
+        a.ip_send(udp(str(ip_a), str(ip_b)))
+        sim.run(until=5)
+        start = sim.now
+        a.ip_send(udp(str(ip_a), str(ip_b)))
+        sim.run(until=start + 5)
+        plain_time = times["without"] - start
+        start2 = sim.now
+        a.ip_send(udp(str(ip_a), str(relay_ip), route=(str(ip_b),)))
+        sim.run(until=start2 + 5)
+        routed_time = times["with"] - start2
+        # 4 routers x 2ms slow path (twice through some), plus the
+        # extra relay hop: distinctly slower.
+        assert routed_time > plain_time + 4 * 0.002
+
+
+class TestLossyLinks:
+    def build(self, loss):
+        sim = Simulator(seed=72)
+        net = Internet(sim, backbone_size=2)
+        net.add_domain("a", "10.1.0.0/16", attach_at=0, source_filtering=False)
+        net.add_domain("b", "10.2.0.0/16", attach_at=1, source_filtering=False)
+        sim.segments["p2p-bb0-bb1"].loss_rate = loss
+        a, b = Node("a1", sim), Node("b1", sim)
+        ip_a = net.add_host("a", a)
+        ip_b = net.add_host("b", b)
+        return sim, a, ip_a, b, ip_b
+
+    @staticmethod
+    def paced_sends(sim, a, ip_a, ip_b, count, interval=0.05):
+        """Send ``count`` datagrams spaced out (so ARP pending queues
+        never overflow and each frame's loss is independent)."""
+        for index in range(count):
+            sim.events.schedule(
+                index * interval,
+                lambda: a.ip_send(udp(str(ip_a), str(ip_b))),
+            )
+
+    def test_lossless_default(self):
+        sim, a, ip_a, b, ip_b = self.build(0.0)
+        seen = []
+        b.proto_handlers[IPProto.UDP] = lambda p: seen.append(p)
+        self.paced_sends(sim, a, ip_a, ip_b, 20)
+        sim.run(until=20)
+        assert len(seen) == 20
+
+    def test_loss_rate_drops_roughly_that_fraction(self):
+        sim, a, ip_a, b, ip_b = self.build(0.3)
+        seen = []
+        b.proto_handlers[IPProto.UDP] = lambda p: seen.append(p)
+        self.paced_sends(sim, a, ip_a, ip_b, 200)
+        sim.run(until=60)
+        lost = sim.segments["p2p-bb0-bb1"].frames_lost
+        assert 0.2 < lost / (len(seen) + lost) < 0.4
+        assert len(seen) < 200
+
+    def test_tcp_recovers_over_lossy_link(self):
+        sim, a, ip_a, b, ip_b = self.build(0.15)
+        sa, sb = TransportStack(a), TransportStack(b)
+        received = []
+
+        def accept(conn):
+            conn.on_data = lambda d, s: received.append(d)
+
+        sb.listen(7, accept)
+        conn = sa.connect(ip_b, 7)
+        conn.on_established = lambda: [conn.send(100, data=i) for i in range(5)]
+        sim.run(until=200)
+        assert sorted(received) == [0, 1, 2, 3, 4]
+        assert conn.retransmissions > 0
+
+    def test_bad_loss_rate_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.segment("lossy", loss_rate=1.0)
+
+    def test_deterministic_given_seed(self):
+        outcomes = []
+        for _ in range(2):
+            sim, a, ip_a, b, ip_b = self.build(0.3)
+            seen = []
+            b.proto_handlers[IPProto.UDP] = lambda p: seen.append(p)
+            self.paced_sends(sim, a, ip_a, ip_b, 50)
+            sim.run(until=30)
+            outcomes.append(len(seen))
+        assert outcomes[0] == outcomes[1]

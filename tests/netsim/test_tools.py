@@ -1,0 +1,122 @@
+"""Tests for traceroute and the topology renderer."""
+
+import pytest
+
+from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
+from repro.mobileip import Awareness
+from repro.netsim import (
+    Internet,
+    IPAddress,
+    Node,
+    Simulator,
+    render_topology,
+    traceroute,
+)
+
+
+@pytest.fixture
+def chain():
+    sim = Simulator(seed=81)
+    net = Internet(sim, backbone_size=4)
+    net.add_domain("a", "10.1.0.0/16", attach_at=0, source_filtering=False)
+    net.add_domain("b", "10.2.0.0/16", attach_at=3, source_filtering=False)
+    a, b = Node("a1", sim), Node("b1", sim)
+    ip_a = net.add_host("a", a)
+    ip_b = net.add_host("b", b)
+    return sim, net, a, ip_a, b, ip_b
+
+
+class TestTraceroute:
+    def test_reaches_destination_with_full_hop_list(self, chain):
+        sim, _net, a, _ip_a, _b, ip_b = chain
+        results = []
+        traceroute(a, ip_b, results.append)
+        sim.run(until=120)
+        assert len(results) == 1
+        result = results[0]
+        assert result.reached
+        # a-gw, bb0, bb1, bb2, bb3, b-gw, then b itself = 7 entries.
+        assert len(result.hops) == 7
+        assert result.hops[-1] == ip_b
+        assert all(hop is not None for hop in result.hops)
+
+    def test_unreachable_destination_records_stars(self, chain):
+        sim, _net, a, _ip_a, b, ip_b = chain
+        b.interfaces["eth0"].up = False
+        results = []
+        traceroute(a, ip_b, results.append, max_hops=8)
+        sim.run(until=240)
+        assert len(results) == 1
+        result = results[0]
+        assert not result.reached
+        # The last hops are silent (the dead host answers nothing).
+        assert result.hops[-1] is None
+
+    def test_render_output(self, chain):
+        sim, _net, a, _ip_a, _b, ip_b = chain
+        results = []
+        traceroute(a, ip_b, results.append)
+        sim.run(until=120)
+        rendered = results[0].render()
+        assert f"traceroute to {ip_b}" in rendered
+        assert "reached" in rendered
+
+    def test_triangle_visible_in_trace(self):
+        """Tracing the home address visits the home domain; tracing the
+        care-of address does not — Figure 1 and Figure 5, as hop lists."""
+        scenario = build_scenario(seed=82, ch_awareness=Awareness.CONVENTIONAL,
+                                  visited_filtering=False)
+        home_gw_inside = scenario.home.gateway_ip
+        results = {}
+        traceroute(scenario.ch, MH_HOME_ADDRESS,
+                   lambda r: results.__setitem__("home", r))
+        scenario.sim.run_for(120)
+        traceroute(scenario.ch, scenario.mh.care_of,
+                   lambda r: results.__setitem__("coa", r))
+        scenario.sim.run_for(120)
+        assert results["home"].reached
+        assert results["coa"].reached
+        home_path = set(results["home"].hops)
+        coa_path = set(results["coa"].hops)
+        assert home_gw_inside in home_path       # the triangle's corner
+        assert home_gw_inside not in coa_path    # the direct route skips it
+
+    def test_concurrent_traceroutes_do_not_confuse_each_other(self, chain):
+        sim, net, a, _ip_a, _b, ip_b = chain
+        c = Node("c1", sim)
+        ip_c = net.add_host("b", c)
+        results = []
+        traceroute(a, ip_b, results.append)
+        traceroute(a, ip_c, results.append)
+        sim.run(until=240)
+        assert len(results) == 2
+        assert all(r.reached for r in results)
+        destinations = {r.destination for r in results}
+        assert destinations == {ip_b, ip_c}
+
+
+class TestRenderTopology:
+    def test_lists_domains_and_hosts(self, chain):
+        _sim, net, a, ip_a, _b, _ip_b = chain
+        rendered = render_topology(net)
+        assert "bb0 -- bb1 -- bb2 -- bb3" in rendered
+        assert "10.1.0.0/16" in rendered
+        assert "a1" in rendered
+        assert str(ip_a) in rendered
+
+    def test_posture_labels(self, chain):
+        sim, net, *_ = chain
+        net.add_domain("open", "10.9.0.0/16", attach_at=1,
+                       source_filtering=False, forbid_transit=False)
+        net.add_domain("strict", "10.8.0.0/16", attach_at=2)
+        rendered = render_topology(net)
+        assert "permissive" in rendered
+        assert "src-filter,no-transit" in rendered
+
+    def test_moved_host_listed_once(self):
+        scenario = build_scenario(seed=83, ch_awareness=None)
+        rendered = render_topology(scenario.net)
+        assert rendered.count(" mh ") <= 1 or rendered.count("mh ") >= 1
+        # The mobile host appears under the visited domain only.
+        home_block = rendered.split("visited")[0]
+        assert "mh" not in home_block

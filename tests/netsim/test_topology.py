@@ -1,0 +1,131 @@
+"""Tests for the Internet topology builder."""
+
+import pytest
+
+from repro.netsim import Internet, IPAddress, Node, Simulator
+from repro.netsim.packet import IPProto
+
+
+class TestConstruction:
+    def test_backbone_chain(self, sim):
+        net = Internet(sim, backbone_size=4)
+        assert len(net.backbone) == 4
+        # 3 p2p links between 4 routers
+        assert sum(1 for name in sim.segments if name.startswith("p2p")) == 3
+
+    def test_backbone_needs_a_router(self, sim):
+        with pytest.raises(ValueError):
+            Internet(sim, backbone_size=0)
+
+    def test_duplicate_domain_rejected(self, sim):
+        net = Internet(sim)
+        net.add_domain("a", "10.1.0.0/16")
+        with pytest.raises(ValueError):
+            net.add_domain("a", "10.5.0.0/16")
+
+    def test_overlapping_prefix_rejected(self, sim):
+        net = Internet(sim)
+        net.add_domain("a", "10.0.0.0/8")
+        with pytest.raises(ValueError):
+            net.add_domain("b", "10.1.0.0/16")
+
+    def test_domain_distance(self, sim):
+        net = Internet(sim, backbone_size=5)
+        net.add_domain("a", "10.1.0.0/16", attach_at=0)
+        net.add_domain("b", "10.2.0.0/16", attach_at=4)
+        assert net.domain_distance("a", "b") == 4
+
+    def test_domain_of(self, sim):
+        net = Internet(sim)
+        net.add_domain("a", "10.1.0.0/16")
+        assert net.domain_of(IPAddress("10.1.2.3")).name == "a"
+        assert net.domain_of(IPAddress("11.0.0.1")) is None
+
+
+class TestConnectivity:
+    @pytest.mark.parametrize("size,positions", [(1, (0, 0)), (3, (0, 2)), (6, (2, 5))])
+    def test_cross_domain_reachability(self, size, positions):
+        sim = Simulator(seed=size)
+        net = Internet(sim, backbone_size=size)
+        net.add_domain("a", "10.1.0.0/16", attach_at=positions[0],
+                       source_filtering=False)
+        net.add_domain("b", "10.2.0.0/16", attach_at=positions[1],
+                       source_filtering=False)
+        a, b = Node("a1", sim), Node("b1", sim)
+        ip_a = net.add_host("a", a)
+        ip_b = net.add_host("b", b)
+        replies = []
+        a.ping(ip_b, replies.append)
+        sim.run()
+        assert len(replies) == 1
+
+    def test_rtt_grows_with_backbone_distance(self):
+        """The latency knob behind Figure 4."""
+        rtts = []
+        for distance in (1, 4):
+            sim = Simulator(seed=10)
+            net = Internet(sim, backbone_size=5, backbone_latency=0.010)
+            net.add_domain("a", "10.1.0.0/16", attach_at=0, source_filtering=False)
+            net.add_domain("b", "10.2.0.0/16", attach_at=distance,
+                           source_filtering=False)
+            a, b = Node("a1", sim), Node("b1", sim)
+            ip_a = net.add_host("a", a)
+            ip_b = net.add_host("b", b)
+            # Warm up ARP caches along the path, then measure.
+            a.ping(ip_b, lambda p: None)
+            sim.run()
+            start = sim.now
+            times = []
+            a.ping(ip_b, lambda p: times.append(sim.now - start))
+            sim.run()
+            rtts.append(times[0])
+        assert rtts[1] > rtts[0]
+        # Each extra backbone hop adds 2 * latency to the RTT.
+        assert rtts[1] - rtts[0] == pytest.approx(2 * 3 * 0.010, rel=0.2)
+
+    def test_three_hosts_same_lan(self, sim):
+        net = Internet(sim)
+        net.add_domain("a", "10.1.0.0/16")
+        hosts = [Node(f"h{i}", sim) for i in range(3)]
+        ips = [net.add_host("a", h) for h in hosts]
+        seen = []
+        hosts[2].proto_handlers[IPProto.UDP] = lambda p: seen.append(p)
+        from repro.netsim.packet import Packet
+
+        hosts[0].ip_send(Packet(src=ips[0], dst=ips[2], proto=IPProto.UDP,
+                                payload="x", payload_size=10))
+        sim.run()
+        assert len(seen) == 1
+        # LAN traffic never touches the boundary router.
+        assert seen[0].hop_count == 0
+
+    def test_detach_host(self, sim):
+        net = Internet(sim)
+        net.add_domain("a", "10.1.0.0/16", source_filtering=False)
+        net.add_domain("b", "10.2.0.0/16", source_filtering=False)
+        a, b = Node("a1", sim), Node("b1", sim)
+        ip_a = net.add_host("a", a)
+        ip_b = net.add_host("b", b)
+        net.detach_host(b)
+        replies = []
+        a.ping(ip_b, replies.append)
+        sim.run()
+        assert replies == []
+
+    def test_static_address_assignment(self, sim):
+        net = Internet(sim)
+        net.add_domain("a", "10.1.0.0/16")
+        host = Node("h", sim)
+        ip = net.add_host("a", host, address=IPAddress("10.1.0.200"))
+        assert str(ip) == "10.1.0.200"
+
+    def test_unclaimed_assignment_skips_allocator(self, sim):
+        net = Internet(sim)
+        net.add_domain("a", "10.1.0.0/16")
+        first = Node("h1", sim)
+        net.add_host("a", first, address=IPAddress("10.1.0.200"))
+        net.detach_host(first)
+        again = Node("h2", sim)
+        # claim=False: reuse without touching allocator bookkeeping.
+        ip = net.add_host("a", again, address=IPAddress("10.1.0.200"), claim=False)
+        assert str(ip) == "10.1.0.200"

@@ -1,0 +1,151 @@
+"""Tests for the trace log and ICMP message construction rules."""
+
+import pytest
+
+from repro.netsim.addressing import IPAddress
+from repro.netsim.icmp import (
+    CareOfAdvisory,
+    EchoData,
+    IcmpMessage,
+    IcmpType,
+    UnreachableCode,
+    UnreachableData,
+    make_icmp_packet,
+    unreachable_for,
+)
+from repro.netsim.packet import IPProto, Packet
+from repro.netsim.trace import TraceLog
+
+
+def udp(src="1.1.1.1", dst="2.2.2.2"):
+    return Packet(src=IPAddress(src), dst=IPAddress(dst), proto=IPProto.UDP,
+                  payload="x", payload_size=50)
+
+
+class TestTraceLog:
+    def test_note_records_globally_and_on_packet(self):
+        log = TraceLog()
+        packet = udp()
+        log.note(1.0, "n1", "send", packet)
+        log.note(2.0, "n2", "deliver", packet)
+        assert log.delivered(packet.trace_id)
+        assert packet.path == ("n2",)
+        assert log.total_deliveries == 1
+
+    def test_drop_bookkeeping(self):
+        log = TraceLog()
+        packet = udp()
+        log.note(1.0, "gw", "drop", packet, detail="filter")
+        assert log.dropped(packet.trace_id)
+        assert log.drop_detail(packet.trace_id) == "filter"
+        assert log.drops_by_reason["filter"] == 1
+
+    def test_delivery_ratio(self):
+        log = TraceLog()
+        packets = [udp() for _ in range(4)]
+        for packet in packets[:3]:
+            log.note(0.0, "n", "deliver", packet)
+        ratio = log.delivery_ratio([p.trace_id for p in packets])
+        assert ratio == 0.75
+
+    def test_delivery_ratio_empty(self):
+        assert TraceLog().delivery_ratio([]) == 0.0
+
+    def test_path_of(self):
+        log = TraceLog()
+        packet = udp()
+        log.note(0.0, "a", "send", packet)
+        log.note(0.1, "r1", "forward", packet)
+        log.note(0.2, "r2", "forward", packet)
+        log.note(0.3, "b", "deliver", packet)
+        assert log.path_of(packet.trace_id) == ("r1", "r2", "b")
+        assert log.hop_counts()[packet.trace_id] == 2
+
+    def test_disabled_log_keeps_aggregates(self):
+        log = TraceLog(enabled=False)
+        packet = udp()
+        log.note(0.0, "n", "drop", packet, detail="x")
+        assert log.entries == []
+        assert log.total_drops == 1
+
+    def test_link_bytes(self):
+        log = TraceLog()
+        log.note_link_bytes("lan", 100)
+        log.note_link_bytes("lan", 50)
+        assert log.bytes_by_link["lan"] == 150
+
+    def test_summary_mentions_drops(self):
+        log = TraceLog()
+        log.note(0.0, "n", "drop", udp(), detail="why")
+        assert "why" in log.summary()
+
+
+class TestIcmpConstruction:
+    def test_echo_packet_size(self):
+        message = IcmpMessage(IcmpType.ECHO_REQUEST, EchoData(1, size=56))
+        packet = make_icmp_packet(IPAddress("1.1.1.1"), IPAddress("2.2.2.2"), message)
+        assert packet.wire_size == 20 + 8 + 56
+
+    def test_advisory_carries_binding(self):
+        advisory = CareOfAdvisory(IPAddress("10.1.0.10"), IPAddress("10.2.0.2"), 60.0)
+        message = IcmpMessage(IcmpType.MOBILE_CARE_OF_ADVISORY, advisory)
+        assert message.size == 20
+        assert advisory.home_address == IPAddress("10.1.0.10")
+
+    def test_unreachable_for_regular_packet(self):
+        reply = unreachable_for(IPAddress("9.9.9.9"), udp(),
+                                UnreachableCode.HOST_UNREACHABLE)
+        assert reply is not None
+        assert reply.dst == IPAddress("1.1.1.1")
+        data = reply.payload.data
+        assert isinstance(data, UnreachableData)
+        assert data.code is UnreachableCode.HOST_UNREACHABLE
+
+    def test_no_error_for_non_initial_fragment(self):
+        packet = udp()
+        packet.frag_offset = 64
+        assert unreachable_for(IPAddress("9.9.9.9"), packet,
+                               UnreachableCode.HOST_UNREACHABLE) is None
+
+    def test_no_error_for_multicast(self):
+        packet = udp(dst="224.0.0.1")
+        assert unreachable_for(IPAddress("9.9.9.9"), packet,
+                               UnreachableCode.HOST_UNREACHABLE) is None
+
+    def test_no_error_about_an_error(self):
+        original = unreachable_for(IPAddress("9.9.9.9"), udp(),
+                                   UnreachableCode.HOST_UNREACHABLE)
+        assert unreachable_for(IPAddress("8.8.8.8"), original,
+                               UnreachableCode.HOST_UNREACHABLE) is None
+
+    def test_error_about_echo_is_allowed(self):
+        echo = make_icmp_packet(
+            IPAddress("1.1.1.1"), IPAddress("2.2.2.2"),
+            IcmpMessage(IcmpType.ECHO_REQUEST, EchoData(1)),
+        )
+        reply = unreachable_for(IPAddress("9.9.9.9"), echo,
+                                UnreachableCode.HOST_UNREACHABLE)
+        assert reply is not None
+
+
+class TestTraceExport:
+    def test_export_jsonl_roundtrips(self, tmp_path):
+        import json
+
+        log = TraceLog()
+        packet = udp()
+        log.note(0.5, "a", "send", packet)
+        log.note(1.0, "b", "deliver", packet, detail="ok")
+        out = tmp_path / "trace.jsonl"
+        written = log.export_jsonl(out)
+        assert written == 2
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert lines[0]["node"] == "a"
+        assert lines[1]["action"] == "deliver"
+        assert lines[1]["detail"] == "ok"
+        assert lines[0]["trace_id"] == lines[1]["trace_id"]
+
+    def test_export_empty_log(self, tmp_path):
+        out = tmp_path / "empty.jsonl"
+        assert TraceLog().export_jsonl(out) == 0
+        assert out.read_text() == ""

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_grid_static(self, capsys):
+        assert main(["grid"]) == 0
+        out = capsys.readouterr().out
+        assert "Out-IE" in out and "inapplicable" in out
+
+    def test_grid_live_agrees(self, capsys):
+        assert main(["grid", "--live"]) == 0
+        out = capsys.readouterr().out
+        assert "all cells agree with Figure 10" in out
+        assert out.count("DEAD") == 6
+
+    def test_modes(self, capsys):
+        assert main(["modes"]) == 0
+        out = capsys.readouterr().out
+        for mode in ("Out-IE", "Out-DE", "Out-DH", "Out-DT",
+                     "In-IE", "In-DE", "In-DH", "In-DT"):
+            assert mode in out
+        assert "140B" in out and "120B" in out
+
+    def test_topology(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "backbone:" in out
+        assert "registered=True" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("reached") == 2
+        assert "home-address path bends" in out
+
+    def test_durability(self, capsys):
+        assert main(["durability"]) == 0
+        out = capsys.readouterr().out
+        assert "survived" in out
+        assert "broke" in out
+
+    def test_seed_flag(self, capsys):
+        assert main(["--seed", "7", "topology"]) == 0
+        out = capsys.readouterr().out
+        assert "care-of" in out
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestPolicySubcommand:
+    def test_policy_lookup(self, tmp_path, capsys):
+        config = tmp_path / "policy.conf"
+        config.write_text(
+            "default pessimistic\n10.1.0.0/16 home-only\n")
+        assert main(["policy", str(config), "10.1.0.5", "8.8.8.8"]) == 0
+        out = capsys.readouterr().out
+        assert "10.1.0.5 -> home-only" in out
+        assert "8.8.8.8 -> pessimistic" in out
+
+    def test_policy_bad_config(self, tmp_path, capsys):
+        config = tmp_path / "bad.conf"
+        config.write_text("10.0.0.0/8 yolo\n")
+        assert main(["policy", str(config)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_policy_missing_file(self, capsys):
+        assert main(["policy", "/nonexistent/file"]) == 1
+
+    def test_policy_bad_address(self, tmp_path, capsys):
+        config = tmp_path / "policy.conf"
+        config.write_text("default optimistic\n")
+        assert main(["policy", str(config), "not-an-ip"]) == 1
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "grid"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0
+        assert "Out-IE" in result.stdout

@@ -1,0 +1,266 @@
+"""Tests for the simplified TCP: handshake, data, retransmission,
+teardown, endpoint-identity semantics, and the §7.1.2 reporting."""
+
+import pytest
+
+from repro.netsim import IPAddress
+from repro.transport import TransportStack, TCPFlags, TCPSegment, TCPState
+
+
+@pytest.fixture
+def pair(lan):
+    sim, _segment, a, b = lan
+    return sim, TransportStack(a), TransportStack(b)
+
+
+def echo_server(stack, port=7):
+    """Listen and echo every payload back."""
+    connections = []
+
+    def accept(conn):
+        connections.append(conn)
+        conn.on_data = lambda data, size: conn.send(size, data=data)
+
+    stack.listen(port, accept)
+    return connections
+
+
+class TestHandshake:
+    def test_three_way_establishes_both_sides(self, pair):
+        sim, client_stack, server_stack = pair
+        server_conns = echo_server(server_stack)
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+        established = []
+        conn.on_established = lambda: established.append(sim.now)
+        sim.run(until=5)
+        assert established
+        assert conn.state is TCPState.ESTABLISHED
+        assert server_conns[0].state is TCPState.ESTABLISHED
+
+    def test_connect_to_closed_port_gets_rst(self, pair):
+        sim, client_stack, _server_stack = pair
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 9999)
+        failures = []
+        conn.on_fail = failures.append
+        sim.run(until=5)
+        assert failures == ["reset-by-peer"]
+        assert conn.state is TCPState.CLOSED
+
+    def test_connection_key_is_four_tuple(self, pair):
+        _sim, client_stack, server_stack = pair
+        echo_server(server_stack)
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+        assert conn.key == (
+            IPAddress("192.168.1.1"), conn.local_port,
+            IPAddress("192.168.1.2"), 7,
+        )
+
+    def test_listen_port_conflict(self, pair):
+        _sim, _client_stack, server_stack = pair
+        server_stack.listen(7, lambda c: None)
+        with pytest.raises(OSError):
+            server_stack.listen(7, lambda c: None)
+
+    def test_stop_listening(self, pair):
+        sim, client_stack, server_stack = pair
+        server_stack.listen(7, lambda c: None)
+        server_stack.stop_listening(7)
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+        failures = []
+        conn.on_fail = failures.append
+        sim.run(until=5)
+        assert failures == ["reset-by-peer"]
+
+
+class TestDataTransfer:
+    def test_echo_roundtrip(self, pair):
+        sim, client_stack, server_stack = pair
+        echo_server(server_stack)
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+        received = []
+        conn.on_established = lambda: conn.send(300, data="payload")
+        conn.on_data = lambda data, size: received.append((data, size))
+        sim.run(until=5)
+        assert received == [("payload", 300)]
+
+    def test_large_send_is_segmented(self, pair):
+        sim, client_stack, server_stack = pair
+        sizes = []
+
+        def accept(conn):
+            conn.on_data = lambda data, size: sizes.append(size)
+
+        server_stack.listen(7, accept)
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+        conn.on_established = lambda: conn.send(4000, data="big")
+        sim.run(until=5)
+        assert sum(sizes) == 4000
+        assert len(sizes) == 3   # 1460 + 1460 + 1080
+        assert conn.segments_sent >= 4
+
+    def test_data_queued_until_established(self, pair):
+        sim, client_stack, server_stack = pair
+        received = []
+
+        def accept(conn):
+            conn.on_data = lambda data, size: received.append(data)
+
+        server_stack.listen(7, accept)
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+        conn.send(100, data="early")        # sent before SYN-ACK returns
+        sim.run(until=5)
+        assert received == ["early"]
+
+    def test_bidirectional_transfer(self, pair):
+        sim, client_stack, server_stack = pair
+        client_got, server_got = [], []
+
+        def accept(conn):
+            def on_data(data, size):
+                server_got.append(data)
+                conn.send(50, data=f"ack-{data}")
+            conn.on_data = on_data
+
+        server_stack.listen(7, accept)
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+        conn.on_data = lambda data, size: client_got.append(data)
+        conn.on_established = lambda: [conn.send(10, data=i) for i in range(3)]
+        sim.run(until=10)
+        assert server_got == [0, 1, 2]
+        assert client_got == ["ack-0", "ack-1", "ack-2"]
+
+    def test_send_on_closed_connection_raises(self, pair):
+        _sim, client_stack, _server_stack = pair
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+        conn.abort()
+        with pytest.raises(RuntimeError):
+            conn.send(10)
+
+
+class TestTeardown:
+    def test_orderly_close_both_sides(self, pair):
+        sim, client_stack, server_stack = pair
+        server_conns = echo_server(server_stack)
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+        closed = []
+        conn.on_close = lambda: closed.append("client")
+        conn.on_established = lambda: conn.close()
+        sim.run(until=10)
+        assert closed == ["client"]
+        assert conn.state is TCPState.CLOSED
+        assert server_conns[0].state is TCPState.CLOSED
+
+    def test_connection_forgotten_after_close(self, pair):
+        sim, client_stack, server_stack = pair
+        echo_server(server_stack)
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+        conn.on_established = lambda: conn.close()
+        sim.run(until=10)
+        assert conn not in client_stack.connections
+
+
+class TestRetransmission:
+    def test_lost_peer_triggers_retransmissions_then_failure(self, pair):
+        sim, client_stack, server_stack = pair
+        echo_server(server_stack)
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+
+        def unplug():
+            server_stack.node.interfaces["eth0"].detach()
+            conn.send(100, data="into the void")
+
+        conn.on_established = unplug
+        failures = []
+        conn.on_fail = failures.append
+        sim.run(until=300)
+        assert failures == ["retransmission-limit"]
+        assert conn.retransmissions >= 5
+        assert conn.state is TCPState.CLOSED
+
+    def test_rto_backs_off_exponentially(self, pair):
+        sim, client_stack, server_stack = pair
+        echo_server(server_stack)
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+
+        times = []
+        original_emit = conn._emit
+
+        def spy(segment):
+            if segment.is_retransmission:
+                times.append(sim.now)
+            original_emit(segment)
+
+        conn._emit = spy
+
+        def unplug():
+            server_stack.node.interfaces["eth0"].detach()
+            conn.send(100)
+
+        conn.on_established = unplug
+        sim.run(until=300)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(later >= earlier for earlier, later in zip(gaps, gaps[1:]))
+        assert gaps[0] >= 1.0
+
+    def test_duplicate_data_counted_and_reacked(self, pair):
+        sim, client_stack, server_stack = pair
+        server_conns = echo_server(server_stack)
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+        conn.on_established = lambda: conn.send(100, data="x")
+        sim.run(until=5)
+        server = server_conns[0]
+        # Replay the data segment the server already consumed.
+        replay = TCPSegment(
+            src_port=conn.local_port, dst_port=7,
+            seq=conn.snd_una - 100, ack=conn.rcv_nxt,
+            flags=TCPFlags.ACK, data_size=100, data="x",
+            is_retransmission=True,
+        )
+        server.segment_arrived(replay)
+        assert server.duplicates_received == 1
+
+    def test_observer_reports_retransmissions(self, pair):
+        sim, client_stack, server_stack = pair
+        echo_server(server_stack)
+        reports = []
+
+        class Spy:
+            def on_send(self, remote, retx):
+                reports.append(retx)
+
+            def on_receive(self, remote, retx):
+                pass
+
+        client_stack.observers.append(Spy())
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+
+        def unplug():
+            server_stack.node.interfaces["eth0"].detach()
+            conn.send(100)
+
+        conn.on_established = unplug
+        sim.run(until=60)
+        assert True in reports     # retransmissions were flagged
+        assert False in reports    # originals were flagged too
+
+
+class TestEndpointIdentity:
+    """§2: connections are named by addresses; changing address = loss."""
+
+    def test_segments_to_unknown_four_tuple_are_not_delivered(self, pair):
+        sim, client_stack, server_stack = pair
+        server_conns = echo_server(server_stack)
+        conn = client_stack.connect(IPAddress("192.168.1.2"), 7)
+        sim.run(until=5)
+        # The client host changes its address mid-connection.
+        iface = client_stack.node.interfaces["eth0"]
+        from repro.netsim import Network
+        iface.configure(IPAddress("192.168.1.77"), Network("192.168.1.0/24"))
+        conn.local_ip = IPAddress("192.168.1.77")  # as if the stack rebound
+        conn.send(100, data="from the new address")
+        failures = []
+        conn.on_fail = failures.append
+        sim.run(until=120)
+        # The server's connection is keyed to .1, so the data never
+        # arrives at the old connection object.
+        assert server_conns[0].bytes_delivered == 0

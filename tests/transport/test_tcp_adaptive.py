@@ -1,0 +1,142 @@
+"""Tests for the adaptive RTO estimator and fast retransmit."""
+
+import pytest
+
+from repro.netsim import Internet, IPAddress, Node, Simulator
+from repro.transport import TransportStack
+from repro.transport.tcp import MAX_RTO, MIN_RTO
+
+
+def build_path(seed=31, backbone_latency=0.010, loss=0.0):
+    sim = Simulator(seed=seed)
+    net = Internet(sim, backbone_size=3, backbone_latency=backbone_latency)
+    net.add_domain("a", "10.1.0.0/16", attach_at=0, source_filtering=False)
+    net.add_domain("b", "10.2.0.0/16", attach_at=2, source_filtering=False)
+    if loss:
+        sim.segments["p2p-bb0-bb1"].loss_rate = loss
+    a, b = Node("a1", sim), Node("b1", sim)
+    net.add_host("a", a)
+    ip_b = net.add_host("b", b)
+    return sim, TransportStack(a), TransportStack(b), ip_b
+
+
+def echo_server(stack, port=7):
+    def accept(conn):
+        conn.on_data = lambda data, size: conn.send(size, data=data)
+
+    stack.listen(port, accept)
+
+
+class TestAdaptiveRto:
+    def test_rto_tracks_path_rtt(self):
+        """A long path yields a proportionally long RTO; a short path a
+        short one — both within [MIN_RTO, MAX_RTO]."""
+        rtos = {}
+        for label, latency in (("short", 0.001), ("long", 0.080)):
+            sim, client, server, ip_b = build_path(backbone_latency=latency)
+            echo_server(server)
+            conn = client.connect(ip_b, 7)
+            conn.on_established = lambda c=conn: [c.send(100, data=i)
+                                                  for i in range(5)]
+            sim.run(until=30)
+            rtos[label] = conn.rto
+        assert MIN_RTO <= rtos["short"] < rtos["long"] <= MAX_RTO
+        # The long path's RTT is ~0.5s round trip; the RTO must exceed it.
+        assert rtos["long"] > 0.3
+
+    def test_karns_rule_ignores_retransmitted_samples(self):
+        sim, client, server, ip_b = build_path()
+        echo_server(server)
+        conn = client.connect(ip_b, 7)
+        sim.run(until=5)
+        srtt_before = conn._srtt
+        # Fabricate a retransmitted in-flight segment and ack it: the
+        # estimator must not take a sample from it.
+        conn.send(100, data="x")
+        assert conn._unacked
+        conn._unacked[0].retries = 1
+        ack = conn._unacked[0].segment.seq + conn._unacked[0].segment.seq_space
+        conn._process_ack(ack)
+        assert conn._srtt == srtt_before
+
+    def test_timeout_still_backs_off(self):
+        sim, client, server, ip_b = build_path()
+        echo_server(server)
+        conn = client.connect(ip_b, 7)
+        sim.run(until=5)
+        base_rto = conn.rto
+        server.node.interfaces["eth0"].detach()
+        conn.send(100)
+        sim.run(until=60)
+        # Exponential backoff pushed the RTO upward before failure.
+        assert conn.retransmissions >= 3
+
+
+class TestFastRetransmit:
+    def test_three_dup_acks_trigger_immediate_resend(self):
+        sim, client, server, ip_b = build_path()
+        echo_server(server)
+        conn = client.connect(ip_b, 7)
+        sim.run(until=5)
+        conn.send(100, data="x")
+        assert conn._unacked
+        edge = conn.snd_una
+        # Three duplicate ACKs at the current edge.
+        for _ in range(4):
+            conn._process_ack(edge)
+        assert conn.fast_retransmits == 1
+        assert conn.retransmissions >= 1
+
+    def test_fast_retransmit_recovers_single_loss_quickly(self):
+        """With a gap, the receiver's dup ACKs let the sender recover in
+        round-trip time rather than a full RTO."""
+        sim, client, server, ip_b = build_path()
+        received = []
+
+        def accept(conn):
+            conn.on_data = lambda data, size: received.append(data)
+
+        server.listen(7, accept)
+        conn = client.connect(ip_b, 7)
+
+        def send_burst():
+            # Enough segments after the loss for three duplicate ACKs.
+            for index in range(6):
+                conn.send(100, data=index)
+
+        conn.on_established = send_burst
+        # Drop exactly one in-flight data frame by briefly unplugging
+        # the narrow link for the second segment's flight window.
+        link = sim.segments["p2p-bb0-bb1"]
+        original_transmit = link.transmit
+        state = {"dropped": False}
+
+        def lossy_transmit(sender, frame):
+            from repro.transport.tcp import TCPSegment
+
+            payload = getattr(frame.payload, "payload", None)
+            if (not state["dropped"] and isinstance(payload, TCPSegment)
+                    and payload.data == 1 and not payload.is_retransmission):
+                state["dropped"] = True
+                return  # lost exactly once
+            original_transmit(sender, frame)
+
+        link.transmit = lossy_transmit
+        sim.run(until=60)
+        assert received == [0, 1, 2, 3, 4, 5]
+        assert conn.fast_retransmits >= 1
+
+    def test_dup_ack_counter_resets_on_progress(self):
+        sim, client, server, ip_b = build_path()
+        echo_server(server)
+        conn = client.connect(ip_b, 7)
+        sim.run(until=5)
+        conn.send(100, data="x")
+        edge = conn.snd_una
+        conn._process_ack(edge)
+        conn._process_ack(edge)
+        # Real progress arrives before the third duplicate.
+        ack = conn._unacked[0].segment.seq + conn._unacked[0].segment.seq_space
+        conn._process_ack(ack)
+        assert conn._dup_acks == 0
+        assert conn.fast_retransmits == 0

@@ -1,0 +1,171 @@
+"""Edge-case tests for the simplified TCP beyond the happy paths."""
+
+import pytest
+
+from repro.netsim import IPAddress
+from repro.transport import TransportStack, TCPFlags, TCPSegment, TCPState
+
+
+@pytest.fixture
+def pair(lan):
+    sim, _segment, a, b = lan
+    return sim, TransportStack(a), TransportStack(b)
+
+
+def echo_server(stack, port=7):
+    conns = []
+
+    def accept(conn):
+        conns.append(conn)
+        conn.on_data = lambda data, size: conn.send(size, data=data)
+
+    stack.listen(port, accept)
+    return conns
+
+
+class TestConnectionManagement:
+    def test_explicit_local_port(self, pair):
+        sim, client, server = pair
+        echo_server(server)
+        conn = client.connect(IPAddress("192.168.1.2"), 7, local_port=12345)
+        assert conn.local_port == 12345
+        sim.run(until=5)
+        assert conn.state is TCPState.ESTABLISHED
+
+    def test_two_parallel_connections_to_same_server(self, pair):
+        sim, client, server = pair
+        server_conns = echo_server(server)
+        first = client.connect(IPAddress("192.168.1.2"), 7)
+        second = client.connect(IPAddress("192.168.1.2"), 7)
+        got = {"first": [], "second": []}
+        first.on_established = lambda: first.send(10, data="one")
+        second.on_established = lambda: second.send(10, data="two")
+        first.on_data = lambda d, s: got["first"].append(d)
+        second.on_data = lambda d, s: got["second"].append(d)
+        sim.run(until=10)
+        assert got == {"first": ["one"], "second": ["two"]}
+        assert len(server_conns) == 2
+        assert first.local_port != second.local_port
+
+    def test_abort_is_idempotent(self, pair):
+        _sim, client, _server = pair
+        conn = client.connect(IPAddress("192.168.1.2"), 7)
+        failures = []
+        conn.on_fail = failures.append
+        conn.abort("first")
+        conn.abort("second")
+        assert failures == ["first"]
+
+    def test_close_on_never_established_connection(self, pair):
+        sim, client, _server = pair
+        conn = client.connect(IPAddress("192.168.1.2"), 9)
+        conn.on_fail = lambda reason: None
+        sim.run(until=2)
+        conn.close()   # already reset: must not raise
+        assert conn.state is TCPState.CLOSED
+
+    def test_connections_list_tracks_lifecycle(self, pair):
+        sim, client, server = pair
+        echo_server(server)
+        conn = client.connect(IPAddress("192.168.1.2"), 7)
+        assert conn in client.connections
+        conn.on_established = conn.close
+        sim.run(until=10)
+        assert conn not in client.connections
+
+
+class TestSegmentEdgeCases:
+    def test_stray_ack_for_unknown_connection_ignored(self, pair):
+        sim, client, server = pair
+        echo_server(server)
+        # A pure ACK (seq_space 0) for a nonexistent connection: no RST
+        # storm, no crash.
+        from repro.netsim.packet import IPProto, Packet
+
+        stray = TCPSegment(src_port=50000, dst_port=7, seq=1, ack=1,
+                           flags=TCPFlags.ACK)
+        packet = Packet(src=IPAddress("192.168.1.1"),
+                        dst=IPAddress("192.168.1.2"),
+                        proto=IPProto.TCP, payload=stray,
+                        payload_size=stray.size)
+        client.node.ip_send(packet)
+        sim.run(until=5)
+        # The server answers with RST (not a listener hit) but nothing
+        # else happens.
+        assert not server.connections
+
+    def test_rst_suppression_flag(self, pair):
+        sim, client, server = pair
+        server.send_rst_on_closed_port = False
+        conn = client.connect(IPAddress("192.168.1.2"), 9)
+        failures = []
+        conn.on_fail = failures.append
+        sim.run(until=3)
+        # Without the RST the client keeps retrying instead of failing
+        # fast.
+        assert failures == []
+        assert conn.state is TCPState.SYN_SENT
+
+    def test_old_duplicate_segment_does_not_corrupt_stream(self, pair):
+        sim, client, server = pair
+        server_conns = echo_server(server)
+        received = []
+        conn = client.connect(IPAddress("192.168.1.2"), 7)
+        conn.on_established = lambda: conn.send(100, data="first")
+        conn.on_data = lambda d, s: received.append(d)
+        sim.run(until=5)
+        # Replay the handshake-era SYN at the server.
+        syn_replay = TCPSegment(
+            src_port=conn.local_port, dst_port=7,
+            seq=conn.snd_una - 101 - 1, ack=0, flags=TCPFlags.SYN,
+            is_retransmission=True,
+        )
+        server_conns[0].segment_arrived(syn_replay)
+        conn.send(100, data="second")
+        sim.run(until=10)
+        assert received == ["first", "second"]
+
+    def test_seq_space_accounting(self):
+        syn = TCPSegment(1, 2, seq=0, ack=0, flags=TCPFlags.SYN)
+        ack = TCPSegment(1, 2, seq=1, ack=1, flags=TCPFlags.ACK)
+        fin = TCPSegment(1, 2, seq=1, ack=1, flags=TCPFlags.FIN)
+        data = TCPSegment(1, 2, seq=1, ack=1, flags=TCPFlags.ACK,
+                          data_size=500)
+        assert syn.seq_space == 1
+        assert ack.seq_space == 0
+        assert fin.seq_space == 1
+        assert data.seq_space == 500
+
+    def test_segment_size_includes_header(self):
+        segment = TCPSegment(1, 2, seq=0, ack=0, flags=TCPFlags.ACK,
+                             data_size=100)
+        assert segment.size == 120
+
+
+class TestRetransmissionDetail:
+    def test_ack_cancels_timer_and_adapts_rto(self, pair):
+        sim, client, server = pair
+        echo_server(server)
+        conn = client.connect(IPAddress("192.168.1.2"), 7)
+        conn.on_established = lambda: conn.send(100)
+        sim.run(until=10)
+        assert conn._unacked == []
+        assert conn._retx_timer is None
+        # The adaptive estimator has taken over: on a millisecond LAN
+        # the RTO collapses to its floor, far below the 1 s initial.
+        assert conn._srtt is not None
+        assert conn.rto < 1.0
+
+    def test_partial_ack_keeps_timer(self, pair):
+        sim, client, server = pair
+        server_conns = echo_server(server)
+        conn = client.connect(IPAddress("192.168.1.2"), 7)
+        sim.run(until=5)
+        # Two in-flight segments; ack only the first manually.
+        server.node.interfaces["eth0"].up = False
+        conn.send(100, data="a")
+        conn.send(100, data="b")
+        first_end = conn.snd_una + 100
+        conn._process_ack(first_end)
+        assert len(conn._unacked) == 1
+        assert conn._retx_timer is not None

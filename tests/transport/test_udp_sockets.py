@@ -1,0 +1,132 @@
+"""Tests for UDP datagrams and the socket layer."""
+
+import pytest
+
+from repro.netsim import IPAddress, Node
+from repro.netsim.packet import IPProto
+from repro.transport import TransportStack, UDPDatagram
+from repro.transport.udp import UDP_HEADER_SIZE
+
+
+class TestUDPDatagram:
+    def test_size_includes_header(self):
+        assert UDPDatagram(1000, 2000, "x", 100).size == UDP_HEADER_SIZE + 100
+
+    @pytest.mark.parametrize("port", [-1, 65536])
+    def test_bad_ports_rejected(self, port):
+        with pytest.raises(ValueError):
+            UDPDatagram(port, 53)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UDPDatagram(1, 2, data_size=-1)
+
+
+@pytest.fixture
+def stacks(lan):
+    sim, _segment, a, b = lan
+    return sim, TransportStack(a), TransportStack(b)
+
+
+class TestUDPSockets:
+    def test_roundtrip(self, stacks):
+        sim, sa, sb = stacks
+        received = []
+        server = sb.udp_socket(5000)
+        server.on_receive(lambda d, s, ip, p: received.append((d, s, str(ip), p)))
+        client = sa.udp_socket()
+        client.sendto("hello", 64, IPAddress("192.168.1.2"), 5000)
+        sim.run()
+        assert received == [("hello", 64, "192.168.1.1", client.port)]
+
+    def test_reply_path(self, stacks):
+        sim, sa, sb = stacks
+        answers = []
+        server = sb.udp_socket(5000)
+        server.on_receive(
+            lambda d, s, ip, p: server.sendto("pong", 10, ip, p)
+        )
+        client = sa.udp_socket()
+        client.on_receive(lambda d, s, ip, p: answers.append(d))
+        client.sendto("ping", 10, IPAddress("192.168.1.2"), 5000)
+        sim.run()
+        assert answers == ["pong"]
+
+    def test_port_already_bound(self, stacks):
+        _sim, sa, _sb = stacks
+        sa.udp_socket(6000)
+        with pytest.raises(OSError):
+            sa.udp_socket(6000)
+
+    def test_close_releases_port(self, stacks):
+        _sim, sa, _sb = stacks
+        socket = sa.udp_socket(6000)
+        socket.close()
+        sa.udp_socket(6000)  # no error
+
+    def test_unbound_port_datagram_ignored(self, stacks):
+        sim, sa, sb = stacks
+        client = sa.udp_socket()
+        client.sendto("x", 10, IPAddress("192.168.1.2"), 9999)
+        sim.run()  # nothing listening; no crash, no reply
+
+    def test_ephemeral_ports_unique(self, stacks):
+        _sim, sa, _sb = stacks
+        ports = {sa.udp_socket().port for _ in range(10)}
+        assert len(ports) == 10
+
+    def test_bound_ip_filters_wrong_destination(self, stacks):
+        sim, sa, sb = stacks
+        received = []
+        bound = IPAddress("192.168.1.200")
+        sb.node.interfaces["eth0"].add_secondary(bound)
+        server = sb.udp_socket(5000, bound_ip=bound)
+        server.on_receive(lambda d, s, ip, p: received.append(d))
+        client = sa.udp_socket()
+        client.sendto("to-primary", 10, IPAddress("192.168.1.2"), 5000)
+        client.sendto("to-bound", 10, bound, 5000)
+        sim.run()
+        assert received == ["to-bound"]
+
+    def test_source_selector_consulted(self, stacks):
+        sim, sa, sb = stacks
+        chosen = []
+
+        def selector(remote_ip, remote_port, proto, explicit):
+            chosen.append((str(remote_ip), remote_port, proto, explicit))
+            return IPAddress("192.168.1.1")
+
+        sa.source_selector = selector
+        client = sa.udp_socket()
+        client.sendto("x", 10, IPAddress("192.168.1.2"), 53)
+        assert chosen == [("192.168.1.2", 53, IPProto.UDP, None)]
+
+    def test_explicit_bind_passed_to_selector(self, stacks):
+        _sim, sa, _sb = stacks
+        seen = []
+        sa.source_selector = lambda ip, port, proto, explicit: (
+            seen.append(explicit) or IPAddress("192.168.1.1")
+        )
+        bound = IPAddress("192.168.1.1")
+        socket = sa.udp_socket(bound_ip=bound)
+        socket.sendto("x", 10, IPAddress("192.168.1.2"), 53)
+        assert seen == [bound]
+
+    def test_observer_sees_sends_and_receives(self, stacks):
+        sim, sa, sb = stacks
+        events = []
+
+        class Spy:
+            def on_send(self, remote, retx):
+                events.append(("send", str(remote), retx))
+
+            def on_receive(self, remote, retx):
+                events.append(("recv", str(remote), retx))
+
+        sb.observers.append(Spy())
+        server = sb.udp_socket(5000)
+        server.on_receive(lambda d, s, ip, p: None)
+        client = sa.udp_socket()
+        client.sendto("x", 10, IPAddress("192.168.1.2"), 5000)
+        sim.run()
+        assert ("recv", "192.168.1.1", False) in events
