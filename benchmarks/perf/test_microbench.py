@@ -1,0 +1,53 @@
+"""Substrate micro-benchmarks (pytest-benchmark wrappers).
+
+The same workloads as ``python -m repro.bench`` (see
+:mod:`repro.bench`), exposed through pytest-benchmark so
+``pytest benchmarks/perf --benchmark-only`` gives calibrated timings
+with warmup and statistics.  The ``repro.bench`` CLI remains the
+canonical source of the committed ``BENCH_*.json`` trajectory because
+it can diff against a baseline file; these tests guard the same paths
+in CI-style runs.
+
+Not part of the tier-1 suite (``testpaths = tests``): perf numbers are
+environment-dependent, so the assertions here check work *counts*, not
+times.
+"""
+
+from repro.bench import (
+    run_address_churn,
+    run_event_cancel_churn,
+    run_event_churn,
+    run_packet_sizing,
+    run_scenario_build,
+    run_scenario_traffic,
+)
+
+
+def test_perf_event_churn_micro(benchmark):
+    units, unit = benchmark(run_event_churn, 10_000)
+    assert (units, unit) == (10_010, "events")
+
+
+def test_perf_event_cancel_churn_micro(benchmark):
+    units, unit = benchmark(run_event_cancel_churn, 5_000)
+    assert (units, unit) == (5_000, "timers")
+
+
+def test_perf_scenario_build_micro(benchmark):
+    units, unit = benchmark(run_scenario_build)
+    assert (units, unit) == (1, "scenarios")
+
+
+def test_perf_scenario_traffic_micro(benchmark):
+    units, unit = benchmark(run_scenario_traffic, 100)
+    assert (units, unit) == (100, "packets")
+
+
+def test_perf_packet_sizing_micro(benchmark):
+    units, unit = benchmark(run_packet_sizing, 10_000)
+    assert (units, unit) == (10_000, "sizings")
+
+
+def test_perf_address_churn_micro(benchmark):
+    units, unit = benchmark(run_address_churn, 10_000)
+    assert (units, unit) == (10_000, "addresses")

@@ -4,50 +4,36 @@ Not a paper figure — a maintenance benchmark.  If scenario construction
 or event throughput regresses badly, every other benchmark's wall time
 suffers; this one isolates the substrate so a regression is visible at
 its source.
+
+The workloads live in :mod:`repro.bench` (shared with the
+``python -m repro.bench`` harness that writes the committed
+``BENCH_*.json`` perf trajectory); finer-grained variants are in
+``benchmarks/perf/test_microbench.py``.
 """
 
-from repro.analysis import MH_HOME_ADDRESS, TextTable, build_scenario
-from repro.mobileip import Awareness
-from repro.netsim import EventQueue, Simulator
-
-
-def run_event_churn():
-    """A tight event loop: 50k self-rescheduling events."""
-    queue = EventQueue()
-    remaining = {"n": 50_000}
-
-    def tick():
-        if remaining["n"] > 0:
-            remaining["n"] -= 1
-            queue.schedule(0.001, tick)
-
-    for _ in range(10):
-        queue.schedule(0.0, tick)
-    queue.run(max_events=200_000)
-    return queue.processed
-
-
-def run_scenario_traffic():
-    """Build the standard stage and push 200 datagrams through the
-    triangle — the workload shape most benchmarks use."""
-    scenario = build_scenario(seed=1401, ch_awareness=Awareness.CONVENTIONAL)
-    sock = scenario.mh.stack.udp_socket(7000)
-    sock.on_receive(lambda *a: None)
-    ch_sock = scenario.ch.stack.udp_socket()
-    for index in range(200):
-        scenario.sim.events.schedule(
-            index * 0.01,
-            lambda: ch_sock.sendto("x", 100, MH_HOME_ADDRESS, 7000),
-        )
-    scenario.sim.run_for(30)
-    return scenario.ha.packets_tunneled
+from repro.bench import (
+    run_event_cancel_churn,
+    run_event_churn,
+    run_scenario_traffic,
+)
 
 
 def test_perf_event_churn(benchmark, reporter):
-    processed = benchmark(run_event_churn)
+    processed, unit = benchmark(run_event_churn)
+    assert unit == "events"
     assert processed >= 50_000
 
 
+def test_perf_event_cancel_churn(benchmark, reporter):
+    """Timer-heavy shape: schedule, cancel half, poll ``pending``."""
+    timers, unit = benchmark(run_event_cancel_churn)
+    assert unit == "timers"
+    assert timers == 20_000
+
+
 def test_perf_scenario_traffic(benchmark, reporter):
-    tunneled = benchmark(run_scenario_traffic)
-    assert tunneled == 200
+    # run_scenario_traffic asserts internally that every datagram was
+    # tunneled by the home agent; the unit count is the datagram count.
+    packets, unit = benchmark(run_scenario_traffic)
+    assert unit == "packets"
+    assert packets == 200

@@ -1,0 +1,271 @@
+"""Micro-benchmark harness for the simulation substrate.
+
+Every paper figure and ablation in this repository executes as a
+discrete-event scenario, so the throughput of the :mod:`repro.netsim`
+substrate bounds the wall time of the entire reproduction.  This
+package isolates the hot layers — event engine, addressing, packet
+sizing, tracing — into repeatable workloads and reports a machine
+readable perf trajectory (``BENCH_*.json``) that future changes can be
+regressed against.
+
+Run it as::
+
+    PYTHONPATH=src python -m repro.bench                # full suite
+    PYTHONPATH=src python -m repro.bench --quick        # CI smoke run
+    PYTHONPATH=src python -m repro.bench --baseline old.json -o new.json
+
+Workloads are deterministic (fixed seeds, no wall-clock dependence in
+the measured code) so run-to-run variance comes only from the host.
+Each workload is timed ``repeat`` times and the best run is reported,
+which is the standard way to suppress scheduler noise in
+micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "WORKLOADS",
+    "run_event_churn",
+    "run_event_cancel_churn",
+    "run_scenario_build",
+    "run_scenario_traffic",
+    "run_packet_sizing",
+    "run_address_churn",
+    "run_suite",
+    "compare",
+    "write_report",
+    "render_report",
+]
+
+
+# ----------------------------------------------------------------------
+# Workloads.  Each returns (units_of_work, unit_name); the runner times
+# the call and derives ops/sec + ns/op from the unit count.
+# ----------------------------------------------------------------------
+
+def run_event_churn(n: int = 50_000, fanout: int = 10) -> Tuple[int, str]:
+    """A tight self-rescheduling event loop — pure engine throughput.
+
+    Mirrors ``benchmarks/test_perf_simulator.py::run_event_churn`` so
+    the pytest-benchmark numbers and this harness measure the same
+    workload shape.
+    """
+    from repro.netsim import EventQueue
+
+    queue = EventQueue()
+    remaining = {"n": n}
+
+    def tick() -> None:
+        if remaining["n"] > 0:
+            remaining["n"] -= 1
+            queue.schedule(0.001, tick)
+
+    for _ in range(fanout):
+        queue.schedule(0.0, tick)
+    queue.run(max_events=4 * n)
+    return queue.processed, "events"
+
+
+def run_event_cancel_churn(n: int = 20_000) -> Tuple[int, str]:
+    """Timer-heavy workload: schedule, cancel half, poll ``pending``.
+
+    This is the shape of transport retransmission timers (armed per
+    segment, cancelled by the ACK) and registration lifetimes — and the
+    workload that exposes an O(n) ``pending`` scan or a heap full of
+    cancelled corpses.
+    """
+    from repro.netsim import EventQueue
+
+    queue = EventQueue()
+    live = 0
+    for index in range(n):
+        event = queue.schedule(1.0 + index * 1e-6, lambda: None)
+        if index % 2 == 0:
+            event.cancel()
+        else:
+            live += 1
+        if index % 64 == 0:
+            # Poll, like a soak test or an adaptive transport would.
+            assert queue.pending <= index + 1
+    assert queue.pending == live
+    queue.run(max_events=2 * n)
+    return n, "timers"
+
+
+def run_scenario_build(seed: int = 1401) -> Tuple[int, str]:
+    """Construct the canonical figure stage once (topology + actors)."""
+    from repro.analysis import build_scenario
+    from repro.mobileip import Awareness
+
+    build_scenario(seed=seed, ch_awareness=Awareness.CONVENTIONAL)
+    return 1, "scenarios"
+
+
+def run_scenario_traffic(datagrams: int = 200, seed: int = 1401) -> Tuple[int, str]:
+    """Push UDP datagrams through the standard triangle-routing stage.
+
+    The workload shape most figure benchmarks use: correspondent sends
+    to the mobile host's home address, the home agent tunnels to the
+    care-of address, packets traverse backbone routers and links.
+    """
+    from repro.analysis import MH_HOME_ADDRESS, build_scenario
+    from repro.mobileip import Awareness
+
+    scenario = build_scenario(seed=seed, ch_awareness=Awareness.CONVENTIONAL)
+    sock = scenario.mh.stack.udp_socket(7000)
+    sock.on_receive(lambda *args: None)
+    ch_sock = scenario.ch.stack.udp_socket()
+    for index in range(datagrams):
+        scenario.sim.events.schedule(
+            index * 0.01,
+            lambda: ch_sock.sendto("x", 100, MH_HOME_ADDRESS, 7000),
+        )
+    scenario.sim.run_for(30)
+    assert scenario.ha.packets_tunneled == datagrams
+    return datagrams, "packets"
+
+
+def run_packet_sizing(n: int = 30_000) -> Tuple[int, str]:
+    """Repeated ``wire_size`` over a 2-deep encapsulation stack.
+
+    The §3.3 size benchmarks, link serialization, fragmentation checks
+    and the trace layer all ask for the wire size of the same packet
+    many times between mutations.
+    """
+    from repro.netsim.addressing import IPAddress
+    from repro.netsim.encap import EncapScheme, encapsulate
+    from repro.netsim.packet import IPProto, Packet
+
+    inner = Packet(
+        src=IPAddress("10.3.0.10"),
+        dst=IPAddress("10.1.0.10"),
+        proto=IPProto.UDP,
+        payload_size=512,
+    )
+    mid = encapsulate(inner, IPAddress("10.1.0.1"), IPAddress("10.2.0.9"),
+                      EncapScheme.IPIP)
+    outer = encapsulate(mid, IPAddress("10.2.0.9"), IPAddress("10.2.0.1"),
+                        EncapScheme.GRE)
+    total = 0
+    for _ in range(n):
+        total += outer.wire_size
+    assert total == n * outer.wire_size
+    return n, "sizings"
+
+
+def run_address_churn(n: int = 20_000) -> Tuple[int, str]:
+    """Construct addresses from strings/ints the way routing code does.
+
+    Routing tables, binding caches and header rewrites re-build
+    ``IPAddress`` values from a small working set of dotted quads; the
+    parse cost of that working set is what this measures.
+    """
+    from repro.netsim.addressing import IPAddress
+
+    quads = [f"10.{i % 4}.{i % 8}.{i % 16}" for i in range(32)]
+    total = 0
+    for index in range(n):
+        address = IPAddress(quads[index % 32])
+        total += int(IPAddress(address.value))
+    assert total > 0
+    return n, "addresses"
+
+
+WORKLOADS: Dict[str, Callable[..., Tuple[int, str]]] = {
+    "event_churn": run_event_churn,
+    "event_cancel_churn": run_event_cancel_churn,
+    "scenario_build": run_scenario_build,
+    "scenario_traffic": run_scenario_traffic,
+    "packet_sizing": run_packet_sizing,
+    "address_churn": run_address_churn,
+}
+
+# Reduced iteration counts for CI smoke runs (--quick).
+_QUICK_ARGS: Dict[str, Dict[str, int]] = {
+    "event_churn": {"n": 5_000},
+    "event_cancel_churn": {"n": 4_000},
+    "scenario_traffic": {"datagrams": 50},
+    "packet_sizing": {"n": 4_000},
+    "address_churn": {"n": 4_000},
+}
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+def _time_workload(
+    func: Callable[..., Tuple[int, str]],
+    kwargs: Dict[str, int],
+    repeat: int,
+) -> Dict[str, Any]:
+    best = float("inf")
+    units, unit_name = 0, "ops"
+    for _ in range(repeat):
+        start = time.perf_counter()
+        units, unit_name = func(**kwargs)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return {
+        "units": units,
+        "unit": unit_name,
+        "seconds": best,
+        "ops_per_sec": units / best if best > 0 else float("inf"),
+        "ns_per_op": best / units * 1e9 if units else 0.0,
+    }
+
+
+def run_suite(quick: bool = False, repeat: int = 3) -> Dict[str, Any]:
+    """Run every workload and return the structured results."""
+    results: Dict[str, Any] = {}
+    for name, func in WORKLOADS.items():
+        kwargs = _QUICK_ARGS.get(name, {}) if quick else {}
+        results[name] = _time_workload(func, kwargs, repeat=repeat)
+    return {
+        "meta": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "quick": quick,
+            "repeat": repeat,
+        },
+        "results": results,
+    }
+
+
+def compare(baseline: Dict[str, Any], current: Dict[str, Any]) -> Dict[str, float]:
+    """Per-workload speedup factors (current ops/sec over baseline's)."""
+    speedups: Dict[str, float] = {}
+    base_results = baseline.get("results", {})
+    for name, result in current.get("results", {}).items():
+        base = base_results.get(name)
+        if base and base.get("ops_per_sec"):
+            speedups[name] = result["ops_per_sec"] / base["ops_per_sec"]
+    return speedups
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable table of one suite run (plus speedups if merged)."""
+    lines = ["workload                 units        sec       ops/sec     ns/op"]
+    results = report.get("results") or report.get("optimized", {}).get("results", {})
+    speedups = report.get("speedup", {})
+    for name, result in results.items():
+        line = (
+            f"{name:<22} {result['units']:>8} {result['seconds']:>10.4f} "
+            f"{result['ops_per_sec']:>13,.0f} {result['ns_per_op']:>9,.0f}"
+        )
+        if name in speedups:
+            line += f"   x{speedups[name]:.2f}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""``python -m repro.bench`` — run the substrate micro-benchmarks.
+
+Examples::
+
+    python -m repro.bench                          # print a table
+    python -m repro.bench --quick                  # CI smoke run
+    python -m repro.bench -o BENCH_PR1.json        # persist results
+    python -m repro.bench --baseline old.json -o BENCH_PR1.json
+        # merge: writes {"baseline": ..., "optimized": ..., "speedup": ...}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import compare, render_report, run_suite, write_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Micro-benchmarks for the repro.netsim substrate.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke run)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions per workload (best-of)")
+    parser.add_argument("-o", "--output", metavar="PATH",
+                        help="write JSON results to PATH")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="baseline JSON to compare against; with "
+                             "--output, a merged before/after report is written")
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error(f"--repeat must be >= 1, got {args.repeat}")
+
+    report = run_suite(quick=args.quick, repeat=args.repeat)
+
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            parser.error(f"cannot read baseline {args.baseline}: {error}")
+        # A previously merged report can itself serve as the baseline.
+        if "optimized" in baseline:
+            baseline = baseline["optimized"]
+        merged = {
+            "baseline": baseline,
+            "optimized": report,
+            "speedup": compare(baseline, report),
+        }
+        print(render_report(merged))
+        if args.output:
+            write_report(merged, args.output)
+    else:
+        print(render_report(report))
+        if args.output:
+            write_report(report, args.output)
+
+    if args.output:
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

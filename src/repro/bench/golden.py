@@ -1,0 +1,57 @@
+"""Golden-trace digest: proof that optimization preserved determinism.
+
+The substrate's contract is *identical seeds give identical traces*.
+Performance work on the event heap, address interning, or size caching
+must not perturb a single hop, timestamp, or byte count.  This module
+runs the canonical scenario-traffic workload with a fixed seed and
+digests the full global trace, normalized to exclude the only
+process-global state in the simulator (packet/trace id counters, which
+guarantee uniqueness, not absolute values — see ARCHITECTURE.md).
+
+The digest is pinned in ``tests/netsim/test_golden_trace.py``; it was
+captured on the pre-optimization engine and must never change unless
+the *semantics* of the simulation change deliberately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+__all__ = ["golden_trace_digest", "GOLDEN_SEED", "GOLDEN_DATAGRAMS"]
+
+GOLDEN_SEED = 1401
+GOLDEN_DATAGRAMS = 200
+
+
+def golden_trace_digest(
+    seed: int = GOLDEN_SEED, datagrams: int = GOLDEN_DATAGRAMS
+) -> Tuple[str, int]:
+    """Run the canonical traffic workload; return (sha256, entry count).
+
+    Every ``TraceLog.note`` call — sends, forwards, tunnel entry/exit,
+    deliveries, drops — contributes one normalized line.  Timestamps
+    use exact float ``repr`` so even a single ULP of drift in event
+    scheduling arithmetic changes the digest.
+    """
+    from repro.analysis import MH_HOME_ADDRESS, build_scenario
+    from repro.mobileip import Awareness
+
+    scenario = build_scenario(seed=seed, ch_awareness=Awareness.CONVENTIONAL)
+    sock = scenario.mh.stack.udp_socket(7000)
+    sock.on_receive(lambda *args: None)
+    ch_sock = scenario.ch.stack.udp_socket()
+    for index in range(datagrams):
+        scenario.sim.events.schedule(
+            index * 0.01,
+            lambda: ch_sock.sendto("x", 100, MH_HOME_ADDRESS, 7000),
+        )
+    scenario.sim.run_for(30)
+
+    digest = hashlib.sha256()
+    for entry in scenario.sim.trace.entries:
+        digest.update(
+            f"{entry.time!r}|{entry.node}|{entry.action}|{entry.src}|"
+            f"{entry.dst}|{entry.wire_size}|{entry.detail}\n".encode()
+        )
+    return digest.hexdigest(), len(scenario.sim.trace.entries)

@@ -15,8 +15,7 @@ rather than being silently coerced.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
-from typing import Iterator, Optional, Union
+from typing import Dict, Iterator, Optional, Union
 
 __all__ = [
     "AddressError",
@@ -49,9 +48,19 @@ def _parse_dotted_quad(text: str) -> int:
     return value
 
 
-@dataclass(frozen=True, order=True)
+# Bounded intern cache: raw constructor input (str or int) -> instance.
+# Routing tables, binding caches and header rewrites rebuild addresses
+# from a small working set of dotted quads on every packet, so interning
+# turns the per-packet regex parse into a dict hit.  The bound guards
+# against pathological workloads (e.g. allocator sweeps over /8 space);
+# on overflow the cache is simply cleared — correctness never depends
+# on a hit.
+_INTERN_CACHE: Dict[Union[str, int], "IPAddress"] = {}
+_INTERN_CACHE_MAX = 4096
+
+
 class IPAddress:
-    """An immutable IPv4 address.
+    """An immutable, interned IPv4 address.
 
     Construct from a dotted quad string or a 32-bit integer::
 
@@ -59,11 +68,29 @@ class IPAddress:
         IPAddress('10.0.0.1')
         >>> int(IPAddress("10.0.0.1"))
         167772161
+
+    Instances are value objects: equality, ordering, and hashing follow
+    the 32-bit integer value exactly as the original frozen-dataclass
+    implementation did.  Construction from a previously seen string or
+    int returns a cached instance (the hash is precomputed once), which
+    makes dictionary-heavy code — routing tables, ARP caches, binding
+    caches — cheap.
     """
+
+    __slots__ = ("value", "_hash")
 
     value: int
 
-    def __init__(self, address: Union[str, int, "IPAddress"]):
+    def __new__(cls, address: Union[str, int, "IPAddress"]):
+        if type(address) is cls:
+            # Copy-construction is a no-op: instances are immutable.
+            return address
+        try:
+            cached = _INTERN_CACHE.get(address)
+        except TypeError:
+            cached = None  # unhashable input; rejected below
+        if cached is not None:
+            return cached
         if isinstance(address, IPAddress):
             value = address.value
         elif isinstance(address, str):
@@ -74,7 +101,56 @@ class IPAddress:
             raise AddressError(f"cannot build IPAddress from {type(address).__name__}")
         if not 0 <= value <= 0xFFFFFFFF:
             raise AddressError(f"address out of 32-bit range: {value}")
+        self = object.__new__(cls)
         object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(value))
+        if type(address) in (str, int):
+            if len(_INTERN_CACHE) >= _INTERN_CACHE_MAX:
+                _INTERN_CACHE.clear()
+            _INTERN_CACHE[address] = self
+        return self
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"IPAddress is immutable: cannot set {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"IPAddress is immutable: cannot delete {name!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPAddress):
+            return self.value == other.value
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, IPAddress):
+            return self.value != other.value
+        return NotImplemented
+
+    def __lt__(self, other: "IPAddress") -> bool:
+        if isinstance(other, IPAddress):
+            return self.value < other.value
+        return NotImplemented
+
+    def __le__(self, other: "IPAddress") -> bool:
+        if isinstance(other, IPAddress):
+            return self.value <= other.value
+        return NotImplemented
+
+    def __gt__(self, other: "IPAddress") -> bool:
+        if isinstance(other, IPAddress):
+            return self.value > other.value
+        return NotImplemented
+
+    def __ge__(self, other: "IPAddress") -> bool:
+        if isinstance(other, IPAddress):
+            return self.value >= other.value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (IPAddress, (self.value,))
 
     def __int__(self) -> int:
         return self.value
@@ -110,13 +186,18 @@ UNSPECIFIED = IPAddress(0)
 LIMITED_BROADCAST = IPAddress(0xFFFFFFFF)
 
 
-@dataclass(frozen=True, order=True)
 class Network:
     """An immutable CIDR network prefix, e.g. ``Network("10.1.0.0/16")``.
 
     The host bits of the supplied address must be zero; this catches the
     most common configuration mistakes in topology definitions early.
+
+    Like :class:`IPAddress` this is a ``__slots__`` value class with
+    dataclass-style ``(prefix, prefix_len)`` equality, ordering, and
+    hashing.
     """
+
+    __slots__ = ("prefix", "prefix_len")
 
     prefix: int
     prefix_len: int
@@ -145,6 +226,43 @@ class Network:
             )
         object.__setattr__(self, "prefix", prefix)
         object.__setattr__(self, "prefix_len", length)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"Network is immutable: cannot set {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Network is immutable: cannot delete {name!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Network):
+            return (self.prefix, self.prefix_len) == (other.prefix, other.prefix_len)
+        return NotImplemented
+
+    def __lt__(self, other: "Network") -> bool:
+        if isinstance(other, Network):
+            return (self.prefix, self.prefix_len) < (other.prefix, other.prefix_len)
+        return NotImplemented
+
+    def __le__(self, other: "Network") -> bool:
+        if isinstance(other, Network):
+            return (self.prefix, self.prefix_len) <= (other.prefix, other.prefix_len)
+        return NotImplemented
+
+    def __gt__(self, other: "Network") -> bool:
+        if isinstance(other, Network):
+            return (self.prefix, self.prefix_len) > (other.prefix, other.prefix_len)
+        return NotImplemented
+
+    def __ge__(self, other: "Network") -> bool:
+        if isinstance(other, Network):
+            return (self.prefix, self.prefix_len) >= (other.prefix, other.prefix_len)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.prefix, self.prefix_len))
+
+    def __reduce__(self):
+        return (Network, (str(self),))
 
     @staticmethod
     def _mask_for(length: int) -> int:

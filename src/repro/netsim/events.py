@@ -7,19 +7,39 @@ events.  Determinism matters — every benchmark and test must produce
 identical traces run-to-run — so ties are broken by insertion order and
 all randomness flows through a single seeded RNG owned by the
 :class:`Simulator` (see :mod:`repro.netsim.simulator`).
+
+Performance notes (this engine bounds the wall time of every figure
+benchmark — see ``python -m repro.bench``):
+
+* The heap stores plain ``(time, seq, event)`` tuples, so sift
+  comparisons are C-level tuple comparisons instead of dataclass
+  ``__lt__`` calls building tuples per comparison.
+* :class:`Event` is a ``__slots__`` class; events are allocated on
+  every packet hop, so per-instance dict overhead matters.
+* ``pending`` is O(1): the queue maintains a live-event counter
+  decremented on :meth:`Event.cancel` and on pop.
+* Cancelled entries are discarded lazily on pop, and the heap is
+  compacted outright when cancelled corpses outnumber live events
+  (timer-heavy transports cancel most of what they schedule).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 __all__ = ["Event", "EventQueue", "SimClock"]
 
+# Compact the heap when it holds more than this many cancelled entries
+# AND they outnumber the live ones.  Small enough that a timer-heavy
+# run never carries a mostly-dead heap, large enough that compaction
+# cost is amortized over many cancellations.
+_COMPACT_MIN_CANCELLED = 256
 
-@dataclass(order=True)
+
 class Event:
     """A scheduled callback.
 
@@ -28,19 +48,49 @@ class Event:
     cancellation (the queue lazily discards cancelled events on pop).
     """
 
-    time: float
-    seq: int
-    action: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "action", "args", "label", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[..., Any],
+        args: tuple = (),
+        label: str = "",
+        queue: Optional["EventQueue"] = None,
+    ):
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.args = args
+        self.label = label
+        self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue._note_cancel()
+
+    def __lt__(self, other: "Event") -> bool:
+        # Kept for API compatibility with the old dataclass(order=True)
+        # Event; the queue itself orders tuples, not events.
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        label = f" {self.label!r}" if self.label else ""
+        return f"Event(t={self.time}, seq={self.seq}{label}{state})"
 
 
 class SimClock:
     """Monotonic simulation clock, advanced only by the event queue."""
+
+    __slots__ = ("_now",)
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -62,9 +112,13 @@ class EventQueue:
 
     def __init__(self, clock: Optional[SimClock] = None):
         self.clock = clock or SimClock()
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        # Heap of (time, seq, event) tuples; seq breaks ties FIFO and
+        # guarantees the comparison never reaches the event itself.
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
         self.processed = 0
+        self._live = 0        # scheduled and not yet cancelled or run
+        self._cancelled = 0   # cancelled entries still sitting in the heap
 
     def schedule(
         self,
@@ -76,8 +130,12 @@ class EventQueue:
         """Schedule ``action(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        event = Event(self.clock.now + delay, next(self._seq), action, args, label)
-        heapq.heappush(self._heap, event)
+        time = self.clock._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, action, args, label, self)
+        _heappush(self._heap, (time, seq, event))
+        self._live += 1
         return event
 
     def schedule_at(
@@ -87,20 +145,54 @@ class EventQueue:
         *args: Any,
         label: str = "",
     ) -> Event:
-        """Schedule ``action(*args)`` at absolute simulation time."""
-        return self.schedule(max(0.0, time - self.clock.now), action, *args, label=label)
+        """Schedule ``action(*args)`` at absolute simulation time.
+
+        Scheduling in the past is a logic error (it used to be silently
+        clamped to "now", hiding broken timer arithmetic) and raises
+        ``ValueError``, matching :meth:`schedule`'s negative-delay check.
+        """
+        now = self.clock._now
+        if time < now:
+            raise ValueError(f"cannot schedule in the past: {time} < now {now}")
+        return self.schedule(time - now, action, *args, label=label)
 
     @property
     def pending(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Live (scheduled, not cancelled, not yet run) event count. O(1)."""
+        return self._live
+
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel`: maintain counters, compact."""
+        self._live -= 1
+        self._cancelled += 1
+        if self._cancelled > _COMPACT_MIN_CANCELLED and self._cancelled > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors.
+
+        In place (slice assignment), because ``run()`` holds a local
+        reference to the heap list while actions — which may cancel
+        timers and trigger compaction — execute.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._cancelled = 0
 
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        clock = self.clock
+        while heap:
+            time, _seq, event = _heappop(heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
-            self.clock._advance(event.time)
+            self._live -= 1
+            if time < clock._now:
+                raise RuntimeError(f"time went backwards: {time} < {clock._now}")
+            clock._now = time
             event.action(*event.args)
             self.processed += 1
             return True
@@ -112,15 +204,65 @@ class EventQueue:
         Returns the clock value when processing stopped.  ``max_events``
         guards against runaway feedback loops in misconfigured
         topologies (e.g. routing loops with no TTL).
+
+        The body is the hottest loop in the simulator: two specialized
+        loops (with and without a horizon) pop first and push back the
+        at-most-one over-horizon event rather than peeking every
+        iteration, advance the clock inline instead of through
+        ``SimClock._advance``, and batch the ``processed``/live
+        counter updates into a ``finally`` (so mid-run actions that
+        cancel timers still interleave correctly, but code polling
+        ``pending``/``processed`` *from inside an action* sees values
+        as of run() entry — no simulator code does).
         """
-        for _ in range(max_events):
-            if until is not None:
-                # Peek: stop before executing events beyond the horizon.
-                while self._heap and self._heap[0].cancelled:
-                    heapq.heappop(self._heap)
-                if not self._heap or self._heap[0].time > until:
-                    self.clock._advance(max(until, self.clock.now))
-                    return self.clock.now
-            if not self.step():
-                return self.clock.now
-        raise RuntimeError(f"event budget exhausted ({max_events} events)")
+        heap = self._heap
+        clock = self.clock
+        pop = _heappop
+        processed = 0
+        live_popped = 0
+        try:
+            if until is None:
+                while processed < max_events:
+                    if not heap:
+                        return clock._now
+                    time, _seq, event = pop(heap)
+                    if event.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    live_popped += 1
+                    if time < clock._now:
+                        raise RuntimeError(
+                            f"time went backwards: {time} < {clock._now}"
+                        )
+                    clock._now = time
+                    event.action(*event.args)
+                    processed += 1
+            else:
+                while processed < max_events:
+                    if not heap:
+                        if until > clock._now:
+                            clock._now = until
+                        return clock._now
+                    entry = pop(heap)
+                    event = entry[2]
+                    if event.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    time = entry[0]
+                    if time > until:
+                        _heappush(heap, entry)
+                        if until > clock._now:
+                            clock._now = until
+                        return clock._now
+                    live_popped += 1
+                    if time < clock._now:
+                        raise RuntimeError(
+                            f"time went backwards: {time} < {clock._now}"
+                        )
+                    clock._now = time
+                    event.action(*event.args)
+                    processed += 1
+            raise RuntimeError(f"event budget exhausted ({max_events} events)")
+        finally:
+            self.processed += processed
+            self._live -= live_popped

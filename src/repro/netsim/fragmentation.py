@@ -71,6 +71,7 @@ def fragment(packet: Packet, mtu: int) -> List[Packet]:
         # fragment's `payload_size` also subsumes any nested packet, so
         # zero the structured fields copy_for_fragment preserved.
         frag.shim_size = 0
+        frag.invalidate_size_cache()
         fragments.append(frag)
         offset += chunk
     return fragments
@@ -113,6 +114,7 @@ class ReassemblyBuffer:
             whole.payload_size = 0
         whole.more_fragments = False
         whole.frag_offset = 0
+        whole.invalidate_size_cache()
         return whole
 
 

@@ -108,6 +108,14 @@ class Packet:
     # and fragmentation so a logical datagram can be followed end to end.
     trace_id: int = field(default_factory=lambda: next(_trace_ids))
     hops: List[HopRecord] = field(default_factory=list)
+    # Cached inner_size.  The encapsulation stack is effectively
+    # immutable after construction; the few sites that do mutate
+    # size-relevant fields (fragmentation, reassembly) must call
+    # invalidate_size_cache().  init=False keeps the cache out of
+    # dataclasses.replace(), so copies start cold.
+    _inner_size_cache: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.src = IPAddress(self.src)
@@ -130,11 +138,28 @@ class Packet:
         fragment of an encapsulated packet would claim the whole inner
         packet's size and be re-fragmented at every hop.
         """
+        cached = self._inner_size_cache
+        if cached is not None:
+            return cached
         if self.is_fragment:
-            return self.payload_size
-        if isinstance(self.payload, Packet):
-            return self.shim_size + self.payload.wire_size
-        return self.shim_size + self.payload_size
+            size = self.payload_size
+        elif isinstance(self.payload, Packet):
+            size = self.shim_size + self.payload.wire_size
+        else:
+            size = self.shim_size + self.payload_size
+        self._inner_size_cache = size
+        return size
+
+    def invalidate_size_cache(self) -> None:
+        """Drop the cached size after mutating size-relevant fields.
+
+        Must be called by any code that changes ``payload``,
+        ``payload_size``, ``shim_size``, or the fragmentation flags
+        after construction (see :mod:`repro.netsim.fragmentation`).
+        Encapsulating packets cache the *nested* packet's size too, so
+        mutate-then-encapsulate, never the reverse.
+        """
+        self._inner_size_cache = None
 
     @property
     def options_size(self) -> int:
@@ -224,6 +249,7 @@ class Packet:
         # after reassembly; continuation fragments carry only bytes.
         if offset == 0:
             fragment.payload = self.payload
+            fragment.invalidate_size_cache()
         return fragment
 
     def __repr__(self) -> str:

@@ -40,16 +40,33 @@ class TraceEntry:
 
 
 class TraceLog:
-    """Global record of packet events for one simulation run."""
+    """Global record of packet events for one simulation run.
 
-    def __init__(self, enabled: bool = True):
+    Three levels of tracing, cheapest first:
+
+    * ``TraceLog(enabled=False, aggregates=False)`` — a true no-op:
+      :meth:`note` is rebound to a do-nothing method, so large
+      throughput runs pay only one call per event (no hop records, no
+      counter updates, no entry construction).
+    * ``TraceLog(enabled=False)`` — keeps the per-packet hop records
+      and the incremental aggregates (action counts, drop reasons)
+      but skips per-event :class:`TraceEntry` construction.
+    * ``TraceLog()`` — full tracing; every event becomes an entry.
+    """
+
+    def __init__(self, enabled: bool = True, aggregates: bool = True):
         self.enabled = enabled
+        self.aggregates = aggregates or enabled
         self.entries: List[TraceEntry] = []
         # Aggregates maintained incrementally so benches stay cheap even
         # with tracing of individual entries disabled.
         self.bytes_by_link: Counter = Counter()
         self.action_counts: Counter = Counter()
         self.drops_by_reason: Counter = Counter()
+        if not self.aggregates:
+            # Rebinding on the instance makes the disabled path a plain
+            # no-op call — no flag checks on the hot path.
+            self.note = self._note_disabled  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Recording
@@ -81,6 +98,16 @@ class TraceLog:
                     detail=detail,
                 )
             )
+
+    def _note_disabled(
+        self,
+        time: float,
+        node: str,
+        action: str,
+        packet: Packet,
+        detail: str = "",
+    ) -> None:
+        """No-op :meth:`note` used when tracing is fully off."""
 
     def note_link_bytes(self, link_name: str, size: int) -> None:
         self.bytes_by_link[link_name] += size

@@ -67,6 +67,61 @@ class TestIPAddress:
         assert int(IPAddress(str(address))) == value
 
 
+class TestIPAddressInterning:
+    """The constructor cache must be invisible except for speed."""
+
+    def test_same_string_returns_cached_instance(self):
+        assert IPAddress("10.9.8.7") is IPAddress("10.9.8.7")
+
+    def test_same_int_returns_cached_instance(self):
+        assert IPAddress(0x0A090807) is IPAddress(0x0A090807)
+
+    def test_copy_construction_is_identity(self):
+        original = IPAddress("10.9.8.7")
+        assert IPAddress(original) is original
+
+    def test_str_and_int_spellings_stay_equal(self):
+        assert IPAddress("10.0.0.1") == IPAddress(0x0A000001)
+        assert hash(IPAddress("10.0.0.1")) == hash(IPAddress(0x0A000001))
+
+    def test_usable_as_dict_key_across_spellings(self):
+        table = {IPAddress("10.0.0.1"): "route"}
+        assert table[IPAddress(0x0A000001)] == "route"
+
+    def test_malformed_still_rejected_after_cache_hits(self):
+        IPAddress("10.0.0.1")
+        with pytest.raises(AddressError):
+            IPAddress("10.0.0.999")
+        with pytest.raises(AddressError):
+            IPAddress("not-an-address")
+
+    def test_not_equal_to_bare_ints_or_strings(self):
+        assert IPAddress("10.0.0.1") != 0x0A000001
+        assert IPAddress("10.0.0.1") != "10.0.0.1"
+
+    def test_immutable(self):
+        address = IPAddress("10.0.0.1")
+        with pytest.raises(AttributeError):
+            address.value = 5
+
+    def test_cache_is_bounded_under_allocator_sweeps(self):
+        from repro.netsim import addressing
+
+        for value in range(3 * addressing._INTERN_CACHE_MAX):
+            IPAddress(value)
+        assert len(addressing._INTERN_CACHE) <= addressing._INTERN_CACHE_MAX
+
+    def test_eviction_does_not_break_equality(self):
+        early = IPAddress("10.250.0.1")
+        from repro.netsim import addressing
+
+        for value in range(2 * addressing._INTERN_CACHE_MAX):
+            IPAddress(value)
+        again = IPAddress("10.250.0.1")  # may or may not be the same object
+        assert again == early
+        assert hash(again) == hash(early)
+
+
 class TestNetwork:
     def test_parse_cidr(self):
         net = Network("10.1.0.0/16")

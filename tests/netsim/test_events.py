@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netsim.events import EventQueue, SimClock
+from repro.netsim.events import _COMPACT_MIN_CANCELLED, EventQueue, SimClock
 
 
 class TestScheduling:
@@ -42,6 +42,27 @@ class TestScheduling:
         queue.run()
         assert seen == [5.0]
 
+    def test_schedule_at_now_is_allowed(self):
+        queue = EventQueue()
+        queue.schedule(2.0, lambda: None)
+        queue.run()
+        ran = []
+        queue.schedule_at(2.0, ran.append, "x")
+        queue.run()
+        assert ran == ["x"]
+        assert queue.clock.now == 2.0
+
+    def test_schedule_at_past_time_rejected(self):
+        # Regression: past times used to be silently clamped to "now",
+        # hiding broken timer arithmetic.  Now they raise, matching
+        # schedule()'s negative-delay check.
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: None)
+        queue.run()
+        assert queue.clock.now == 5.0
+        with pytest.raises(ValueError):
+            queue.schedule_at(4.9, lambda: None)
+
     def test_events_scheduled_during_run(self):
         queue = EventQueue()
         order = []
@@ -71,6 +92,74 @@ class TestCancellation:
         gone = queue.schedule(2.0, lambda: None)
         gone.cancel()
         assert queue.pending == 1
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        event = queue.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()  # double-cancel must not corrupt the live count
+        assert queue.pending == 1
+
+    def test_pending_tracks_pops_and_cancels(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(i), lambda: None) for i in range(1, 6)]
+        assert queue.pending == 5
+        events[3].cancel()
+        assert queue.pending == 4
+        queue.step()
+        assert queue.pending == 3
+        queue.run()
+        assert queue.pending == 0
+
+    def test_cancelled_events_never_fire_across_compaction(self):
+        # Cancel enough events to cross the compaction threshold and
+        # verify: no cancelled callback runs, processed/pending stay
+        # consistent, and survivors run in the original order.
+        queue = EventQueue()
+        ran = []
+        keepers = 0
+        for index in range(3 * _COMPACT_MIN_CANCELLED):
+            event = queue.schedule(1.0 + index, ran.append, index)
+            if index % 3:
+                event.cancel()
+            else:
+                keepers += 1
+        assert queue.pending == keepers
+        assert len(queue._heap) < 3 * _COMPACT_MIN_CANCELLED  # compacted
+        queue.run()
+        assert ran == [i for i in range(3 * _COMPACT_MIN_CANCELLED) if i % 3 == 0]
+        assert queue.processed == keepers
+        assert queue.pending == 0
+
+    def test_compaction_during_run_keeps_heap_identity(self):
+        # run() holds a local reference to the heap list, so compaction
+        # triggered by an action cancelling timers must happen in place.
+        queue = EventQueue()
+        timers = [
+            queue.schedule(10.0 + i, lambda: None)
+            for i in range(2 * _COMPACT_MIN_CANCELLED + 2)
+        ]
+        ran = []
+
+        def mass_cancel():
+            for timer in timers:
+                timer.cancel()
+            queue.schedule(1.0, ran.append, "after")
+
+        queue.schedule(0.5, mass_cancel)
+        queue.run()
+        assert ran == ["after"]
+        assert queue.pending == 0
+
+    def test_tie_break_order_survives_cancellation(self):
+        queue = EventQueue()
+        order = []
+        events = [queue.schedule(1.0, order.append, label) for label in "abcdef"]
+        events[1].cancel()
+        events[4].cancel()
+        queue.run()
+        assert order == ["a", "c", "d", "f"]
 
 
 class TestRunUntil:

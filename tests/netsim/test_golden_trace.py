@@ -1,0 +1,32 @@
+"""Golden-trace regression: perf work must not perturb simulation.
+
+The digest below was captured on the pre-optimization engine (PR 1:
+dataclass Event heap, regex-per-construction addressing, uncached
+``wire_size``) and must be byte-identical on every engine since.  It
+covers ~3.6k trace events of the canonical scenario-traffic workload:
+every send, ARP exchange, forward, tunnel encapsulation/decapsulation,
+and delivery, with exact float timestamps and wire sizes.
+
+If this test fails after an optimization, the optimization changed
+observable simulation behavior — fix the engine, do not re-pin the
+digest.  Re-pinning is only legitimate when the *semantics* of the
+scenario change deliberately (new protocol step, different topology),
+and such a change must be called out in the PR description.
+"""
+
+from repro.bench.golden import golden_trace_digest
+
+GOLDEN_DIGEST = "6c91661118a78681dfe5624d953ae85bb5a3f6e3b7e88fc4d166a9a121cf8a8f"
+GOLDEN_ENTRY_COUNT = 3618
+
+
+def test_scenario_traffic_trace_is_bit_identical():
+    digest, entries = golden_trace_digest()
+    assert entries == GOLDEN_ENTRY_COUNT
+    assert digest == GOLDEN_DIGEST
+
+
+def test_digest_is_stable_within_process():
+    # Global id counters advance between runs; the digest must not see
+    # them (it normalizes ids away), so two runs agree.
+    assert golden_trace_digest() == golden_trace_digest()
