@@ -16,7 +16,7 @@ arrangement.
 
 from repro.analysis import TextTable
 from repro.core import ProbeStrategy
-from repro.mobileip import CorrespondentHost, HomeAgent, MobileHost
+from repro.mobileip import HomeAgent, MobileHost
 from repro.netsim import Internet, IPAddress, Simulator
 
 HOME_A = IPAddress("10.1.0.10")

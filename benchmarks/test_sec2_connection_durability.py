@@ -10,7 +10,6 @@ arrangement (In-DT/Out-DT) breaks.
 
 from repro.analysis import MH_HOME_ADDRESS, TextTable, build_scenario
 from repro.apps import TelnetServer, TelnetSession
-from repro.core import ProbeStrategy
 from repro.core.policy import Disposition, MobilityPolicyTable
 from repro.mobileip import Awareness
 

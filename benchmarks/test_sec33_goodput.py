@@ -13,7 +13,7 @@ The benchmark transfers 400 kB three ways and reports goodput, total
 first-hop IP packets, and fragmentation events.
 """
 
-from repro.analysis import MH_HOME_ADDRESS, TextTable, build_scenario
+from repro.analysis import TextTable, build_scenario
 from repro.apps import BulkClient, BulkServer
 from repro.core.policy import Disposition, MobilityPolicyTable
 from repro.mobileip import Awareness

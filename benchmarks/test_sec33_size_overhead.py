@@ -17,7 +17,7 @@ actually sending the packets across a simulated Ethernet.
 from repro.analysis import MH_HOME_ADDRESS, TextTable, build_scenario
 from repro.core.modes import AddressPlan, OutMode, build_outgoing
 from repro.mobileip import Awareness
-from repro.netsim import EncapScheme, encap_overhead
+from repro.netsim import EncapScheme
 from repro.netsim.packet import IPProto
 from repro.transport import UDPDatagram
 from repro.transport.udp import UDP_HEADER_SIZE

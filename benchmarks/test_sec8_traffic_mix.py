@@ -17,7 +17,7 @@ wide-area byte totals, and whether the long-lived session survived the
 move — the three-way trade §8 argues only the adaptive system wins.
 """
 
-from repro.analysis import MH_HOME_ADDRESS, TextTable, build_scenario, snapshot
+from repro.analysis import TextTable, build_scenario, snapshot
 from repro.apps import DNSLookupWorkload, HTTPClient, HTTPServer, TelnetServer, TelnetSession
 from repro.mobileip import Awareness
 

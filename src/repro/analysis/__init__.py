@@ -7,13 +7,14 @@
 * :mod:`repro.analysis.reporting` — plain-text tables for benchmarks.
 """
 
-from .collector import ScenarioSnapshot, diff, snapshot
+from .collector import DarkTraceError, ScenarioSnapshot, diff, snapshot
 from .movement import RandomWaypoint, Tour
 from .metrics import Summary, delivery_ratio, overhead_fraction, path_stretch, summarize
 from .reporting import TextTable, ascii_series, render_kv
 from .scenarios import MH_HOME_ADDRESS, Scenario, build_scenario
 
 __all__ = [
+    "DarkTraceError",
     "ScenarioSnapshot",
     "diff",
     "snapshot",

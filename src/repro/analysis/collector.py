@@ -1,22 +1,38 @@
-"""Scenario-wide statistics collection.
+"""Scenario-wide statistics collection, backed by the metrics registry.
 
-Aggregates the counters scattered across a running scenario — per-node
+Aggregates the per-component counters of a running scenario — per-node
 send/receive totals, tunnel usage, home-agent work, per-link bytes,
 drop reasons, engine decisions — into one structured snapshot that
 benchmarks and examples can diff across phases of an experiment
 ("before the move" vs "after", "Mobile IP on" vs "off").
+
+Components register their counters into
+:class:`repro.obs.metrics.MetricsRegistry` at construction (see
+``Simulator.metrics``), so :func:`snapshot` queries the registry by
+metric name and label instead of reaching into object attributes.  Any
+new registered metric is automatically visible to registry consumers
+without touching this module.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict
 
-from ..mobileip.home_agent import HomeAgent
-from ..mobileip.mobile_host import MobileHost
 from .scenarios import Scenario
 
-__all__ = ["ScenarioSnapshot", "snapshot", "diff"]
+__all__ = ["ScenarioSnapshot", "DarkTraceError", "snapshot", "diff"]
+
+
+class DarkTraceError(RuntimeError):
+    """Raised when snapshotting a run whose tracing is fully disabled.
+
+    With ``TraceLog(aggregates=False)`` the drop and per-link byte
+    counters are never incremented; a snapshot would report zero drops
+    and zero wide-area bytes, and a benchmark script could misread a
+    dark run as a lossless one.
+    """
 
 
 @dataclass(frozen=True)
@@ -48,33 +64,50 @@ class ScenarioSnapshot:
                 + self.reverse_forwarded_by_ha)
 
 
-def snapshot(scenario: Scenario) -> ScenarioSnapshot:
-    """Capture the current counters of a scenario."""
+def snapshot(scenario: Scenario, strict: bool = True) -> ScenarioSnapshot:
+    """Capture the current counters of a scenario from the registry.
+
+    Raises :class:`DarkTraceError` when tracing is fully disabled
+    (``aggregates=False``) — the drop/byte counters read 0 then, which
+    is not the same as "nothing was dropped".  Pass ``strict=False`` to
+    downgrade the error to a ``RuntimeWarning`` and snapshot anyway.
+    """
     sim = scenario.sim
-    wide, lan = 0, 0
-    for name, count in sim.trace.bytes_by_link.items():
-        if name.startswith("p2p") or name.startswith("uplink"):
-            wide += count
-        else:
-            lan += count
-    mh: MobileHost = scenario.mh
-    ha: HomeAgent = scenario.ha
+    if not sim.trace.aggregates:
+        message = (
+            "snapshot of a dark run: tracing is fully disabled "
+            "(TraceLog aggregates=False), so drop and per-link byte "
+            "counters read 0 regardless of what actually happened; "
+            "build the scenario with trace_aggregates=True or pass "
+            "strict=False to accept the partial snapshot"
+        )
+        if strict:
+            raise DarkTraceError(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+    metrics = sim.metrics
+    bytes_by_link = metrics.read_family("trace.bytes_by_link")
+    wide = sum(count for link, count in bytes_by_link.items()
+               if link.startswith(("p2p", "uplink")))
+    lan = sum(bytes_by_link.values()) - wide
+    mh_name, ha_name = scenario.mh.name, scenario.ha.name
     return ScenarioSnapshot(
         time=sim.now,
-        packets_sent={name: node.packets_sent
-                      for name, node in sim.nodes.items()},
-        packets_received={name: node.packets_received
-                          for name, node in sim.nodes.items()},
-        tunneled_by_mh=mh.tunnel.encapsulated_count,
-        decapsulated_by_mh=mh.tunnel.decapsulated_count,
-        tunneled_by_ha=ha.packets_tunneled,
-        reverse_forwarded_by_ha=ha.packets_reverse_forwarded,
-        advisories_sent=ha.advisories_sent,
-        wide_area_bytes=wide,
-        lan_bytes=lan,
-        drops=dict(sim.trace.drops_by_reason),
-        engine_decisions=mh.engine.decisions_made,
-        mode_changes=mh.engine.cache.total_mode_changes(),
+        packets_sent={labels["node"]: int(value) for labels, value
+                      in metrics.series("node.packets_sent")},
+        packets_received={labels["node"]: int(value) for labels, value
+                          in metrics.series("node.packets_received")},
+        tunneled_by_mh=int(metrics.value("tunnel.encapsulated", node=mh_name)),
+        decapsulated_by_mh=int(metrics.value("tunnel.decapsulated", node=mh_name)),
+        tunneled_by_ha=int(metrics.value("ha.packets_tunneled", node=ha_name)),
+        reverse_forwarded_by_ha=int(
+            metrics.value("ha.reverse_forwarded", node=ha_name)),
+        advisories_sent=int(metrics.value("ha.advisories_sent", node=ha_name)),
+        wide_area_bytes=int(wide),
+        lan_bytes=int(lan),
+        drops={reason: int(count) for reason, count
+               in metrics.read_family("trace.drops_by_reason").items()},
+        engine_decisions=int(metrics.value("mh.engine_decisions", node=mh_name)),
+        mode_changes=int(metrics.value("mh.mode_changes", node=mh_name)),
     )
 
 

@@ -86,6 +86,8 @@ def build_scenario(
     with_foreign_agent: bool = False,
     mobile_starts_away: bool = True,
     backbone_latency: float = 0.010,
+    trace_entries: bool = True,
+    trace_aggregates: bool = True,
 ) -> Scenario:
     """Build the standard stage.
 
@@ -93,8 +95,16 @@ def build_scenario(
     experiments bring their own).  ``ch_in_visited_lan`` puts the
     correspondent on the mobile host's current segment (Row C).
     ``visited_attach`` defaults to the far end of the backbone.
+    ``trace_entries``/``trace_aggregates`` pass through to
+    :class:`repro.netsim.simulator.Simulator`; note that a fully dark
+    run (``trace_aggregates=False``) makes ``analysis.snapshot``
+    raise unless explicitly overridden.
     """
-    sim = Simulator(seed=seed)
+    sim = Simulator(
+        seed=seed,
+        trace_entries=trace_entries,
+        trace_aggregates=trace_aggregates,
+    )
     net = Internet(sim, backbone_size=backbone_size, backbone_latency=backbone_latency)
     if visited_attach is None:
         visited_attach = backbone_size - 1

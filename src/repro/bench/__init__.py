@@ -35,6 +35,7 @@ __all__ = [
     "run_event_cancel_churn",
     "run_scenario_build",
     "run_scenario_traffic",
+    "run_obs_overhead",
     "run_packet_sizing",
     "run_address_churn",
     "run_suite",
@@ -131,6 +132,35 @@ def run_scenario_traffic(datagrams: int = 200, seed: int = 1401) -> Tuple[int, s
     return datagrams, "packets"
 
 
+def run_obs_overhead(datagrams: int = 200, seed: int = 1401) -> Tuple[int, str]:
+    """The scenario-traffic workload with full observability enabled.
+
+    Same traffic shape as ``scenario_traffic``, plus span recording, the
+    engine sampler, and a full report build at the end.  Compare the two
+    workloads' numbers to read off the cost of observability when *on*;
+    the acceptance bar for the layer is that ``scenario_traffic`` itself
+    (observability off) stays flat, which the baseline diff shows.
+    """
+    from repro.analysis import MH_HOME_ADDRESS, build_scenario
+    from repro.mobileip import Awareness
+
+    scenario = build_scenario(seed=seed, ch_awareness=Awareness.CONVENTIONAL)
+    obs = scenario.sim.enable_observability(engine_cadence=0.1)
+    sock = scenario.mh.stack.udp_socket(7000)
+    sock.on_receive(lambda *args: None)
+    ch_sock = scenario.ch.stack.udp_socket()
+    for index in range(datagrams):
+        scenario.sim.events.schedule(
+            index * 0.01,
+            lambda: ch_sock.sendto("x", 100, MH_HOME_ADDRESS, 7000),
+        )
+    scenario.sim.run_for(30)
+    obs.finish()
+    report = obs.report()
+    assert report["spans"]["count"] >= datagrams
+    return datagrams, "packets"
+
+
 def run_packet_sizing(n: int = 30_000) -> Tuple[int, str]:
     """Repeated ``wire_size`` over a 2-deep encapsulation stack.
 
@@ -182,6 +212,7 @@ WORKLOADS: Dict[str, Callable[..., Tuple[int, str]]] = {
     "event_cancel_churn": run_event_cancel_churn,
     "scenario_build": run_scenario_build,
     "scenario_traffic": run_scenario_traffic,
+    "obs_overhead": run_obs_overhead,
     "packet_sizing": run_packet_sizing,
     "address_churn": run_address_churn,
 }
@@ -191,6 +222,7 @@ _QUICK_ARGS: Dict[str, Dict[str, int]] = {
     "event_churn": {"n": 5_000},
     "event_cancel_churn": {"n": 4_000},
     "scenario_traffic": {"datagrams": 50},
+    "obs_overhead": {"datagrams": 50},
     "packet_sizing": {"n": 4_000},
     "address_churn": {"n": 4_000},
 }

@@ -14,6 +14,14 @@ Subcommands:
   report survival for a Mobile IP and a no-Mobile-IP session.
 * ``policy``      — parse a §7.1.2 policy config file and query the
   disposition for one or more addresses.
+* ``obs``         — run the canonical traffic workload with full
+  observability on and print the per-mode span and engine summaries
+  (optionally exporting a Chrome ``trace_event`` file).
+
+The global ``--obs-out report.json`` flag enables the observability
+layer (metrics registry snapshot, packet-lifecycle spans, engine
+sampler) on any scenario-building subcommand and writes the merged
+report when the command finishes.
 
 Installed as ``repro-mobility`` (see pyproject.toml), or run with
 ``python -m repro``.
@@ -35,18 +43,29 @@ from .netsim.packet import IPProto
 __all__ = ["main"]
 
 
+def _build_scenario(args: argparse.Namespace, **kwargs):
+    """``build_scenario`` plus optional observability attachment.
+
+    Every subcommand that assembles a stage goes through here so the
+    global ``--obs-out`` flag can enable the observability layer on
+    each scenario and collect the reports for ``main`` to merge.
+    """
+    scenario = build_scenario(**kwargs)
+    if getattr(args, "obs_out", None):
+        args._obs.append(scenario.sim.enable_observability())
+    return scenario
+
+
 def _cmd_grid(args: argparse.Namespace) -> int:
     print(GRID.render())
     if not args.live:
         return 0
     print()
     print("running all sixteen cells live...")
-    from .transport import UDPDatagram
-
     mismatches = 0
     for in_mode in InMode:
         for out_mode in OutMode:
-            outcome = _run_cell(in_mode, out_mode, seed=args.seed)
+            outcome = _run_cell(in_mode, out_mode, args)
             cell = GRID.cell(in_mode, out_mode)
             agrees = outcome == cell.works_with_tcp
             mismatches += not agrees
@@ -58,11 +77,12 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 0 if mismatches == 0 else 1
 
 
-def _run_cell(in_mode: InMode, out_mode: OutMode, seed: int) -> bool:
+def _run_cell(in_mode: InMode, out_mode: OutMode, args: argparse.Namespace) -> bool:
     from .transport import UDPDatagram
 
-    scenario = build_scenario(
-        seed=seed,
+    scenario = _build_scenario(
+        args,
+        seed=args.seed,
         ch_awareness=Awareness.MOBILE_AWARE,
         ch_in_visited_lan=(in_mode is InMode.IN_DH),
         visited_filtering=False,
@@ -116,8 +136,8 @@ def _describe(packet) -> str:
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
-    scenario = build_scenario(seed=args.seed,
-                              ch_awareness=Awareness.CONVENTIONAL)
+    scenario = _build_scenario(args, seed=args.seed,
+                               ch_awareness=Awareness.CONVENTIONAL)
     print(render_topology(scenario.net))
     print(f"\nmobile host: home {MH_HOME_ADDRESS}, care-of "
           f"{scenario.mh.care_of}, registered={scenario.mh.registered}")
@@ -125,9 +145,9 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    scenario = build_scenario(seed=args.seed,
-                              ch_awareness=Awareness.CONVENTIONAL,
-                              visited_filtering=False)
+    scenario = _build_scenario(args, seed=args.seed,
+                               ch_awareness=Awareness.CONVENTIONAL,
+                               visited_filtering=False)
     names = {}
     for node in scenario.sim.nodes.values():
         for address in node.addresses:
@@ -157,8 +177,8 @@ def _cmd_durability(args: argparse.Namespace) -> int:
 
     for label, bound in (("Mobile IP (home endpoint)", False),
                          ("no Mobile IP (care-of endpoint)", True)):
-        scenario = build_scenario(seed=args.seed,
-                                  ch_awareness=Awareness.CONVENTIONAL)
+        scenario = _build_scenario(args, seed=args.seed,
+                                   ch_awareness=Awareness.CONVENTIONAL)
         scenario.net.add_domain("visited2", "10.5.0.0/16", attach_at=3)
         TelnetServer(scenario.ch.stack)
         session = TelnetSession(
@@ -175,6 +195,65 @@ def _cmd_durability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Run canonical traffic with the full observability layer on."""
+    scenario = build_scenario(seed=args.seed,
+                              ch_awareness=Awareness.CONVENTIONAL)
+    obs = scenario.sim.enable_observability(engine_cadence=args.cadence)
+    if getattr(args, "obs_out", None):
+        args._obs.append(obs)
+
+    sock = scenario.mh.stack.udp_socket(7000)
+    sock.on_receive(lambda *_: None)
+    ch_sock = scenario.ch.stack.udp_socket()
+    spacing = args.duration / max(args.datagrams, 1)
+    for index in range(args.datagrams):
+        scenario.sim.events.schedule(
+            index * spacing,
+            lambda: ch_sock.sendto("x", 100, MH_HOME_ADDRESS, 7000),
+        )
+    scenario.sim.run_for(args.duration + 5.0)
+    obs.finish()
+
+    report = obs.report()
+    print(f"simulated {report['sim_time']:.1f}s, "
+          f"{report['events_processed']} events processed")
+    print("\nper-mode datagram summary:")
+    for mode, stats in sorted(report["spans"]["per_mode"].items()):
+        latency = stats["latency"]
+        print(f"  {mode:<14} count={stats['count']:<5} "
+              f"delivered={stats['delivered']:<5} "
+              f"dropped={stats['dropped']:<4} "
+              f"fragmented={stats['fragmented']}")
+        if latency["count"]:
+            print(f"  {'':<14} latency mean={latency['mean'] * 1e3:.2f}ms "
+                  f"p50={latency['p50'] * 1e3:.2f}ms "
+                  f"p99={latency['p99'] * 1e3:.2f}ms")
+        overhead = stats["overhead_bytes"]
+        if overhead["count"]:
+            print(f"  {'':<14} overhead mean={overhead['mean']:.1f}B "
+                  f"max={overhead['max']}B")
+    engine = report["engine"]["summary"]
+    print("\nengine:")
+    if engine["samples"]:
+        print(f"  samples={engine['samples']} "
+              f"peak_pending={engine['peak_pending']} "
+              f"peak_heap={engine['peak_heap']} "
+              f"mean_cancelled_ratio={engine['mean_cancelled_ratio']:.3f}")
+        peak_util = engine["peak_link_utilization"]
+        busiest = max(peak_util.items(), key=lambda kv: kv[1]) if peak_util \
+            else ("-", 0.0)
+        print(f"  peak_reassembly_pending={engine['peak_reassembly_pending']} "
+              f"busiest link {busiest[0]} at {busiest[1]:.1%} utilization")
+    else:
+        print("  (no samples)")
+    if args.chrome_trace:
+        count = obs.export_chrome_trace(args.chrome_trace)
+        print(f"\nwrote {count} trace events to {args.chrome_trace} "
+              f"(load in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mobility",
@@ -182,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=1996,
                         help="simulation seed (default 1996)")
+    parser.add_argument("--obs-out", metavar="PATH", default=None,
+                        help="enable the observability layer and write its "
+                             "JSON report here when the command finishes")
     sub = parser.add_subparsers(dest="command", required=True)
 
     grid = sub.add_parser("grid", help="print Figure 10")
@@ -208,6 +290,18 @@ def build_parser() -> argparse.ArgumentParser:
     policy.add_argument("address", nargs="*",
                         help="addresses to look up (prints dispositions)")
     policy.set_defaults(func=_cmd_policy)
+
+    obs = sub.add_parser(
+        "obs", help="run canonical traffic with full observability on")
+    obs.add_argument("--datagrams", type=int, default=100,
+                     help="datagrams to send (default 100)")
+    obs.add_argument("--duration", type=float, default=10.0,
+                     help="send window in simulated seconds (default 10)")
+    obs.add_argument("--cadence", type=float, default=0.5,
+                     help="engine sampling cadence in simulated seconds")
+    obs.add_argument("--chrome-trace", metavar="PATH", default=None,
+                     help="also export a Chrome trace_event JSON file")
+    obs.set_defaults(func=_cmd_obs)
     return parser
 
 
@@ -234,7 +328,20 @@ def _cmd_policy(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    args._obs = []
+    status = args.func(args)
+    if getattr(args, "obs_out", None) and args._obs:
+        import json
+
+        reports = []
+        for obs in args._obs:
+            obs.finish()
+            reports.append(obs.report())
+        merged = reports[0] if len(reports) == 1 else {"runs": reports}
+        with open(args.obs_out, "w") as handle:
+            json.dump(merged, handle, indent=2, sort_keys=True)
+        print(f"observability report written to {args.obs_out}")
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -81,6 +81,14 @@ class HomeAgent(Node):
         self.packets_tunneled = 0
         self.packets_reverse_forwarded = 0
         self.advisories_sent = 0
+        metrics = simulator.metrics
+        metrics.counter("ha.packets_tunneled",
+                        read=lambda: self.packets_tunneled, node=name)
+        metrics.counter("ha.reverse_forwarded",
+                        read=lambda: self.packets_reverse_forwarded, node=name)
+        metrics.counter("ha.advisories_sent",
+                        read=lambda: self.advisories_sent, node=name)
+        metrics.gauge("ha.bindings", read=lambda: len(self.bindings), node=name)
 
     # ------------------------------------------------------------------
     # Registration service

@@ -129,6 +129,17 @@ class MobileHost(Node):
         self._refresh_timer = None
         self.registration_attempts = 0
         self.moves = 0
+        metrics = simulator.metrics
+        metrics.counter("mh.moves", read=lambda: self.moves, node=name)
+        metrics.counter("mh.registration_attempts",
+                        read=lambda: self.registration_attempts, node=name)
+        metrics.counter("mh.engine_decisions",
+                        read=lambda: self.engine.decisions_made, node=name)
+        metrics.counter("mh.mode_changes",
+                        read=lambda: self.engine.cache.total_mode_changes(),
+                        node=name)
+        metrics.gauge("mh.registered",
+                      read=lambda: 1 if self.registered else 0, node=name)
 
     # ------------------------------------------------------------------
     # Attachment and movement

@@ -44,6 +44,11 @@ class TunnelEndpoint:
         self.on_inner = on_inner
         self.encapsulated_count = 0
         self.decapsulated_count = 0
+        metrics = node.simulator.metrics
+        metrics.counter("tunnel.encapsulated",
+                        read=lambda: self.encapsulated_count, node=node.name)
+        metrics.counter("tunnel.decapsulated",
+                        read=lambda: self.decapsulated_count, node=node.name)
         for proto in TUNNEL_PROTOS:
             node.register_proto_handler(proto, self._tunnel_input)
 

@@ -161,6 +161,16 @@ class EventQueue:
         """Live (scheduled, not cancelled, not yet run) event count. O(1)."""
         return self._live
 
+    @property
+    def heap_size(self) -> int:
+        """Raw heap entries, live plus cancelled corpses. O(1)."""
+        return len(self._heap)
+
+    @property
+    def cancelled_backlog(self) -> int:
+        """Cancelled entries still awaiting lazy removal. O(1)."""
+        return self._cancelled
+
     def _note_cancel(self) -> None:
         """Called by :meth:`Event.cancel`: maintain counters, compact."""
         self._live -= 1

@@ -181,6 +181,13 @@ class Segment:
         self.frames_carried = 0
         self.bytes_carried = 0
         self.frames_lost = 0
+        metrics = simulator.metrics
+        metrics.counter("link.bytes_carried",
+                        read=lambda: self.bytes_carried, link=name)
+        metrics.counter("link.frames_carried",
+                        read=lambda: self.frames_carried, link=name)
+        metrics.counter("link.frames_lost",
+                        read=lambda: self.frames_lost, link=name)
 
     @property
     def interfaces(self) -> List[Interface]:

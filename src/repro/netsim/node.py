@@ -91,6 +91,15 @@ class Node:
         self.packets_sent = 0
         self.packets_received = 0
         simulator.register(self)
+        # Pull metrics: the registry reads these attributes on demand,
+        # so the per-packet increments above stay bare integers.
+        metrics = simulator.metrics
+        metrics.counter("node.packets_sent",
+                        read=lambda: self.packets_sent, node=name)
+        metrics.counter("node.packets_received",
+                        read=lambda: self.packets_received, node=name)
+        metrics.gauge("node.reassembly_pending",
+                      read=lambda: self.reassembler.pending, node=name)
 
     # ------------------------------------------------------------------
     # Plumbing

@@ -13,11 +13,13 @@ import itertools
 import random
 from typing import TYPE_CHECKING, Dict, Optional
 
+from ..obs.metrics import MetricsRegistry
 from .events import EventQueue, SimClock
 from .link import Segment
 from .trace import TraceLog
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Observability
     from .node import Node
 
 __all__ = ["Simulator"]
@@ -43,6 +45,23 @@ class Simulator:
         self.nodes: Dict[str, "Node"] = {}
         self.segments: Dict[str, Segment] = {}
         self._tokens = itertools.count(1)
+        # Every run owns a metrics registry; components register pull
+        # metrics into it at construction, so there is no per-event
+        # cost (see repro.obs.metrics).  The heavier span/engine layers
+        # stay off until enable_observability().
+        self.metrics = MetricsRegistry()
+        self.obs: Optional["Observability"] = None
+        trace = self.trace
+        self.metrics.counter(
+            "trace.events", read=lambda: sum(trace.action_counts.values()))
+        self.metrics.counter(
+            "trace.delivered", read=lambda: trace.action_counts["deliver"])
+        self.metrics.counter(
+            "trace.dropped", read=lambda: trace.action_counts["drop"])
+        self.metrics.family(
+            "trace.drops_by_reason", lambda: dict(trace.drops_by_reason))
+        self.metrics.family(
+            "trace.bytes_by_link", lambda: dict(trace.bytes_by_link))
 
     # ------------------------------------------------------------------
     # Registry
@@ -74,6 +93,30 @@ class Simulator:
     def next_token(self) -> int:
         """Monotonic token source for echo requests, idents, etc."""
         return next(self._tokens)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def enable_observability(
+        self,
+        spans: bool = True,
+        engine_cadence: Optional[float] = 0.5,
+    ) -> "Observability":
+        """Turn on the span recorder and engine sampler for this run.
+
+        The metrics registry is always live (it is pull-based and
+        free); this switch adds the per-event span layer and the
+        periodic engine gauges.  Returns the :class:`Observability`
+        handle, also kept on ``self.obs``.
+        """
+        if self.obs is not None:
+            raise RuntimeError("observability is already enabled for this run")
+        from ..obs import Observability
+
+        self.obs = Observability(
+            self, spans=spans, engine_cadence=engine_cadence
+        ).enable()
+        return self.obs
 
     # ------------------------------------------------------------------
     # Execution

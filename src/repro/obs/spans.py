@@ -1,0 +1,321 @@
+"""Packet-lifecycle spans.
+
+Every logical datagram in the simulator keeps one ``trace_id`` across
+encapsulation, tunneling, fragmentation, and reassembly (see
+:mod:`repro.netsim.packet`).  The :class:`SpanRecorder` turns that
+stream of per-packet trace events into a **span tree** per datagram:
+
+* a root span opens at the first ``send`` and closes at final delivery
+  (or drop);
+* each ``encapsulate`` opens a child *tunnel* span under the current
+  innermost open span, closed by the matching ``decapsulate``;
+* each ``fragment`` opens a child *fragmentation* span, closed when the
+  reassembled datagram is delivered.
+
+Parent/child links therefore mirror the encapsulation stack, which is
+exactly the structure the paper's byte-overhead arguments (§3.3) are
+about: the cost of a mode is the extra spans its packets travel inside.
+
+The recorder attaches by wrapping :meth:`TraceLog.note` — the same
+instance-rebinding trick the trace log itself uses for its disabled
+level — so a simulator with spans off pays nothing, not even a flag
+check.
+
+Spans export as Chrome ``trace_event`` JSON (load the file at
+``chrome://tracing`` or https://ui.perfetto.dev) and summarize into
+per-mode latency/overhead histograms.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any, Dict, List, Optional
+
+from ..netsim.packet import IPProto, Packet
+from ..netsim.trace import TraceLog
+from .metrics import LATENCY_BUCKETS, SIZE_BUCKETS, Histogram
+
+__all__ = ["Span", "SpanRecorder"]
+
+_TUNNEL_PROTOS = frozenset((IPProto.IPIP, IPProto.GRE, IPProto.MINENC))
+
+
+class Span:
+    """One interval in a datagram's life, with a parent link."""
+
+    __slots__ = ("span_id", "parent_id", "trace_id", "name", "cat",
+                 "node", "start", "end", "args")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        trace_id: int,
+        name: str,
+        cat: str,
+        node: str,
+        start: float,
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.name = name
+        self.cat = cat
+        self.node = node
+        self.start = start
+        self.end: Optional[float] = None
+        self.args: Dict[str, Any] = {}
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span(#{self.span_id} {self.name} trace={self.trace_id} "
+                f"[{self.start}..{self.end}])")
+
+
+class SpanRecorder:
+    """Builds span trees from the trace-event stream of one run."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self.spans: List[Span] = []
+        self._stacks: Dict[int, List[Span]] = {}
+        self._finished: set = set()
+        self._trace: Optional[TraceLog] = None
+        self._wrapped_note = None
+        self._note_was_instance = False
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, trace: TraceLog) -> None:
+        """Wrap ``trace.note`` so every event also feeds the recorder.
+
+        Composes with every :class:`TraceLog` level, including the
+        fully-disabled one (whose no-op ``note`` is simply called and
+        does nothing before the recorder sees the event).
+        """
+        if self._trace is not None:
+            raise RuntimeError("span recorder is already attached")
+        self._trace = trace
+        # The disabled trace level stores its no-op note in the instance
+        # dict; remember which case we wrapped so detach can restore it.
+        self._note_was_instance = "note" in trace.__dict__
+        original = trace.note
+        self._wrapped_note = original
+        on_event = self.on_event
+
+        def note_with_spans(time, node, action, packet, detail=""):
+            original(time, node, action, packet, detail)
+            on_event(time, node, action, packet, detail)
+
+        trace.note = note_with_spans  # type: ignore[method-assign]
+
+    def detach(self) -> None:
+        if self._trace is None:
+            return
+        if self._note_was_instance:
+            self._trace.note = self._wrapped_note  # type: ignore[method-assign]
+        else:
+            del self._trace.note  # fall back to the class method
+        self._trace = None
+        self._wrapped_note = None
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def on_event(
+        self, time: float, node: str, action: str, packet: Packet, detail: str = ""
+    ) -> None:
+        trace_id = packet.trace_id
+        if trace_id in self._finished:
+            return
+        stack = self._stacks.get(trace_id)
+        if stack is None:
+            root = self._open(None, trace_id, f"datagram-{trace_id}",
+                              "packet", node, time)
+            root.args["src"] = str(packet.src)
+            root.args["dst"] = str(packet.dst)
+            root.args["base_bytes"] = packet.wire_size
+            root.args["max_bytes"] = packet.wire_size
+            stack = self._stacks[trace_id] = [root]
+            if action == "send":
+                return
+        root = stack[0]
+        wire_size = packet.wire_size
+        if wire_size > root.args["max_bytes"]:
+            root.args["max_bytes"] = wire_size
+
+        if action == "mode-select":
+            root.args["mode"] = detail
+        elif action == "encapsulate":
+            span = self._open(stack[-1].span_id, trace_id, "tunnel",
+                              "encap", node, time)
+            span.args["detail"] = detail
+            stack.append(span)
+        elif action == "decapsulate":
+            for index in range(len(stack) - 1, 0, -1):
+                if stack[index].name == "tunnel":
+                    self._close(stack.pop(index), time, node)
+                    break
+        elif action == "fragment":
+            span = self._open(stack[-1].span_id, trace_id, "fragmentation",
+                              "frag", node, time)
+            span.args["detail"] = detail
+            stack.append(span)
+            root.args["fragmented"] = True
+        elif action == "forward":
+            root.args["hops"] = root.args.get("hops", 0) + 1
+        elif action == "send":
+            root.args["resends"] = root.args.get("resends", 0) + 1
+        elif action == "deliver":
+            if stack[-1].name == "fragmentation":
+                # Reassembly completed at the delivering node.
+                self._close(stack.pop(), time, node)
+            if packet.proto in _TUNNEL_PROTOS:
+                return  # outer delivery; the tunnel span closes at decapsulate
+            root.args["delivered"] = True
+            while stack:
+                self._close(stack.pop(), time, node)
+            del self._stacks[trace_id]
+            self._finished.add(trace_id)
+        elif action == "drop":
+            root.args["dropped"] = detail or "unknown"
+            while stack:
+                self._close(stack.pop(), time, node)
+            del self._stacks[trace_id]
+            self._finished.add(trace_id)
+
+    def finish(self, now: float) -> None:
+        """Close every still-open span (end of run, datagram in flight)."""
+        for trace_id, stack in list(self._stacks.items()):
+            stack[0].args["incomplete"] = True
+            while stack:
+                span = stack.pop()
+                self._close(span, now, span.node)
+            del self._stacks[trace_id]
+            self._finished.add(trace_id)
+
+    def _open(
+        self,
+        parent_id: Optional[int],
+        trace_id: int,
+        name: str,
+        cat: str,
+        node: str,
+        time: float,
+    ) -> Span:
+        span = Span(next(self._ids), parent_id, trace_id, name, cat, node, time)
+        self.spans.append(span)
+        return span
+
+    def _close(self, span: Span, time: float, node: str) -> None:
+        span.end = time
+        span.args.setdefault("end_node", node)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def open_count(self) -> int:
+        return sum(len(stack) for stack in self._stacks.values())
+
+    def roots(self) -> List[Span]:
+        return [span for span in self.spans if span.parent_id is None]
+
+    def tree(self, trace_id: int) -> List[Span]:
+        return [span for span in self.spans if span.trace_id == trace_id]
+
+    # ------------------------------------------------------------------
+    # Chrome trace_event export
+    # ------------------------------------------------------------------
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The span set as a ``chrome://tracing``-loadable object.
+
+        Every span becomes a complete ("ph": "X") event; timestamps are
+        microseconds of simulation time; the datagram's trace id is the
+        thread id so one datagram's spans share a row; parent links ride
+        in ``args`` (span_id/parent_id).
+        """
+        events: List[Dict[str, Any]] = [{
+            "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+            "args": {"name": "repro-mobility simulation"},
+        }]
+        for span in self.spans:
+            end = span.end if span.end is not None else span.start
+            events.append({
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": (end - span.start) * 1e6,
+                "pid": 1,
+                "tid": span.trace_id,
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "node": span.node,
+                    **span.args,
+                },
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome_trace(self, path) -> int:
+        """Write the Chrome trace JSON; returns the event count."""
+        trace = self.chrome_trace()
+        with open(path, "w") as handle:
+            json.dump(trace, handle)
+            handle.write("\n")
+        return len(trace["traceEvents"])
+
+    # ------------------------------------------------------------------
+    # Per-mode summaries
+    # ------------------------------------------------------------------
+    def summarize(self) -> Dict[str, Any]:
+        """Per-mode latency/overhead histograms over the root spans.
+
+        The mode is the engine's ``mode-select`` choice for outgoing
+        datagrams; datagrams that never passed the mobility override
+        (conventional senders, control traffic) group under
+        ``"conventional"``.
+        """
+        per_mode: Dict[str, Dict[str, Any]] = {}
+        for span in self.spans:
+            if span.parent_id is not None:
+                continue
+            mode = span.args.get("mode", "conventional")
+            bucket = per_mode.get(mode)
+            if bucket is None:
+                bucket = per_mode[mode] = {
+                    "count": 0, "delivered": 0, "dropped": 0, "fragmented": 0,
+                    "latency": Histogram("span.latency", {"mode": mode},
+                                         LATENCY_BUCKETS),
+                    "overhead_bytes": Histogram("span.overhead", {"mode": mode},
+                                                SIZE_BUCKETS),
+                }
+            bucket["count"] += 1
+            if span.args.get("fragmented"):
+                bucket["fragmented"] += 1
+            if span.args.get("dropped"):
+                bucket["dropped"] += 1
+            elif span.args.get("delivered"):
+                bucket["delivered"] += 1
+                if span.end is not None:
+                    bucket["latency"].observe(span.end - span.start)
+            bucket["overhead_bytes"].observe(
+                span.args["max_bytes"] - span.args["base_bytes"]
+            )
+        return {
+            mode: {
+                "count": data["count"],
+                "delivered": data["delivered"],
+                "dropped": data["dropped"],
+                "fragmented": data["fragmented"],
+                "latency": data["latency"].snapshot(),
+                "overhead_bytes": data["overhead_bytes"].snapshot(),
+            }
+            for mode, data in sorted(per_mode.items())
+        }

@@ -5,7 +5,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.analysis import (
-    MH_HOME_ADDRESS,
     TextTable,
     build_scenario,
     delivery_ratio,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import RandomWaypoint, Tour, build_scenario
-from repro.analysis.scenarios import MH_HOME_ADDRESS
 from repro.apps import TelnetServer, TelnetSession
 from repro.mobileip import Awareness
 

@@ -11,7 +11,6 @@ from repro.apps import (
     NFSClient,
     NFSServer,
 )
-from repro.mobileip import Awareness
 from repro.netsim import IPAddress, Node
 
 

@@ -1,9 +1,7 @@
 """Tests for the MobilityEngine (the two §7.1 decisions, glued)."""
 
-import pytest
 
 from repro.core.decision import MobilityEngine
-from repro.core.heuristics import AddressChoice
 from repro.core.modes import OutMode
 from repro.core.policy import Disposition, MobilityPolicyTable
 from repro.core.selection import ProbeStrategy

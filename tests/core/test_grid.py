@@ -1,6 +1,5 @@
 """Tests that the grid object is exactly Figure 10."""
 
-import pytest
 
 from repro.core.grid import GRID, CellClass, FourByFourGrid, Requirement
 from repro.core.modes import InMode, OutMode

@@ -1,6 +1,5 @@
 """Tests for the mobility policy table and the delivery-method cache."""
 
-import pytest
 
 from repro.core.modes import OutMode
 from repro.core.policy import Disposition, MobilityPolicyTable

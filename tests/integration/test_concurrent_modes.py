@@ -16,7 +16,6 @@ period it may be possible to lose packets, but higher-level Internet
 protocols are already responsible for ... reliable packet delivery").
 """
 
-import pytest
 
 from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
 from repro.apps import HTTPClient, HTTPServer, TelnetServer, TelnetSession

@@ -1,7 +1,6 @@
 """Integration tests: §2 connection durability across movement, §7.1.2
 probe strategies, and both-hosts-mobile operation (§1)."""
 
-import pytest
 
 from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
 from repro.apps import TelnetServer, TelnetSession

@@ -4,12 +4,10 @@
 tests/core/test_modes.py; Figure 10 by test_grid_matrix.py.)
 """
 
-import pytest
 
 from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
 from repro.core import ProbeStrategy
 from repro.mobileip import Awareness
-from repro.netsim import IPAddress
 
 
 def udp_roundtrip(scenario, data="ping", port=7000, src_override=None):

@@ -17,7 +17,7 @@ valid-but-unlikely cells converse; the six dark cells do not.
 import pytest
 
 from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
-from repro.core.grid import GRID, CellClass
+from repro.core.grid import GRID
 from repro.core.modes import AddressPlan, InMode, OutMode, build_outgoing
 from repro.mobileip import Awareness
 from repro.netsim.packet import IPProto

@@ -8,7 +8,6 @@ from repro.core import ProbeStrategy
 from repro.mobileip import Awareness, HomeAgent, MobileHost
 from repro.netsim import Internet, IPAddress, Node, Simulator
 from repro.netsim.filters import firewall_allow_only
-from repro.netsim.packet import IPProto
 from repro.transport import TransportStack
 
 

@@ -1,6 +1,5 @@
 """Tests for foreign-agent discovery by the mobile host."""
 
-import pytest
 
 from repro.analysis.scenarios import build_scenario
 from repro.mobileip import AgentAdvertisement

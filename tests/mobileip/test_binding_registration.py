@@ -1,6 +1,5 @@
 """Tests for binding tables and registration message semantics."""
 
-import pytest
 
 from repro.mobileip.binding import Binding, BindingTable
 from repro.mobileip.registration import (

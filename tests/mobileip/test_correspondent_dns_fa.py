@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
-from repro.mobileip import Awareness, DNSAnswer, DNSQuery, Resolver
+from repro.mobileip import Awareness, Resolver
 from repro.netsim import IPAddress
 from repro.netsim.packet import IPProto
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
 from repro.mobileip import Awareness, DNSUpdate, DNSUpdateAck, Resolver
-from repro.netsim import IPAddress
 
 
 @pytest.fixture

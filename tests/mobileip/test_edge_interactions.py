@@ -1,6 +1,5 @@
 """Edge interactions between subsystems that no single-module test hits."""
 
-import pytest
 
 from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
 from repro.core import OutMode, ProbeStrategy

@@ -7,11 +7,10 @@ from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
 from repro.mobileip import (
     MOBILE_IP_PORT,
     HomeAgent,
-    RegistrationReply,
     RegistrationRequest,
     ReplyCode,
 )
-from repro.netsim import Internet, IPAddress, Network, Node, Packet, Simulator
+from repro.netsim import Internet, IPAddress, Node, Packet, Simulator
 from repro.netsim.encap import encapsulate
 from repro.netsim.packet import IPProto
 from repro.transport import TransportStack

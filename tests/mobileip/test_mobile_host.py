@@ -1,14 +1,11 @@
 """Tests for the mobile host: movement, registration, route override,
 mode mechanics, and receive paths."""
 
-import pytest
 
 from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
-from repro.core import OutMode, ProbeStrategy
-from repro.core.policy import Disposition, MobilityPolicyTable
+from repro.core import ProbeStrategy
+from repro.core.policy import MobilityPolicyTable
 from repro.mobileip import Awareness
-from repro.netsim import IPAddress
-from repro.netsim.packet import IPProto
 
 
 class TestMovement:

@@ -1,6 +1,5 @@
 """Tests for the §3.1 filtering policies."""
 
-import pytest
 
 from repro.netsim.addressing import IPAddress, Network
 from repro.netsim.filters import (

@@ -3,10 +3,9 @@
 import pytest
 
 from repro.netsim.addressing import IPAddress, Network
-from repro.netsim.link import BROADCAST_LINK_ADDR, Frame, Segment
+from repro.netsim.link import Segment
 from repro.netsim.node import Node
 from repro.netsim.packet import IPProto, Packet
-from repro.netsim.simulator import Simulator
 
 
 def udp_packet(src, dst, size=100):

@@ -10,11 +10,10 @@ from repro.netsim import (
     Node,
     Packet,
     PhysicalRoute,
-    Router,
     Simulator,
     VirtualRoute,
 )
-from repro.netsim.icmp import EchoData, IcmpMessage, IcmpType
+from repro.netsim.icmp import IcmpType
 from repro.netsim.packet import IPProto
 
 

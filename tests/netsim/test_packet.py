@@ -1,6 +1,5 @@
 """Tests for the IP packet model and its size accounting."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

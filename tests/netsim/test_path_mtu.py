@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netsim import Internet, IPAddress, Node, Simulator
+from repro.netsim import Internet, Node, Simulator
 from repro.netsim.icmp import IcmpType, UnreachableCode, UnreachableData
 from repro.netsim.packet import IPProto, Packet
 

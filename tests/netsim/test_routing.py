@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.netsim.addressing import IPAddress, Network
-from repro.netsim.routing import Route, RoutingError, RoutingTable
+from repro.netsim.routing import RoutingError, RoutingTable
 
 
 class TestLookup:

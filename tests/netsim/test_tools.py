@@ -6,7 +6,6 @@ from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
 from repro.mobileip import Awareness
 from repro.netsim import (
     Internet,
-    IPAddress,
     Node,
     Simulator,
     render_topology,

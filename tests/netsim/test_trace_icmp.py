@@ -1,6 +1,5 @@
 """Tests for the trace log and ICMP message construction rules."""
 
-import pytest
 
 from repro.netsim.addressing import IPAddress
 from repro.netsim.icmp import (

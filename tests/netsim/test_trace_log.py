@@ -1,0 +1,99 @@
+"""Tests for TraceLog's per-datagram index and JSONL round-tripping."""
+
+from repro.netsim.addressing import IPAddress
+from repro.netsim.packet import IPProto, Packet
+from repro.netsim.trace import TraceLog
+
+
+def _packet(payload_size=100):
+    return Packet(
+        src=IPAddress("10.3.0.10"),
+        dst=IPAddress("10.1.0.10"),
+        proto=IPProto.UDP,
+        payload_size=payload_size,
+    )
+
+
+def _interleaved_log(datagrams=5, hops=4):
+    """Several datagrams noted hop-by-hop in interleaved order."""
+    log = TraceLog()
+    packets = [_packet() for _ in range(datagrams)]
+    for hop in range(hops):
+        for index, packet in enumerate(packets):
+            action = ("send" if hop == 0
+                      else "deliver" if hop == hops - 1 and index % 2 == 0
+                      else "drop" if hop == hops - 1
+                      else "forward")
+            detail = "ttl" if action == "drop" else ""
+            log.note(float(hop), f"n{hop}", action, packet, detail)
+    return log, packets
+
+
+class TestEntriesIndex:
+    def test_entries_for_matches_linear_scan(self):
+        log, packets = _interleaved_log()
+        for packet in packets:
+            indexed = log.entries_for(packet.trace_id)
+            scanned = [e for e in log.entries if e.trace_id == packet.trace_id]
+            assert indexed == scanned
+            assert len(indexed) == 4
+
+    def test_entries_for_unknown_id_is_empty(self):
+        log, _ = _interleaved_log()
+        assert log.entries_for(999_999_999) == []
+
+    def test_delivered_dropped_queries(self):
+        log, packets = _interleaved_log()
+        assert log.delivered(packets[0].trace_id)
+        assert not log.delivered(packets[1].trace_id)
+        assert log.dropped(packets[1].trace_id)
+        assert log.drop_detail(packets[1].trace_id) == "ttl"
+        assert log.drop_detail(packets[0].trace_id) is None
+
+    def test_disabled_entries_keep_queries_empty(self):
+        log = TraceLog(enabled=False)
+        packet = _packet()
+        log.note(0.0, "a", "send", packet)
+        log.note(1.0, "b", "deliver", packet)
+        assert log.entries == []
+        assert log.entries_for(packet.trace_id) == []
+        assert log.total_deliveries == 1  # aggregates still counted
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_rebuilds_everything(self, tmp_path):
+        log, packets = _interleaved_log()
+        path = tmp_path / "trace.jsonl"
+        written = log.export_jsonl(path)
+        assert written == len(log.entries) == 20
+
+        imported = TraceLog.import_jsonl(path)
+        assert imported.entries == log.entries
+        assert imported.action_counts == log.action_counts
+        assert imported.drops_by_reason == log.drops_by_reason
+        for packet in packets:
+            assert (imported.entries_for(packet.trace_id)
+                    == log.entries_for(packet.trace_id))
+            assert imported.delivered(packet.trace_id) == \
+                log.delivered(packet.trace_id)
+        assert imported.summary() == log.summary()
+
+    def test_buffered_export_flushes_all_chunk_sizes(self, tmp_path):
+        log, _ = _interleaved_log(datagrams=7, hops=3)
+        for chunk in (1, 2, 1000):
+            path = tmp_path / f"chunk{chunk}.jsonl"
+            log.export_jsonl(path, chunk_lines=chunk)
+            assert len(path.read_text().splitlines()) == len(log.entries)
+            assert TraceLog.import_jsonl(path).entries == log.entries
+
+    def test_import_skips_blank_lines(self, tmp_path):
+        log, _ = _interleaved_log(datagrams=2, hops=2)
+        path = tmp_path / "trace.jsonl"
+        log.export_jsonl(path)
+        path.write_text(path.read_text() + "\n\n")
+        assert TraceLog.import_jsonl(path).entries == log.entries
+
+    def test_export_empty_log(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert TraceLog().export_jsonl(path) == 0
+        assert TraceLog.import_jsonl(path).entries == []

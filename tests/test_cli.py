@@ -31,11 +31,47 @@ class TestCli:
         assert "backbone:" in out
         assert "registered=True" in out
 
+    def test_grid_live_counts_mismatches(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "_run_cell", lambda *a, **k: False)
+        assert main(["grid", "--live"]) == 1
+        out = capsys.readouterr().out
+        # Figure 10 has 10 working cells; claiming every cell is dead
+        # must mismatch exactly those 10 and report them.
+        assert "10 mismatches!" in out
+        assert out.count("MISMATCH") == 10
+        assert "all cells agree" not in out
+
+    def test_grid_live_runs_sixteen_cells(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        calls = []
+
+        def fake_cell(in_mode, out_mode, args):
+            calls.append((in_mode, out_mode))
+            return cli.GRID.cell(in_mode, out_mode).works_with_tcp
+
+        monkeypatch.setattr(cli, "_run_cell", fake_cell)
+        assert main(["grid", "--live"]) == 0
+        assert len(calls) == 16
+        assert len(set(calls)) == 16
+
     def test_trace(self, capsys):
         assert main(["trace"]) == 0
         out = capsys.readouterr().out
         assert out.count("reached") == 2
         assert "home-address path bends" in out
+
+    def test_trace_prints_hop_lists(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        home_section = out.split("--- to the care-of address ---")[0]
+        # The home-address path bends through the home domain...
+        for hop in ("chdom-gw", "home-gw", "(mh)"):
+            assert hop in home_section
+        # ...and hops are numbered in order.
+        assert home_section.index(" 1 ") < home_section.index("(mh)")
 
     def test_durability(self, capsys):
         assert main(["durability"]) == 0
@@ -80,6 +116,61 @@ class TestPolicySubcommand:
         config = tmp_path / "policy.conf"
         config.write_text("default optimistic\n")
         assert main(["policy", str(config), "not-an-ip"]) == 1
+
+
+class TestObsSubcommand:
+    def test_obs_prints_summaries(self, capsys):
+        assert main(["obs", "--datagrams", "10", "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "per-mode datagram summary:" in out
+        assert "conventional" in out
+        assert "delivered=10" in out
+        assert "latency mean=" in out
+        assert "engine:" in out
+        assert "peak_pending=" in out
+
+    def test_obs_chrome_trace_export(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["obs", "--datagrams", "5", "--duration", "1",
+                     "--chrome-trace", str(path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        with open(path) as handle:
+            trace = json.load(handle)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) >= 5
+
+    def test_obs_out_writes_report(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "report.json"
+        assert main(["--obs-out", str(path), "obs",
+                     "--datagrams", "5", "--duration", "1"]) == 0
+        assert f"observability report written to {path}" in \
+            capsys.readouterr().out
+        with open(path) as handle:
+            report = json.load(handle)
+        assert report["spans"]["count"] >= 5
+        assert "node.packets_sent" in report["metrics"]
+        assert report["engine"]["summary"]["samples"] >= 1
+
+    def test_obs_out_on_topology(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "report.json"
+        assert main(["--obs-out", str(path), "topology"]) == 0
+        with open(path) as handle:
+            report = json.load(handle)
+        # Registration traffic happened before obs attached; the
+        # registry still reports it because metrics are pull-based.
+        sent = {row["labels"]["node"]: row["value"]
+                for row in report["metrics"]["node.packets_sent"]}
+        assert sent["mh"] >= 1
+
+    def test_no_obs_out_no_report(self, tmp_path, capsys):
+        assert main(["topology"]) == 0
+        assert "observability report" not in capsys.readouterr().out
 
 
 class TestModuleEntryPoint:

@@ -6,7 +6,7 @@ from repro.core import GRID, CellClass, InMode
 from repro.analysis import TextTable
 from repro.analysis.scenarios import MH_HOME_ADDRESS, build_scenario
 from repro.mobileip import Awareness
-from repro.netsim import IPAddress, Network, Node, Simulator
+from repro.netsim import IPAddress, Network, Node
 
 
 class TestAddressingHelpers:

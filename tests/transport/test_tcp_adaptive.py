@@ -1,8 +1,7 @@
 """Tests for the adaptive RTO estimator and fast retransmit."""
 
-import pytest
 
-from repro.netsim import Internet, IPAddress, Node, Simulator
+from repro.netsim import Internet, Node, Simulator
 from repro.transport import TransportStack
 from repro.transport.tcp import MAX_RTO, MIN_RTO
 

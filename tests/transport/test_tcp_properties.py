@@ -8,7 +8,7 @@ about "connections" quietly assumes.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.netsim import Internet, IPAddress, Network, Node, Simulator
+from repro.netsim import Internet, Node, Simulator
 from repro.transport import TransportStack
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netsim import IPAddress, Node
+from repro.netsim import IPAddress
 from repro.netsim.packet import IPProto
 from repro.transport import TransportStack, UDPDatagram
 from repro.transport.udp import UDP_HEADER_SIZE
