@@ -1,0 +1,229 @@
+"""Chaos scenarios: the canonical stage under a scripted hostile network.
+
+The recovery machinery of §7.1.2 — probe ladder, retransmission
+feedback, registration retries — was designed for networks that fail.
+This module runs the standard figure stage (:func:`build_chaos_stage`)
+under a :class:`~repro.netsim.faults.FaultPlan` while a long-lived TCP
+conversation between the mobile host and the correspondent keeps the
+delivery-mode machinery honest: blackouts demote it down the ladder, a
+home-agent crash forces registration backoff, and recovery lets the
+failed-mode aging re-probe back up.
+
+Everything is seed-deterministic: the fault plan schedules ordinary
+engine events, so the same plan + seed reproduces the trace digest
+byte-for-byte (:func:`repro.bench.golden.trace_digest`) — the property
+the chaos determinism tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..bench.golden import trace_digest
+from ..core.selection import ProbeStrategy
+from ..mobileip.correspondent import Awareness
+from ..netsim.faults import FaultInjector, FaultKind, FaultPlan
+from .scenarios import Scenario, build_scenario
+
+__all__ = ["CHAOS_PORT", "ChaosReport", "build_chaos_stage", "demo_plan", "run_chaos"]
+
+CHAOS_PORT = 6100
+
+
+def build_chaos_stage(
+    seed: int = 4242,
+    strategy: ProbeStrategy = ProbeStrategy.CONSERVATIVE_FIRST,
+    **overrides: Any,
+) -> Scenario:
+    """The standard stage, tuned so the whole mode ladder is reachable.
+
+    The visited domain is permissive (no egress source filtering) and
+    the correspondent can decapsulate, so a conservative-first mobile
+    host genuinely climbs Out-IE → Out-DE → Out-DH when the network is
+    healthy — giving faults something to knock down.
+    """
+    defaults: Dict[str, Any] = dict(
+        seed=seed,
+        strategy=strategy,
+        ch_awareness=Awareness.DECAP_CAPABLE,
+        visited_filtering=False,
+    )
+    defaults.update(overrides)
+    return build_scenario(**defaults)
+
+
+def demo_plan() -> FaultPlan:
+    """A default chaos script over the canonical stage's names.
+
+    A loss blackout on the visited LAN (demotes the ladder), a
+    home-agent crash and later restart with its binding table flushed
+    (forces registration backoff + re-registration), a boundary-router
+    filter toggle (kills Out-DH mid-run, then relents), and an uplink
+    flap.  Times leave room between acts for the recovery machinery to
+    visibly climb back.
+    """
+    plan = FaultPlan()
+    plan.add(20.0, FaultKind.LOSS_BURST, "visited-lan",
+             duration=8.0, loss_rate=1.0)
+    plan.add(60.0, FaultKind.NODE_DOWN, "ha")
+    plan.add(100.0, FaultKind.AGENT_RESTART, "ha", flush_bindings=True)
+    plan.add(150.0, FaultKind.FILTER_TOGGLE, "visited-gw",
+             source_filtering=True, forbid_transit=True)
+    plan.add(185.0, FaultKind.FILTER_TOGGLE, "visited-gw",
+             source_filtering=False, forbid_transit=False)
+    plan.add(220.0, FaultKind.LINK_FLAP, "uplink-visited", duration=5.0)
+    return plan
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos run did and how the recovery machinery fared."""
+
+    seed: int
+    duration: float
+    digest: str
+    trace_entries: int
+    faults: Dict[str, int] = field(default_factory=dict)
+    messages_sent: int = 0
+    echoes: int = 0
+    reconnects: int = 0
+    registration_attempts: int = 0
+    registration_failures: int = 0
+    registered: bool = False
+    ha_restarts: int = 0
+    ha_bindings: int = 0
+    mode_changes: int = 0
+    final_mode: Optional[str] = None
+    forgiveness: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "duration": self.duration,
+            "digest": self.digest,
+            "trace_entries": self.trace_entries,
+            "faults": dict(self.faults),
+            "messages_sent": self.messages_sent,
+            "echoes": self.echoes,
+            "reconnects": self.reconnects,
+            "registration_attempts": self.registration_attempts,
+            "registration_failures": self.registration_failures,
+            "registered": self.registered,
+            "ha_restarts": self.ha_restarts,
+            "ha_bindings": self.ha_bindings,
+            "mode_changes": self.mode_changes,
+            "final_mode": self.final_mode,
+            "forgiveness": self.forgiveness,
+        }
+
+    def render(self) -> str:
+        faults = ", ".join(
+            f"{kind} x{count}" for kind, count in sorted(self.faults.items())
+        ) or "none"
+        lines = [
+            f"chaos run: seed={self.seed} duration={self.duration:.0f}s "
+            f"trace={self.trace_entries} entries digest={self.digest[:16]}…",
+            f"  faults applied      {faults}",
+            f"  conversation        {self.echoes}/{self.messages_sent} echoed, "
+            f"{self.reconnects} reconnects",
+            f"  registration        {self.registration_attempts} attempts, "
+            f"{self.registration_failures} give-ups, "
+            f"registered={self.registered}",
+            f"  home agent          {self.ha_restarts} restarts, "
+            f"{self.ha_bindings} bindings at end",
+            f"  delivery modes      {self.mode_changes} changes, "
+            f"final={self.final_mode or '-'}, "
+            f"forgiveness={self.forgiveness}",
+        ]
+        return "\n".join(lines)
+
+
+def run_chaos(
+    plan: Optional[FaultPlan] = None,
+    seed: int = 4242,
+    duration: float = 260.0,
+    message_interval: float = 2.0,
+    strategy: ProbeStrategy = ProbeStrategy.CONSERVATIVE_FIRST,
+    reg_lifetime: Optional[float] = None,
+    **overrides: Any,
+) -> ChaosReport:
+    """Run one chaos scenario end to end and report.
+
+    A paced TCP conversation (one message per ``message_interval``)
+    runs from the mobile host to the correspondent for the whole
+    ``duration``; when a fault kills the connection outright the host
+    reconnects on the next tick.  ``plan`` defaults to
+    :func:`demo_plan`; pass ``duration`` long enough for the plan's
+    last act plus recovery.  ``reg_lifetime`` shortens the registration
+    lifetime (and immediately renews at the new value), tightening the
+    refresh cadence so a scripted home-agent outage lands on a live
+    refresh instead of slipping between 300-second ones.
+    """
+    scenario = build_chaos_stage(seed=seed, strategy=strategy, **overrides)
+    assert scenario.ch is not None and scenario.ch_ip is not None
+    sim = scenario.sim
+    if reg_lifetime is not None:
+        scenario.mh.reg_lifetime = reg_lifetime
+        if scenario.mh.registered:
+            scenario.mh.register_with_home_agent(reg_lifetime)
+    if plan is None:
+        plan = demo_plan()
+    injector = FaultInjector(sim, net=scenario.net)
+    injector.inject(plan)
+
+    scenario.ch.stack.listen(
+        CHAOS_PORT,
+        lambda conn: setattr(
+            conn, "on_data", lambda d, s: conn.send(20, ("ack", d))
+        ),
+    )
+    state = {"conn": None, "sent": 0, "echoes": 0, "reconnects": 0}
+
+    def fresh_conn():
+        conn = scenario.mh.stack.connect(scenario.ch_ip, CHAOS_PORT)
+        conn.on_data = lambda d, s: state.__setitem__(
+            "echoes", state["echoes"] + 1
+        )
+        state["conn"] = conn
+        return conn
+
+    def tick() -> None:
+        if sim.now >= duration:
+            return
+        conn = state["conn"]
+        if conn is None or not (
+            conn.is_open or conn.state.value == "SYN_SENT"
+        ):
+            if conn is not None:
+                state["reconnects"] += 1
+            fresh_conn()
+        elif conn.is_open:
+            state["sent"] += 1
+            conn.send(50, state["sent"])
+        sim.events.schedule(message_interval, tick)
+
+    fresh_conn()
+    sim.events.schedule(message_interval, tick)
+    sim.run(until=duration)
+
+    digest, entries = trace_digest(sim.trace)
+    record = scenario.mh.engine.cache.records.get(scenario.ch_ip)
+    return ChaosReport(
+        seed=seed,
+        duration=duration,
+        digest=digest,
+        trace_entries=entries,
+        faults=dict(injector.applied),
+        messages_sent=state["sent"],
+        echoes=state["echoes"],
+        reconnects=state["reconnects"],
+        registration_attempts=scenario.mh.registration_attempts,
+        registration_failures=scenario.mh.registration_failures,
+        registered=scenario.mh.registered,
+        ha_restarts=scenario.ha.restarts,
+        ha_bindings=len(scenario.ha.bindings),
+        mode_changes=scenario.mh.engine.cache.total_mode_changes(),
+        final_mode=record.current.value if record else None,
+        forgiveness=record.forgiveness if record else 0,
+    )

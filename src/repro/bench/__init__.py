@@ -36,6 +36,7 @@ __all__ = [
     "run_scenario_build",
     "run_scenario_traffic",
     "run_obs_overhead",
+    "run_chaos_recovery",
     "run_packet_sizing",
     "run_address_churn",
     "run_suite",
@@ -161,6 +162,22 @@ def run_obs_overhead(datagrams: int = 200, seed: int = 1401) -> Tuple[int, str]:
     return datagrams, "packets"
 
 
+def run_chaos_recovery(duration: float = 260.0, seed: int = 4242) -> Tuple[int, str]:
+    """The default chaos scenario: faults injected, recovery measured.
+
+    Exercises the fault-injection subsystem plus every recovery path it
+    pokes (registration backoff, failed-mode aging, binding flush) in
+    one deterministic run.  The unit is processed engine events, since
+    a chaos run's cost is dominated by the event machinery under churn.
+    """
+    from repro.analysis.chaos import run_chaos
+
+    report = run_chaos(seed=seed, duration=duration)
+    assert report.faults, "fault plan applied no events"
+    assert report.registered, "mobile host failed to recover registration"
+    return report.trace_entries, "trace entries"
+
+
 def run_packet_sizing(n: int = 30_000) -> Tuple[int, str]:
     """Repeated ``wire_size`` over a 2-deep encapsulation stack.
 
@@ -213,6 +230,7 @@ WORKLOADS: Dict[str, Callable[..., Tuple[int, str]]] = {
     "scenario_build": run_scenario_build,
     "scenario_traffic": run_scenario_traffic,
     "obs_overhead": run_obs_overhead,
+    "chaos_recovery": run_chaos_recovery,
     "packet_sizing": run_packet_sizing,
     "address_churn": run_address_churn,
 }
@@ -223,6 +241,7 @@ _QUICK_ARGS: Dict[str, Dict[str, int]] = {
     "event_cancel_churn": {"n": 4_000},
     "scenario_traffic": {"datagrams": 50},
     "obs_overhead": {"datagrams": 50},
+    "chaos_recovery": {"duration": 130.0},
     "packet_sizing": {"n": 4_000},
     "address_churn": {"n": 4_000},
 }

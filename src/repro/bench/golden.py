@@ -16,12 +16,34 @@ the *semantics* of the simulation change deliberately.
 from __future__ import annotations
 
 import hashlib
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
 
-__all__ = ["golden_trace_digest", "GOLDEN_SEED", "GOLDEN_DATAGRAMS"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.trace import TraceLog
+
+__all__ = ["trace_digest", "golden_trace_digest", "GOLDEN_SEED", "GOLDEN_DATAGRAMS"]
 
 GOLDEN_SEED = 1401
 GOLDEN_DATAGRAMS = 200
+
+
+def trace_digest(trace: "TraceLog") -> Tuple[str, int]:
+    """Digest a trace log: (sha256 hex, entry count).
+
+    Every ``TraceLog.note`` call contributes one normalized line.
+    Timestamps use exact float ``repr`` so even a single ULP of drift
+    in event scheduling arithmetic changes the digest.  Normalization
+    excludes only the process-global packet/trace id counters.  The
+    chaos determinism tests reuse this over fault-injected runs: same
+    plan + same seed must reproduce the digest exactly.
+    """
+    digest = hashlib.sha256()
+    for entry in trace.entries:
+        digest.update(
+            f"{entry.time!r}|{entry.node}|{entry.action}|{entry.src}|"
+            f"{entry.dst}|{entry.wire_size}|{entry.detail}\n".encode()
+        )
+    return digest.hexdigest(), len(trace.entries)
 
 
 def golden_trace_digest(
@@ -47,11 +69,4 @@ def golden_trace_digest(
             lambda: ch_sock.sendto("x", 100, MH_HOME_ADDRESS, 7000),
         )
     scenario.sim.run_for(30)
-
-    digest = hashlib.sha256()
-    for entry in scenario.sim.trace.entries:
-        digest.update(
-            f"{entry.time!r}|{entry.node}|{entry.action}|{entry.src}|"
-            f"{entry.dst}|{entry.wire_size}|{entry.detail}\n".encode()
-        )
-    return digest.hexdigest(), len(scenario.sim.trace.entries)
+    return trace_digest(scenario.sim.trace)

@@ -17,6 +17,9 @@ Subcommands:
 * ``obs``         — run the canonical traffic workload with full
   observability on and print the per-mode span and engine summaries
   (optionally exporting a Chrome ``trace_event`` file).
+* ``chaos``       — run the stage under a fault-injection script
+  (``--fault-script faults.json``, or the built-in demo plan) and
+  report how the recovery machinery fared.
 
 The global ``--obs-out report.json`` flag enables the observability
 layer (metrics registry snapshot, packet-lifecycle spans, engine
@@ -254,6 +257,43 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a fault-injection scenario and print the recovery report."""
+    import json
+
+    from .analysis.chaos import demo_plan, run_chaos
+    from .netsim.faults import FaultError, FaultPlan
+
+    if args.fault_script:
+        try:
+            plan = FaultPlan.from_file(args.fault_script)
+        except (OSError, FaultError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    else:
+        plan = demo_plan()
+    if args.show_plan:
+        print(plan.to_json())
+        return 0
+    try:
+        report = run_chaos(
+            plan=plan,
+            seed=args.seed,
+            duration=args.duration,
+            message_interval=args.interval,
+        )
+    except FaultError as exc:
+        # A plan naming a segment/node the stage does not have.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"chaos report written to {args.json_out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mobility",
@@ -302,6 +342,20 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--chrome-trace", metavar="PATH", default=None,
                      help="also export a Chrome trace_event JSON file")
     obs.set_defaults(func=_cmd_obs)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a fault-injection scenario and report recovery")
+    chaos.add_argument("--fault-script", metavar="PATH", default=None,
+                       help="JSON FaultPlan (default: the built-in demo plan)")
+    chaos.add_argument("--duration", type=float, default=260.0,
+                       help="simulated seconds to run (default 260)")
+    chaos.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between conversation messages (default 2)")
+    chaos.add_argument("--show-plan", action="store_true",
+                       help="print the plan as JSON and exit (no run)")
+    chaos.add_argument("--json-out", metavar="PATH", default=None,
+                       help="also write the chaos report as JSON")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -61,11 +61,19 @@ class MobilityEngine(TransportObserver):
         retx_threshold: int = 2,
         upgrade_after: int = 4,
         privacy: bool = False,
+        clock: Optional[Callable[[], float]] = None,
+        failed_ttl: Optional[float] = None,
+        forgive_after: Optional[int] = None,
     ):
         self.home_address = IPAddress(home_address)
         self.policy = policy if policy is not None else MobilityPolicyTable()
         self.cache = DeliveryMethodCache(
-            strategy=strategy, policy=self.policy, upgrade_after=upgrade_after
+            strategy=strategy,
+            policy=self.policy,
+            upgrade_after=upgrade_after,
+            clock=clock,
+            failed_ttl=failed_ttl,
+            forgive_after=forgive_after,
         )
         self.heuristics = heuristics if heuristics is not None else PortHeuristics()
         self.bind_intent = BindIntent(self.home_address)
@@ -205,6 +213,4 @@ class MobilityEngine(TransportObserver):
         """The host changed attachment: history no longer describes the
         current paths, so start over (and forget health counters)."""
         self.cache.reset_all()
-        self.detector = RetransmissionDetector(
-            threshold=self.detector.threshold, on_suspect=self._on_suspect
-        )
+        self.detector.reset_all()

@@ -96,3 +96,14 @@ class RetransmissionDetector(TransportObserver):
     def reset(self, remote: IPAddress) -> None:
         """Forget state for a remote (e.g. after a deliberate mode change)."""
         self._health.pop(IPAddress(remote), None)
+
+    def reset_all(self) -> None:
+        """Forget every remote's counters.
+
+        Called when the mobile host moves: retransmissions counted on
+        the old path say nothing about the new one, and letting them
+        stand would immediately demote a freshly probed mode.  Clearing
+        in place (rather than replacing the detector) keeps any held
+        references — the transport stack's observer list — valid.
+        """
+        self._health.clear()

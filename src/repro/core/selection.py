@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from ..netsim.addressing import IPAddress
 from .modes import OutMode
@@ -59,10 +59,12 @@ class CorrespondentRecord:
     current: OutMode
     pinned: bool = False                 # HOME_ONLY privacy pinning
     failed: Set[OutMode] = field(default_factory=set)
+    failed_at: Dict[OutMode, float] = field(default_factory=dict)
     successes_at_current: int = 0
     packets_sent: int = 0
     mode_changes: int = 0
     suspicions: int = 0
+    forgiveness: int = 0                 # failed-set clears (aging/forgiving)
 
 
 class DeliveryMethodCache:
@@ -73,12 +75,34 @@ class DeliveryMethodCache:
         strategy: ProbeStrategy = ProbeStrategy.RULE_SEEDED,
         policy: Optional[MobilityPolicyTable] = None,
         upgrade_after: int = DEFAULT_UPGRADE_AFTER,
+        clock: Optional[Callable[[], float]] = None,
+        failed_ttl: Optional[float] = None,
+        forgive_after: Optional[int] = None,
     ):
+        """``clock``/``failed_ttl``/``forgive_after`` control failed-mode
+        aging — without them, one transient failure excludes a mode for
+        that correspondent *forever*, which is exactly wrong for the
+        outages the paper's recovery machinery exists to ride out:
+
+        * ``failed_ttl`` (seconds, needs ``clock``): a failure verdict
+          expires after this long, making the mode eligible for
+          re-probing on the next success run.
+        * ``forgive_after`` (consecutive successes): a sustained success
+          run at the current mode clears the whole failed set — the
+          network has demonstrably changed, so old verdicts are stale.
+
+        All three default to ``None`` (no aging), preserving the
+        original permanent-exclusion behaviour for direct cache users;
+        :class:`~repro.core.decision.MobilityEngine` turns aging on.
+        """
         if strategy is ProbeStrategy.RULE_SEEDED and policy is None:
             policy = MobilityPolicyTable()
         self.strategy = strategy
         self.policy = policy
         self.upgrade_after = upgrade_after
+        self._clock = clock
+        self.failed_ttl = failed_ttl
+        self.forgive_after = forgive_after
         self._records: Dict[IPAddress, CorrespondentRecord] = {}
 
     # ------------------------------------------------------------------
@@ -136,8 +160,11 @@ class DeliveryMethodCache:
         and the failure is presumably not mode-related).
         """
         record = self.record_for(dst)
+        self._expire_failed(record)
         record.suspicions += 1
         record.failed.add(record.current)
+        if self._clock is not None:
+            record.failed_at[record.current] = self._clock()
         record.successes_at_current = 0
         if record.current is OutMode.OUT_IE:
             return None
@@ -154,7 +181,19 @@ class DeliveryMethodCache:
         upgrade (conservative-first behaviour) once the success run is
         long enough.  Returns the new mode if an upgrade happened."""
         record = self.record_for(dst)
+        self._expire_failed(record)
         record.successes_at_current += 1
+        if (
+            record.failed
+            and self.forgive_after is not None
+            and record.successes_at_current >= self.forgive_after
+        ):
+            # Sustained success at this mode: the network has changed
+            # enough that the old failure verdicts are stale.  Forgive,
+            # so the upgrade logic below may re-probe up the ladder.
+            record.failed.clear()
+            record.failed_at.clear()
+            record.forgiveness += 1
         if record.pinned:
             return None
         if not self._upgrades_enabled(dst):
@@ -168,18 +207,45 @@ class DeliveryMethodCache:
         return candidate
 
     # ------------------------------------------------------------------
+    @property
+    def _reprobe_enabled(self) -> bool:
+        """Whether failed verdicts can age out — and with them, whether
+        a descended ladder can climb again."""
+        return self.forgive_after is not None or (
+            self._clock is not None and self.failed_ttl is not None
+        )
+
+    def _expire_failed(self, record: CorrespondentRecord) -> None:
+        """Lazily drop failure verdicts older than ``failed_ttl``."""
+        if self._clock is None or self.failed_ttl is None or not record.failed_at:
+            return
+        now = self._clock()
+        expired = [
+            mode for mode, when in record.failed_at.items()
+            if now - when >= self.failed_ttl
+        ]
+        for mode in expired:
+            record.failed_at.pop(mode, None)
+            record.failed.discard(mode)
+        if expired:
+            record.forgiveness += 1
+
     def _upgrades_enabled(self, dst: IPAddress) -> bool:
         if self.strategy is ProbeStrategy.CONSERVATIVE_FIRST:
             return True
         if self.strategy is ProbeStrategy.AGGRESSIVE_FIRST:
-            # Started at the top; anything more aggressive than the
-            # current mode has already failed.  Still allow re-probing
-            # nothing — the ladder only descends.
-            return False
+            # Started at the top, so anything above the current mode
+            # has already failed; the ladder only descends — unless
+            # aging is on, in which case expired/forgiven verdicts make
+            # re-probing upward meaningful again.
+            return self._reprobe_enabled
         # RULE_SEEDED pessimistic destinations behave conservatively;
         # optimistic ones started at the top like aggressive-first.
         assert self.policy is not None
-        return self.policy.lookup(dst) is Disposition.PESSIMISTIC
+        return (
+            self.policy.lookup(dst) is Disposition.PESSIMISTIC
+            or self._reprobe_enabled
+        )
 
     def _next_more_aggressive(
         self, record: CorrespondentRecord

@@ -85,6 +85,19 @@ class BindingTable:
             return None
         return binding
 
+    def flush(self) -> int:
+        """Drop every binding without counting deregistrations.
+
+        This is crash semantics, not protocol semantics: a restarting
+        home agent that kept its table only in memory comes back empty,
+        and the mobile hosts must re-register to be reachable again
+        (see :meth:`repro.mobileip.home_agent.HomeAgent.restart`).
+        Returns the number of bindings lost.
+        """
+        lost = len(self._bindings)
+        self._bindings.clear()
+        return lost
+
     def active(self, now: float) -> List[Binding]:
         return [
             binding

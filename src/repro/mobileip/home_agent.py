@@ -81,7 +81,9 @@ class HomeAgent(Node):
         self.packets_tunneled = 0
         self.packets_reverse_forwarded = 0
         self.advisories_sent = 0
+        self.restarts = 0
         metrics = simulator.metrics
+        metrics.counter("ha.restarts", read=lambda: self.restarts, node=name)
         metrics.counter("ha.packets_tunneled",
                         read=lambda: self.packets_tunneled, node=name)
         metrics.counter("ha.reverse_forwarded",
@@ -144,6 +146,30 @@ class HomeAgent(Node):
         self.bindings.deregister(home_address)
         iface = self._home_iface()
         self.arp.remove_proxy(iface, home_address)
+
+    # ------------------------------------------------------------------
+    # Crash / restart (fault injection)
+    # ------------------------------------------------------------------
+    def restart(self, flush_bindings: bool = True) -> None:
+        """Come back from a crash.
+
+        With ``flush_bindings`` (the realistic default for an agent
+        keeping soft state in memory) every binding — and its proxy-ARP
+        capture — is lost; absent mobile hosts are unreachable at their
+        home addresses until their registration retries get through
+        again.  ``flush_bindings=False`` models an agent with stable
+        storage: bindings survive, only the outage window is lost.
+        All interfaces come back up either way.
+        """
+        if flush_bindings:
+            iface = self._home_iface()
+            for binding in list(self.bindings.active(self.now)):
+                self.arp.remove_proxy(iface, binding.home_address)
+            self.bindings.flush()
+            self._last_advisory.clear()
+        for iface in self.interfaces.values():
+            iface.up = True
+        self.restarts += 1
 
     # ------------------------------------------------------------------
     # Packet capture and In-IE forwarding

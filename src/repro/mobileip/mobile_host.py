@@ -54,9 +54,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["MobileHost"]
 
-REGISTRATION_RETRY_INTERVAL = 1.0
+REGISTRATION_RETRY_INTERVAL = 1.0   # base (first) retry delay
+REGISTRATION_RETRY_CAP = 16.0       # backoff ceiling
+REGISTRATION_RETRY_JITTER = 0.1     # up to +10% random spread per retry
 REGISTRATION_MAX_RETRIES = 4
+REREGISTER_AFTER_GIVEUP = 30.0      # keep trying (slowly) after give-up
 DEFAULT_REG_LIFETIME = 300.0
+# Failed-mode aging defaults for the engine's delivery cache: a failure
+# verdict expires after this long, and a sustained success run clears
+# the whole failed set (see repro.core.selection).
+FAILED_MODE_TTL = 30.0
+FORGIVE_AFTER_SUCCESSES = 8
 
 
 class MobileHost(Node):
@@ -87,7 +95,13 @@ class MobileHost(Node):
         self.reg_lifetime = reg_lifetime
 
         self.engine = MobilityEngine(
-            self.home_address, strategy=strategy, policy=policy, privacy=privacy
+            self.home_address,
+            strategy=strategy,
+            policy=policy,
+            privacy=privacy,
+            clock=lambda: simulator.clock.now,
+            failed_ttl=FAILED_MODE_TTL,
+            forgive_after=FORGIVE_AFTER_SUCCESSES,
         )
         self.engine.physical_addresses = self._physical_addresses
         self.engine.care_of_address = lambda: self.care_of
@@ -119,6 +133,8 @@ class MobileHost(Node):
         self._pending_ident: Optional[int] = None
         self._pending_retry = None
         self._pending_retries = 0
+        self._giveup_retry = None
+        self.registration_failures = 0
         self.on_registered: Optional[Callable[[RegistrationReply], None]] = None
         self.on_registration_failed: Optional[Callable[[str], None]] = None
         # Agent discovery: advertisements heard on the current LAN.
@@ -133,6 +149,8 @@ class MobileHost(Node):
         metrics.counter("mh.moves", read=lambda: self.moves, node=name)
         metrics.counter("mh.registration_attempts",
                         read=lambda: self.registration_attempts, node=name)
+        metrics.counter("mh.registration_failures",
+                        read=lambda: self.registration_failures, node=name)
         metrics.counter("mh.engine_decisions",
                         read=lambda: self.engine.decisions_made, node=name)
         metrics.counter("mh.mode_changes",
@@ -293,30 +311,73 @@ class MobileHost(Node):
             is_retransmission=self._pending_retries > 0,
         )
 
+    def _retry_delay(self) -> float:
+        """Exponential backoff with jitter for registration retries.
+
+        The first arm (no retries yet) uses the exact base interval and
+        draws no randomness — the common, healthy case where the reply
+        arrives long before the timer fires must not perturb the seeded
+        RNG stream.  Actual retries back off exponentially up to a cap
+        and add up to +10% jitter so a fleet of hosts knocked offline by
+        the same outage does not re-register in lockstep.
+        """
+        delay = min(
+            REGISTRATION_RETRY_INTERVAL * (2 ** self._pending_retries),
+            REGISTRATION_RETRY_CAP,
+        )
+        if self._pending_retries:
+            delay *= 1.0 + REGISTRATION_RETRY_JITTER * self.simulator.rng.random()
+        return delay
+
     def _arm_registration_retry(self, request: RegistrationRequest) -> None:
         def retry() -> None:
             if self._pending_ident != request.ident:
                 return
             if self._pending_retries >= REGISTRATION_MAX_RETRIES:
+                # Give up on this cycle — but a mobile host away from
+                # home cannot simply stop: its binding is expiring (or
+                # gone), so it keeps trying on a slow cadence until the
+                # home agent answers again.
+                self._pending_retry = None
                 self._pending_ident = None
+                self.registered = False
+                self.registration_failures += 1
                 if self.on_registration_failed is not None:
                     self.on_registration_failed("registration-timeout")
+                self._arm_reregister_after_giveup()
                 return
             self._pending_retries += 1
             self.registration_attempts += 1
             self._emit_registration(request)
             self._pending_retry = self.simulator.events.schedule(
-                REGISTRATION_RETRY_INTERVAL, retry, label=f"{self.name}:reg-retry"
+                self._retry_delay(), retry, label=f"{self.name}:reg-retry"
             )
 
         self._pending_retry = self.simulator.events.schedule(
-            REGISTRATION_RETRY_INTERVAL, retry, label=f"{self.name}:reg-retry"
+            self._retry_delay(), retry, label=f"{self.name}:reg-retry"
+        )
+
+    def _arm_reregister_after_giveup(self) -> None:
+        if self.at_home or self.care_of is None or self.via_foreign_agent:
+            return
+
+        def reregister() -> None:
+            self._giveup_retry = None
+            if self.at_home or self.care_of is None or self.via_foreign_agent:
+                return
+            self.register_with_home_agent(self.reg_lifetime)
+
+        self._giveup_retry = self.simulator.events.schedule(
+            REREGISTER_AFTER_GIVEUP, reregister, label=f"{self.name}:reg-giveup-retry"
         )
 
     def _cancel_pending_registration(self) -> None:
         if self._pending_retry is not None:
             self._pending_retry.cancel()
             self._pending_retry = None
+        if self._giveup_retry is not None:
+            self._giveup_retry.cancel()
+            self._giveup_retry = None
         self._pending_ident = None
 
     def _registration_reply_input(

@@ -15,6 +15,7 @@ Everything above it — Mobile IP (:mod:`repro.mobileip`), transport
 from .addressing import AddressAllocator, AddressError, IPAddress, Network
 from .encap import EncapScheme, decapsulate, encap_overhead, encapsulate
 from .events import Event, EventQueue, SimClock
+from .faults import FaultError, FaultEvent, FaultInjector, FaultKind, FaultPlan
 from .filters import (
     Direction,
     FilterEngine,
@@ -48,6 +49,11 @@ __all__ = [
     "Event",
     "EventQueue",
     "SimClock",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
     "Direction",
     "FilterEngine",
     "FilterRule",

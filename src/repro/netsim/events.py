@@ -46,9 +46,16 @@ class Event:
     Ordering is (time, sequence); the callback and its arguments do not
     participate in comparisons.  ``cancelled`` supports O(1) timer
     cancellation (the queue lazily discards cancelled events on pop).
+
+    ``done`` marks an event that has already executed.  Cancelling a
+    done event is a harmless no-op: callers that keep timer handles
+    around (registration retries, refresh timers) would otherwise
+    corrupt the queue's O(1) live/cancelled accounting by "cancelling"
+    an event that is no longer in the heap.
     """
 
-    __slots__ = ("time", "seq", "action", "args", "label", "cancelled", "_queue")
+    __slots__ = ("time", "seq", "action", "args", "label", "cancelled", "done",
+                 "_queue")
 
     def __init__(
         self,
@@ -65,10 +72,11 @@ class Event:
         self.args = args
         self.label = label
         self.cancelled = False
+        self.done = False
         self._queue = queue
 
     def cancel(self) -> None:
-        if not self.cancelled:
+        if not self.cancelled and not self.done:
             self.cancelled = True
             queue = self._queue
             if queue is not None:
@@ -203,6 +211,7 @@ class EventQueue:
             if time < clock._now:
                 raise RuntimeError(f"time went backwards: {time} < {clock._now}")
             clock._now = time
+            event.done = True
             event.action(*event.args)
             self.processed += 1
             return True
@@ -245,6 +254,7 @@ class EventQueue:
                             f"time went backwards: {time} < {clock._now}"
                         )
                     clock._now = time
+                    event.done = True
                     event.action(*event.args)
                     processed += 1
             else:
@@ -270,6 +280,7 @@ class EventQueue:
                             f"time went backwards: {time} < {clock._now}"
                         )
                     clock._now = time
+                    event.done = True
                     event.action(*event.args)
                     processed += 1
             raise RuntimeError(f"event budget exhausted ({max_events} events)")

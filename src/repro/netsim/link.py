@@ -164,19 +164,29 @@ class Segment:
         """``loss_rate`` drops each frame independently with the given
         probability (from the simulator's seeded RNG) — a crude model of
         the wireless media the paper's mobile hosts roam across, used to
-        study the §7.1.2 detector's behaviour under genuine loss."""
+        study the §7.1.2 detector's behaviour under genuine loss.  A
+        rate of exactly 1.0 is a total blackout (every frame lost), the
+        boundary the fault-injection scenarios use.
+
+        ``up`` models the whole medium: a downed segment (cut cable,
+        failed base station) silently discards every frame offered to
+        it without consuming randomness, so toggling a segment down and
+        up around a window of simulated time leaves the RNG stream —
+        and therefore every later loss draw — exactly where it would
+        have been (see :mod:`repro.netsim.faults`)."""
         if latency < 0:
             raise ValueError("latency must be non-negative")
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError("loss_rate must be in [0, 1)")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
         self.name = name
         self.simulator = simulator
         self.latency = latency
         self.bandwidth = bandwidth
         self.mtu = mtu
         self.loss_rate = loss_rate
+        self.up = True
         self._interfaces: Dict[LinkAddress, Interface] = {}
         self.frames_carried = 0
         self.bytes_carried = 0
@@ -201,6 +211,12 @@ class Segment:
 
     def transmit(self, sender: Interface, frame: Frame) -> None:
         """Deliver a frame after serialization + propagation delay."""
+        if not self.up:
+            # The medium itself is down: nothing is carried, nothing is
+            # scheduled, and — unlike probabilistic loss — no randomness
+            # is consumed, so fault windows do not shift the RNG stream.
+            self.frames_lost += 1
+            return
         size = frame.wire_size
         self.frames_carried += 1
         self.bytes_carried += size

@@ -166,15 +166,47 @@ class BoundaryRouter(Router):
         self.site = site
         self.source_filtering = source_filtering
         self.forbid_transit = forbid_transit
+        self._extra_rules = list(extra_rules)
         self._inside_ifaces: set[str] = set()
         self.engine = FilterEngine(name=f"{name}-boundary")
-        if source_filtering:
-            self.engine.add(ingress_spoof_filter(site))
-            self.engine.add(egress_source_filter(site))
-        if forbid_transit:
-            self.engine.add(transit_traffic_filter(site))
-        for rule in extra_rules:
-            self.engine.add(rule)
+        self.posture_changes = 0
+        self._install_rules()
+
+    def _install_rules(self) -> None:
+        """(Re)build the rule list from the current posture knobs.
+
+        Rules are rewritten in place so the engine object — and its
+        accumulated per-rule hit counters — survives a mid-run posture
+        change (see :meth:`set_posture`).
+        """
+        rules = []
+        if self.source_filtering:
+            rules.append(ingress_spoof_filter(self.site))
+            rules.append(egress_source_filter(self.site))
+        if self.forbid_transit:
+            rules.append(transit_traffic_filter(self.site))
+        rules.extend(self._extra_rules)
+        self.engine.rules[:] = rules
+
+    def set_posture(
+        self,
+        source_filtering: Optional[bool] = None,
+        forbid_transit: Optional[bool] = None,
+    ) -> None:
+        """Change the security posture mid-run.
+
+        Real sites do this: an administrator tightens egress filtering,
+        or a tail circuit starts enforcing its no-transit policy, and a
+        visiting mobile host's working Out-DH path dies under it.  The
+        fault-injection layer (:mod:`repro.netsim.faults`) drives this
+        from scheduled events.  Passing ``None`` leaves a knob as is.
+        """
+        if source_filtering is not None:
+            self.source_filtering = source_filtering
+        if forbid_transit is not None:
+            self.forbid_transit = forbid_transit
+        self.posture_changes += 1
+        self._install_rules()
 
     def mark_inside(self, iface_name: str) -> None:
         """Declare an interface as facing the protected domain."""

@@ -82,6 +82,53 @@ class TestBindingTable:
         assert binding.valid_at(64.9)
         assert not binding.valid_at(65.0)
 
+    def test_validity_is_strict_at_the_boundary(self):
+        # "Valid through, not at, expiry" — a tunnel decision made at
+        # exactly expires_at must treat the binding as gone, or the home
+        # agent and a refreshing mobile host disagree for one instant.
+        binding = Binding(HOME, COA, registered_at=0.0, lifetime=100.0)
+        assert binding.valid_at(binding.expires_at - 1e-9)
+        assert not binding.valid_at(binding.expires_at)
+        table = BindingTable()
+        table.register(HOME, COA, now=0.0, lifetime=100.0)
+        assert table.lookup(HOME, now=100.0) is None
+        assert table.expirations == 1
+        assert HOME not in table
+
+    def test_flush_is_crash_semantics_not_deregistration(self):
+        table = BindingTable()
+        table.register(HOME, COA, now=0.0, lifetime=100.0)
+        table.register(IPAddress("10.1.0.11"), COA2, now=0.0, lifetime=100.0)
+        assert table.flush() == 2
+        assert len(table) == 0
+        assert table.deregistrations == 0
+        assert table.expirations == 0
+        assert table.registrations == 2  # history preserved
+        assert table.flush() == 0  # idempotent on an empty table
+
+
+class TestRefreshRacesExpiry:
+    def test_80_percent_refresh_keeps_binding_alive(self):
+        # A short lifetime makes the race tight: the refresh fires at
+        # 80% of the granted lifetime and must land (including the
+        # round trip to the home agent) before the binding lapses.
+        from repro.analysis import build_scenario
+
+        scenario = build_scenario(seed=61, ch_awareness=None,
+                                  mobile_starts_away=False)
+        scenario.mh.reg_lifetime = 10.0
+        scenario.mh.move_to(scenario.net, "visited")
+        scenario.sim.run_for(35)  # ~3 refresh cycles past first expiry
+        assert scenario.mh.registered
+        table = scenario.ha.bindings
+        # The binding was refreshed, never allowed to lapse.
+        assert table.expirations == 0
+        binding = table.lookup(scenario.mh.home_address, scenario.sim.now)
+        assert binding is not None
+        assert binding.lifetime == 10.0
+        # Multiple refresh registrations happened (initial + >= 2).
+        assert table.registrations >= 3
+
 
 class TestRegistrationMessages:
     def test_deregistration_is_lifetime_zero(self):

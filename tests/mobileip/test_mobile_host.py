@@ -82,6 +82,58 @@ class TestRegistrationClient:
         assert failures == ["registration-timeout"]
         assert not scenario.mh.registered
 
+    def test_retries_back_off_exponentially(self):
+        scenario = build_scenario(seed=51, ch_awareness=None,
+                                  mobile_starts_away=False)
+        scenario.ha.interfaces["eth0"].up = False
+        start = scenario.sim.now
+        scenario.mh.move_to(scenario.net, "visited")
+        scenario.sim.run_for(40)
+        sends = [
+            entry.time - start for entry in scenario.sim.trace.entries
+            if entry.node == "mh" and entry.action == "send"
+            and entry.dst == str(scenario.ha_ip) and "UDP" in entry.packet_repr
+        ]
+        assert len(sends) == 5  # original + REGISTRATION_MAX_RETRIES
+        gaps = [b - a for a, b in zip(sends, sends[1:])]
+        # First retry after exactly the base interval (no jitter draw in
+        # the common path); each later gap doubles, plus up to +10%.
+        assert gaps[0] == 1.0
+        for index, gap in enumerate(gaps[1:], start=1):
+            nominal = 2.0 ** (index)
+            assert nominal <= gap <= nominal * 1.1 + 1e-9
+        assert gaps == sorted(gaps)
+
+    def test_giveup_clears_retry_state_and_counts_failure(self):
+        scenario = build_scenario(seed=52, ch_awareness=None,
+                                  mobile_starts_away=False)
+        scenario.ha.interfaces["eth0"].up = False
+        scenario.mh.move_to(scenario.net, "visited")
+        scenario.sim.run_for(40)  # give-up lands around t=31
+        mh = scenario.mh
+        assert mh.registration_failures == 1
+        assert not mh.registered
+        # The stale retry handle is cleared on give-up, so a later
+        # cancel cannot spuriously cancel an already-run event.
+        assert mh._pending_retry is None
+        assert mh._pending_ident is None
+        counter = scenario.sim.metrics.get("mh.registration_failures", node="mh")
+        assert counter.value == 1
+        mh._cancel_pending_registration()  # harmless on cleared state
+
+    def test_reregisters_after_giveup_when_ha_returns(self):
+        scenario = build_scenario(seed=53, ch_awareness=None,
+                                  mobile_starts_away=False)
+        ha_iface = scenario.ha.interfaces["eth0"]
+        ha_iface.up = False
+        scenario.mh.move_to(scenario.net, "visited")
+        # Home agent returns well after the first cycle's give-up (~31s);
+        # the post-give-up re-registration timer must pick it back up.
+        scenario.sim.events.schedule(40.0, lambda: setattr(ha_iface, "up", True))
+        scenario.sim.run_for(80)
+        assert scenario.mh.registration_failures == 1
+        assert scenario.mh.registered
+
     def test_registration_uses_temporary_address(self):
         """§6.4: registration itself is Out-DT — verify on the wire."""
         scenario = build_scenario(seed=49, ch_awareness=None,

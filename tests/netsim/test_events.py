@@ -152,6 +152,33 @@ class TestCancellation:
         assert ran == ["after"]
         assert queue.pending == 0
 
+    def test_cancel_after_run_is_a_noop(self):
+        # Callers keep timer handles around (registration retries,
+        # refresh timers); cancelling a handle whose event already ran
+        # must not corrupt the O(1) live/cancelled accounting.
+        queue = EventQueue()
+        stale = queue.schedule(1.0, lambda: None)
+        live = queue.schedule(2.0, lambda: None)
+        queue.step()  # runs `stale`
+        assert stale.done and not stale.cancelled
+        assert queue.pending == 1
+        stale.cancel()
+        assert not stale.cancelled  # no-op: it already executed
+        assert queue.pending == 1
+        assert queue.cancelled_backlog == 0
+        live.cancel()
+        assert queue.pending == 0
+
+    def test_cancel_after_run_loop_is_a_noop(self):
+        # Same property through run(), whose pop path is specialized.
+        queue = EventQueue()
+        handles = [queue.schedule(float(i + 1), lambda: None) for i in range(4)]
+        queue.run()
+        for handle in handles:
+            handle.cancel()
+        assert queue.pending == 0
+        assert queue.cancelled_backlog == 0
+
     def test_tie_break_order_survives_cancellation(self):
         queue = EventQueue()
         order = []

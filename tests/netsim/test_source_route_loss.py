@@ -157,7 +157,43 @@ class TestLossyLinks:
 
     def test_bad_loss_rate_rejected(self, sim):
         with pytest.raises(ValueError):
-            sim.segment("lossy", loss_rate=1.0)
+            sim.segment("lossy", loss_rate=1.5)
+        with pytest.raises(ValueError):
+            sim.segment("lossy2", loss_rate=-0.1)
+
+    def test_total_blackout_loss_rate_one(self):
+        # loss_rate == 1.0 is the boundary: a total blackout where every
+        # frame is offered to the wire and lost.
+        sim, a, ip_a, b, ip_b = self.build(1.0)
+        seen = []
+        b.proto_handlers[IPProto.UDP] = lambda p: seen.append(p)
+        self.paced_sends(sim, a, ip_a, ip_b, 20)
+        sim.run(until=10)
+        assert seen == []
+        seg = sim.segments["p2p-bb0-bb1"]
+        # Every frame offered to the wire (data and ARP alike) is lost.
+        assert seg.frames_lost == seg.frames_carried > 0
+
+    def test_segment_down_discards_without_rng(self):
+        sim, a, ip_a, b, ip_b = self.build(0.0)
+        seg = sim.segments["p2p-bb0-bb1"]
+        seg.up = False
+        state_before = sim.rng.getstate()
+        seen = []
+        b.proto_handlers[IPProto.UDP] = lambda p: seen.append(p)
+        self.paced_sends(sim, a, ip_a, ip_b, 10)
+        sim.run(until=5)
+        assert seen == []
+        assert seg.frames_lost > 0
+        # A downed segment must not consume randomness: fault windows
+        # leave the RNG stream where it would otherwise have been.
+        assert sim.rng.getstate() == state_before
+        seg.up = True
+        self.paced_sends(sim, a, ip_a, ip_b, 5)
+        sim.run(until=10)
+        # The 5 new datagrams get through (plus any of the earlier ones
+        # that sat queued behind ARP resolution and flushed on recovery).
+        assert len(seen) >= 5
 
     def test_deterministic_given_seed(self):
         outcomes = []

@@ -173,6 +173,59 @@ class TestObsSubcommand:
         assert "observability report" not in capsys.readouterr().out
 
 
+class TestChaosSubcommand:
+    def test_chaos_show_plan(self, capsys):
+        assert main(["chaos", "--show-plan"]) == 0
+        out = capsys.readouterr().out
+        assert '"events"' in out
+        assert "agent-restart" in out
+
+    def test_chaos_short_run(self, capsys):
+        assert main(["chaos", "--duration", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos run: seed=1996" in out  # the CLI's global default seed
+        assert "faults applied" in out
+        assert "loss-burst x1" in out
+        assert "registered=True" in out
+
+    def test_chaos_fault_script_and_json_out(self, tmp_path, capsys):
+        import json
+
+        from repro.netsim import FaultKind, FaultPlan
+
+        script = tmp_path / "faults.json"
+        script.write_text(
+            FaultPlan().add(2.0, FaultKind.LINK_FLAP, "visited-lan",
+                            duration=1.0).to_json()
+        )
+        report_path = tmp_path / "report.json"
+        assert main(["--seed", "9", "chaos", "--fault-script", str(script),
+                     "--duration", "20", "--json-out", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "chaos run: seed=9" in out
+        with open(report_path) as handle:
+            report = json.load(handle)
+        assert report["seed"] == 9
+        assert report["faults"] == {"link-flap": 1}
+        assert report["digest"]
+
+    def test_chaos_bad_script_errors(self, tmp_path, capsys):
+        script = tmp_path / "bad.json"
+        script.write_text('{"events": [{"time": 1.0}]}')
+        assert main(["chaos", "--fault-script", str(script)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_chaos_unknown_target_errors(self, tmp_path, capsys):
+        from repro.netsim import FaultKind, FaultPlan
+
+        script = tmp_path / "ghost.json"
+        script.write_text(
+            FaultPlan().add(1.0, FaultKind.LINK_DOWN, "no-such-lan").to_json()
+        )
+        assert main(["chaos", "--fault-script", str(script)]) == 1
+        assert "no segment named" in capsys.readouterr().err
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self):
         import subprocess
