@@ -96,6 +96,8 @@ class ChaosReport:
     mode_changes: int = 0
     final_mode: Optional[str] = None
     forgiveness: int = 0
+    invariants_armed: bool = False
+    invariant_violations: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -115,6 +117,8 @@ class ChaosReport:
             "mode_changes": self.mode_changes,
             "final_mode": self.final_mode,
             "forgiveness": self.forgiveness,
+            "invariants_armed": self.invariants_armed,
+            "invariant_violations": self.invariant_violations,
         }
 
     def render(self) -> str:
@@ -136,6 +140,10 @@ class ChaosReport:
             f"final={self.final_mode or '-'}, "
             f"forgiveness={self.forgiveness}",
         ]
+        if self.invariants_armed:
+            lines.append(
+                f"  invariants          {self.invariant_violations} violations"
+            )
         return "\n".join(lines)
 
 
@@ -146,6 +154,7 @@ def run_chaos(
     message_interval: float = 2.0,
     strategy: ProbeStrategy = ProbeStrategy.CONSERVATIVE_FIRST,
     reg_lifetime: Optional[float] = None,
+    arm_invariants: bool = False,
     **overrides: Any,
 ) -> ChaosReport:
     """Run one chaos scenario end to end and report.
@@ -163,6 +172,9 @@ def run_chaos(
     scenario = build_chaos_stage(seed=seed, strategy=strategy, **overrides)
     assert scenario.ch is not None and scenario.ch_ip is not None
     sim = scenario.sim
+    # The monitor is passive (no RNG draws, no state mutation), so
+    # arming it never changes the digest of the run it watches.
+    monitor = sim.enable_invariants() if arm_invariants else None
     if reg_lifetime is not None:
         scenario.mh.reg_lifetime = reg_lifetime
         if scenario.mh.registered:
@@ -206,6 +218,8 @@ def run_chaos(
     fresh_conn()
     sim.events.schedule(message_interval, tick)
     sim.run(until=duration)
+    if monitor is not None:
+        monitor.finish(sim.now)
 
     digest, entries = trace_digest(sim.trace)
     record = scenario.mh.engine.cache.records.get(scenario.ch_ip)
@@ -226,4 +240,6 @@ def run_chaos(
         mode_changes=scenario.mh.engine.cache.total_mode_changes(),
         final_mode=record.current.value if record else None,
         forgiveness=record.forgiveness if record else 0,
+        invariants_armed=monitor is not None,
+        invariant_violations=monitor.violation_count if monitor else 0,
     )

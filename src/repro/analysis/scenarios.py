@@ -88,6 +88,7 @@ def build_scenario(
     backbone_latency: float = 0.010,
     trace_entries: bool = True,
     trace_aggregates: bool = True,
+    auth_key: Optional[str] = None,
 ) -> Scenario:
     """Build the standard stage.
 
@@ -135,6 +136,7 @@ def build_scenario(
         home_network=home.prefix,
         scheme=scheme,
         notify_correspondents=notify_correspondents,
+        auth_key=auth_key,
     )
     ha_ip = net.add_host("home", ha)
 
@@ -148,6 +150,7 @@ def build_scenario(
         policy=policy,
         scheme=scheme,
         privacy=privacy,
+        auth_key=auth_key,
     )
     mh.attach_home(net, "home")
 

@@ -281,6 +281,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             seed=args.seed,
             duration=args.duration,
             message_interval=args.interval,
+            arm_invariants=True,
         )
     except FaultError as exc:
         # A plan naming a segment/node the stage does not have.
@@ -291,7 +292,48 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         with open(args.json_out, "w") as handle:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         print(f"chaos report written to {args.json_out}")
+    # Nonzero exit when the run ended unhealthy: an invariant violated,
+    # or the mobile host never recovered its registration.
+    if report.invariant_violations:
+        print(f"error: {report.invariant_violations} invariant "
+              "violation(s) during the run", file=sys.stderr)
+        return 1
+    if not report.registered:
+        print("error: mobile host did not recover its registration",
+              file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Property-based fuzzing with invariants armed; shrink on failure."""
+    from .verify.fuzz import replay_repro, run_fuzz
+
+    if args.repro:
+        try:
+            result = replay_repro(args.repro)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if result.ok:
+            print(f"repro {args.repro}: no violations "
+                  f"({result.trace_entries} trace entries)")
+            return 0
+        print(f"repro {args.repro}: violations "
+              f"{result.violated_invariants()}")
+        for violation in result.violations[:10]:
+            print(f"  [{violation['invariant']}] t={violation['time']:.3f} "
+                  f"node={violation['node']}: {violation['message']}")
+        return 1
+
+    report = run_fuzz(
+        iterations=args.iterations,
+        seed=args.seed,
+        out=args.out,
+        shrink=not args.no_shrink,
+    )
+    print(report.render())
+    return 1 if report.failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -356,6 +398,22 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json-out", metavar="PATH", default=None,
                        help="also write the chaos report as JSON")
     chaos.set_defaults(func=_cmd_chaos)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz random topologies/traffic/faults with invariants armed")
+    fuzz.add_argument("--iterations", type=int, default=200,
+                      help="number of random cases to run (default 200)")
+    fuzz.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                      help="fuzz campaign seed (defaults to the global "
+                           "--seed)")
+    fuzz.add_argument("--out", metavar="PATH", default=None,
+                      help="write the shrunken repro JSON here on failure")
+    fuzz.add_argument("--repro", metavar="PATH", default=None,
+                      help="replay a previously-written repro file instead")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report the first failing case without shrinking")
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

@@ -85,6 +85,15 @@ class BindingTable:
             return None
         return binding
 
+    def peek(self, home_address: IPAddress) -> Optional[Binding]:
+        """The stored binding for an address, valid or not, untouched.
+
+        Unlike :meth:`lookup` this never mutates the table (no lazy
+        expiry), which is what an outside observer — the invariant
+        monitor — needs: checking a run must not change it.
+        """
+        return self._bindings.get(IPAddress(home_address))
+
     def flush(self) -> int:
         """Drop every binding without counting deregistrations.
 

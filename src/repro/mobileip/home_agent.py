@@ -25,10 +25,10 @@ Implemented behaviours:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..netsim.addressing import IPAddress, Network
-from ..netsim.encap import EncapScheme
+from ..netsim.encap import EncapError, EncapScheme
 from ..netsim.icmp import CareOfAdvisory, IcmpMessage, IcmpType, make_icmp_packet
 from ..netsim.link import Interface
 from ..netsim.node import Node
@@ -63,6 +63,7 @@ class HomeAgent(Node):
         notify_correspondents: bool = False,
         max_bindings: int = 1024,
         advisory_lifetime: float = 60.0,
+        auth_key: Optional[str] = None,
     ):
         super().__init__(name, simulator)
         self.home_network = home_network
@@ -70,6 +71,11 @@ class HomeAgent(Node):
         self.notify_correspondents = notify_correspondents
         self.max_bindings = max_bindings
         self.advisory_lifetime = advisory_lifetime
+        # With a key configured every registration must carry a valid
+        # authenticator AND a fresh (strictly increasing) ident; without
+        # one the agent is as trusting as the paper's original design.
+        self.auth_key = auth_key
+        self._last_ident: Dict[IPAddress, int] = {}
         self.tunnel = TunnelEndpoint(self, scheme=scheme, on_inner=self._reverse_inner)
         # Locally-originated traffic to a bound home address must be
         # captured too (ip_input only sees *arriving* packets).
@@ -82,7 +88,16 @@ class HomeAgent(Node):
         self.packets_reverse_forwarded = 0
         self.advisories_sent = 0
         self.restarts = 0
+        self.auth_failures = 0
+        self.replays_rejected = 0
+        self.encap_failures = 0
         metrics = simulator.metrics
+        metrics.counter("ha.auth_failures",
+                        read=lambda: self.auth_failures, node=name)
+        metrics.counter("ha.replays_rejected",
+                        read=lambda: self.replays_rejected, node=name)
+        metrics.counter("ha.encap_failures",
+                        read=lambda: self.encap_failures, node=name)
         metrics.counter("ha.restarts", read=lambda: self.restarts, node=name)
         metrics.counter("ha.packets_tunneled",
                         read=lambda: self.packets_tunneled, node=name)
@@ -109,6 +124,24 @@ class HomeAgent(Node):
                 ReplyCode.DENIED_UNKNOWN_HOME_ADDRESS,
                 request.home_address, 0.0, request.ident,
             )
+        if self.auth_key is not None:
+            if request.auth is None or not request.authentic(self.auth_key):
+                self.auth_failures += 1
+                return RegistrationReply(
+                    ReplyCode.DENIED_FAILED_AUTHENTICATION,
+                    request.home_address, 0.0, request.ident,
+                )
+            # Replay protection: idents are drawn from a monotonic
+            # source, so a genuine request always advances past the last
+            # accepted ident for its home address; a replayed capture
+            # cannot.
+            if request.ident <= self._last_ident.get(request.home_address, -1):
+                self.replays_rejected += 1
+                return RegistrationReply(
+                    ReplyCode.DENIED_IDENT_MISMATCH,
+                    request.home_address, 0.0, request.ident,
+                )
+            self._last_ident[request.home_address] = request.ident
         if request.is_deregistration:
             self._remove_binding(request.home_address)
             return RegistrationReply(
@@ -180,6 +213,18 @@ class HomeAgent(Node):
         if not self.owns_address(packet.dst):
             binding = self.bindings.lookup(packet.dst, self.now)
             if binding is not None:
+                if packet.more_fragments or packet.frag_offset:
+                    # A fragment cannot be encapsulated (the tunnel
+                    # header describes a whole datagram); reassemble at
+                    # the proxy, then tunnel the restored original.
+                    whole = self.reassembler.accept(packet, self.now)
+                    if whole is None:
+                        self.trace.note(
+                            self.now, self.name, "fragment-held", packet,
+                            detail="awaiting more",
+                        )
+                        return
+                    packet = whole
                 self._forward_to_mobile(packet, binding.care_of_address)
                 return
         super().ip_input(iface, packet)
@@ -201,8 +246,19 @@ class HomeAgent(Node):
     def _forward_to_mobile(self, packet: Packet, care_of: IPAddress) -> None:
         source = self._preferred_source()
         assert source is not None
+        try:
+            self.tunnel.send_encapsulated(packet, source, care_of)
+        except EncapError as exc:
+            # A packet the configured scheme cannot carry (e.g. nesting
+            # under minimal encapsulation) dies as a classified drop,
+            # never as an exception unwinding the event engine.
+            self.encap_failures += 1
+            self.trace.note(
+                self.now, self.name, "drop", packet,
+                detail=f"encap-failed:{exc}",
+            )
+            return
         self.packets_tunneled += 1
-        self.tunnel.send_encapsulated(packet, source, care_of)
         if self.notify_correspondents and not packet.is_encapsulated:
             self._maybe_send_advisory(packet.src, packet.dst, care_of)
 

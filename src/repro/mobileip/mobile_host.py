@@ -44,6 +44,7 @@ from .registration import (
     MOBILE_IP_PORT,
     RegistrationReply,
     RegistrationRequest,
+    compute_authenticator,
 )
 from .tunnel import TunnelEndpoint
 
@@ -83,6 +84,7 @@ class MobileHost(Node):
         privacy: bool = False,
         reg_lifetime: float = DEFAULT_REG_LIFETIME,
         auto_reregister: bool = True,
+        auth_key: Optional[str] = None,
     ):
         """``auto_reregister`` keeps the home-agent binding alive by
         re-registering at 80% of the lifetime, the way a real client
@@ -93,6 +95,10 @@ class MobileHost(Node):
         self.home_network = home_network
         self.home_agent_address = IPAddress(home_agent_address)
         self.reg_lifetime = reg_lifetime
+        # Shared registration key; when set, every request carries the
+        # keyed authenticator the home agent demands (see
+        # repro.mobileip.registration).
+        self.auth_key = auth_key
 
         self.engine = MobilityEngine(
             self.home_address,
@@ -231,11 +237,9 @@ class MobileHost(Node):
         self.routes.add(domain.prefix, iface.name)
         self.routes.add_default(iface.name, agent.advertised_address)
         if register:
-            request = RegistrationRequest(
-                self.home_address,
+            request = self._build_request(
                 agent.care_of_address,
                 lifetime if lifetime is not None else self.reg_lifetime,
-                self.simulator.next_token(),
             )
             # The FA relays; arm the reply matcher so the relayed reply
             # is recognized (the FA hands it to our registration input).
@@ -282,13 +286,30 @@ class MobileHost(Node):
     def register_with_home_agent(self, lifetime: Optional[float] = None) -> None:
         if self.care_of is None:
             raise RuntimeError("cannot register without a care-of address")
-        request = RegistrationRequest(
-            home_address=self.home_address,
-            care_of_address=self.care_of,
-            lifetime=lifetime if lifetime is not None else self.reg_lifetime,
-            ident=self.simulator.next_token(),
+        request = self._build_request(
+            self.care_of,
+            lifetime if lifetime is not None else self.reg_lifetime,
         )
         self._send_registration(request)
+
+    def _build_request(
+        self, care_of: IPAddress, lifetime: float
+    ) -> RegistrationRequest:
+        ident = self.simulator.next_token()
+        auth = (
+            compute_authenticator(
+                self.auth_key, self.home_address, care_of, lifetime, ident
+            )
+            if self.auth_key is not None
+            else None
+        )
+        return RegistrationRequest(
+            home_address=self.home_address,
+            care_of_address=care_of,
+            lifetime=lifetime,
+            ident=ident,
+            auth=auth,
+        )
 
     def _send_registration(self, request: RegistrationRequest) -> None:
         self._cancel_pending_registration()
@@ -425,12 +446,7 @@ class MobileHost(Node):
             self._refresh_timer = None
 
     def _send_deregistration(self) -> None:
-        request = RegistrationRequest(
-            home_address=self.home_address,
-            care_of_address=self.home_address,
-            lifetime=0.0,
-            ident=self.simulator.next_token(),
-        )
+        request = self._build_request(self.home_address, 0.0)
         self.registered = False
         self._send_registration(request)
 

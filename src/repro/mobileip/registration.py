@@ -5,19 +5,29 @@
     with its home agent."
 
 Message formats follow the IETF draft's shape (request/reply with
-lifetime and a match identifier) without its authentication extensions
-— the simulator has no adversaries registering bindings.  Registration
-runs over UDP port 434 (the real Mobile IP port).  Note the §6.4
-bootstrap observation, reproduced faithfully here: the request is sent
-*from the care-of address* (In-DT/Out-DT), "since until it has
-registered with the home agent the other Mobile IP delivery services
-are not available."
+lifetime and a match identifier).  The RFC 2002-shape authentication
+extension is modelled too — optional, and off by default, because the
+paper's own scenarios have no adversaries registering bindings; the
+hardening scenarios of :mod:`repro.verify` turn it on.  A request may
+carry a keyed authenticator (:func:`compute_authenticator`) over its
+fixed fields; a home agent configured with the same key rejects
+requests whose authenticator is absent or wrong
+(``DENIED_FAILED_AUTHENTICATION``) and requests whose ``ident`` does
+not advance past the last accepted one for that home address
+(``DENIED_IDENT_MISMATCH`` — replay protection, the draft's
+"identification" field).  Registration runs over UDP port 434 (the
+real Mobile IP port).  Note the §6.4 bootstrap observation, reproduced
+faithfully here: the request is sent *from the care-of address*
+(In-DT/Out-DT), "since until it has registered with the home agent the
+other Mobile IP delivery services are not available."
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from enum import IntEnum
+from typing import Optional
 
 from ..netsim.addressing import IPAddress
 
@@ -28,12 +38,16 @@ __all__ = [
     "RegistrationReply",
     "AgentAdvertisement",
     "AgentSolicitation",
+    "compute_authenticator",
 ]
 
 MOBILE_IP_PORT = 434
 REQUEST_SIZE = 28        # fixed part of the real request
 REPLY_SIZE = 20
 ADVERT_SIZE = 24
+# Mobile-Home authentication extension: type + length + SPI + a
+# 16-byte keyed digest (RFC 2002 §3.5.2's default algorithm).
+AUTH_EXT_SIZE = 22
 
 
 class ReplyCode(IntEnum):
@@ -43,7 +57,31 @@ class ReplyCode(IntEnum):
     DENIED_UNKNOWN_HOME_ADDRESS = 128
     DENIED_TOO_MANY_BINDINGS = 129
     DENIED_LIFETIME_TOO_LONG = 130
+    DENIED_FAILED_AUTHENTICATION = 131
+    DENIED_IDENT_MISMATCH = 133
     DENIED_FA_UNREACHABLE = 136
+
+
+def compute_authenticator(
+    key: str,
+    home_address: IPAddress,
+    care_of_address: IPAddress,
+    lifetime: float,
+    ident: int,
+) -> int:
+    """Keyed digest over a registration request's fixed fields.
+
+    Prefix-and-suffix keyed hashing, RFC 2002 §3.5.2 shape.  The value
+    is deterministic (no RNG involved), so enabling authentication
+    never perturbs the seeded random stream of a run.
+    """
+    digest = hashlib.sha256()
+    digest.update(key.encode())
+    digest.update(
+        f"{home_address}|{care_of_address}|{lifetime!r}|{ident}".encode()
+    )
+    digest.update(key.encode())
+    return int.from_bytes(digest.digest()[:8], "big")
 
 
 @dataclass(frozen=True)
@@ -51,13 +89,16 @@ class RegistrationRequest:
     """MH -> HA (possibly relayed by a foreign agent).
 
     A ``lifetime`` of 0 is a deregistration: the mobile host has
-    returned home (or wants the binding dropped).
+    returned home (or wants the binding dropped).  ``auth`` is the
+    optional keyed authenticator (:func:`compute_authenticator`);
+    ``None`` means the extension is absent.
     """
 
     home_address: IPAddress
     care_of_address: IPAddress
     lifetime: float
     ident: int
+    auth: Optional[int] = None
 
     @property
     def is_deregistration(self) -> bool:
@@ -65,7 +106,14 @@ class RegistrationRequest:
 
     @property
     def size(self) -> int:
-        return REQUEST_SIZE
+        return REQUEST_SIZE + (AUTH_EXT_SIZE if self.auth is not None else 0)
+
+    def authentic(self, key: str) -> bool:
+        """Whether ``auth`` matches the keyed digest under ``key``."""
+        return self.auth == compute_authenticator(
+            key, self.home_address, self.care_of_address,
+            self.lifetime, self.ident,
+        )
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..netsim.addressing import IPAddress
-from ..netsim.encap import EncapScheme, decapsulate, encapsulate
+from ..netsim.encap import EncapError, EncapScheme, decapsulate, encapsulate
 from ..netsim.node import Node
 from ..netsim.packet import IPProto, Packet
 
@@ -44,11 +44,14 @@ class TunnelEndpoint:
         self.on_inner = on_inner
         self.encapsulated_count = 0
         self.decapsulated_count = 0
+        self.bad_encap_count = 0
         metrics = node.simulator.metrics
         metrics.counter("tunnel.encapsulated",
                         read=lambda: self.encapsulated_count, node=node.name)
         metrics.counter("tunnel.decapsulated",
                         read=lambda: self.decapsulated_count, node=node.name)
+        metrics.counter("tunnel.bad_encap",
+                        read=lambda: self.bad_encap_count, node=node.name)
         for proto in TUNNEL_PROTOS:
             node.register_proto_handler(proto, self._tunnel_input)
 
@@ -79,7 +82,19 @@ class TunnelEndpoint:
 
     # ------------------------------------------------------------------
     def _tunnel_input(self, outer: Packet) -> None:
-        inner = decapsulate(outer)
+        try:
+            inner = decapsulate(outer)
+        except EncapError:
+            # A malformed or truncated tunnel packet — whether from a
+            # buggy peer or an adversary probing the endpoint — must
+            # die here as a classified drop, never as an exception
+            # unwinding the event engine mid-run.
+            self.bad_encap_count += 1
+            self.node.trace.note(
+                self.node.now, self.node.name, "drop", outer,
+                detail="bad-encap",
+            )
+            return
         self.decapsulated_count += 1
         self.node.trace.note(
             self.node.now, self.node.name, "decapsulate", inner,

@@ -16,7 +16,7 @@ that discards incomplete buffers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .addressing import IPAddress
 from .packet import IPV4_HEADER_SIZE, Packet
@@ -85,10 +85,27 @@ class ReassemblyBuffer:
     fragments: Dict[int, Packet] = field(default_factory=dict)
     total_size: Optional[int] = None   # known once the MF=0 fragment arrives
 
-    def add(self, packet: Packet) -> None:
-        self.fragments[packet.frag_offset] = packet
+    def add(self, packet: Packet) -> Optional[str]:
+        """Accept a fragment; returns a rejection reason or ``None``.
+
+        Duplicates (same offset seen again — a retransmitted or looped
+        fragment) and overlaps (a fragment whose byte range intersects
+        an already-held one — the classic teardrop-style confusion) are
+        rejected deterministically: the first arrival wins, the buffer
+        is never mutated by the rejected fragment, and the caller counts
+        the rejection.
+        """
+        offset = packet.frag_offset
+        if offset in self.fragments:
+            return "duplicate"
+        end = offset + packet.payload_size
+        for held_offset, held in self.fragments.items():
+            if offset < held_offset + held.payload_size and held_offset < end:
+                return "overlap"
+        self.fragments[offset] = packet
         if not packet.more_fragments:
-            self.total_size = packet.frag_offset + packet.payload_size
+            self.total_size = offset + packet.payload_size
+        return None
 
     def complete(self) -> bool:
         if self.total_size is None:
@@ -125,12 +142,19 @@ class Reassembler:
         self._buffers: Dict[Tuple[IPAddress, IPAddress, int, int], ReassemblyBuffer] = {}
         self.timeouts = 0
         self.reassembled = 0
+        self.duplicates = 0
+        self.overlaps = 0
+        # Called with the expired buffer so the owning node can trace a
+        # classified drop instead of letting the datagram vanish.
+        self.on_expire: Optional[Callable[[ReassemblyBuffer], None]] = None
 
     def accept(self, packet: Packet, now: float) -> Optional[Packet]:
         """Feed a packet in; returns a whole datagram when complete.
 
         Unfragmented packets pass straight through.  Expired buffers
         are garbage-collected opportunistically on every call.
+        Duplicate and overlapping fragments are rejected (first arrival
+        wins) and counted.
         """
         self._expire(now)
         if not packet.more_fragments and packet.frag_offset == 0:
@@ -139,7 +163,13 @@ class Reassembler:
         buffer = self._buffers.get(key)
         if buffer is None:
             buffer = self._buffers[key] = ReassemblyBuffer(first_seen=now)
-        buffer.add(packet)
+        rejection = buffer.add(packet)
+        if rejection is not None:
+            if rejection == "duplicate":
+                self.duplicates += 1
+            else:
+                self.overlaps += 1
+            return None
         if buffer.complete():
             del self._buffers[key]
             self.reassembled += 1
@@ -147,14 +177,19 @@ class Reassembler:
         return None
 
     def _expire(self, now: float) -> None:
+        # A buffer dies at *exactly* REASSEMBLY_TIMEOUT after its first
+        # fragment (>=), not one event later — RFC 791's "if the timer
+        # runs out, all reassembly resources ... are released".
         expired = [
             key
             for key, buffer in self._buffers.items()
-            if now - buffer.first_seen > REASSEMBLY_TIMEOUT
+            if now - buffer.first_seen >= REASSEMBLY_TIMEOUT
         ]
         for key in expired:
-            del self._buffers[key]
+            buffer = self._buffers.pop(key)
             self.timeouts += 1
+            if self.on_expire is not None:
+                self.on_expire(buffer)
 
     @property
     def pending(self) -> int:

@@ -129,14 +129,28 @@ class Interface:
     def transmit(self, frame: Frame) -> None:
         """Hand a frame to the attached segment for delivery."""
         if self.segment is None or not self.up:
-            return  # cable unplugged: frame silently lost
+            # Cable unplugged: the frame is lost — but not silently.
+            # Every loss is traced as a ``lost`` event so the invariant
+            # monitor can account for the datagram's disappearance.
+            self._note_lost(frame, "interface-down")
+            return
         self.segment.transmit(self, frame)
 
     def receive(self, frame: Frame) -> None:
         """Called by the segment when a frame arrives for this interface."""
         if not self.up:
+            self._note_lost(frame, "interface-down")
             return
         self.node.frame_received(self, frame)
+
+    def _note_lost(self, frame: Frame, detail: str) -> None:
+        payload = frame.payload
+        if isinstance(payload, Packet):
+            sim = self.node.simulator
+            sim.trace.note(
+                sim.clock.now, f"{self.node.name}/{self.name}", "lost",
+                payload, detail=detail,
+            )
 
     def __repr__(self) -> str:
         return f"Interface({self.node.name}/{self.name} ip={self.ip})"
@@ -216,6 +230,7 @@ class Segment:
             # scheduled, and — unlike probabilistic loss — no randomness
             # is consumed, so fault windows do not shift the RNG stream.
             self.frames_lost += 1
+            self._note_lost(frame, "segment-down")
             return
         size = frame.wire_size
         self.frames_carried += 1
@@ -223,7 +238,11 @@ class Segment:
         self.simulator.trace.note_link_bytes(self.name, size)
         if self.loss_rate and self.simulator.rng.random() < self.loss_rate:
             self.frames_lost += 1
-            return  # vanished into the ether; transport recovers
+            # Vanished into the ether; transport recovers.  The loss is
+            # traced (after the RNG draw, so the stream is unchanged) to
+            # keep every datagram's fate observable.
+            self._note_lost(frame, "link-loss")
+            return
         delay = self.latency + (size * 8) / self.bandwidth
         self.simulator.events.schedule(
             delay, self._deliver, sender, frame, label=f"link:{self.name}"
@@ -239,8 +258,18 @@ class Segment:
         target = self._interfaces.get(frame.dst)
         if target is not None and target is not sender:
             target.receive(frame)
+            return
         # Unknown destination: frame lost, like a real switch flushing
         # a stale forwarding entry.  IP-level retransmission recovers.
+        self._note_lost(frame, "unknown-link-dest")
+
+    def _note_lost(self, frame: Frame, detail: str) -> None:
+        payload = frame.payload
+        if isinstance(payload, Packet):
+            self.simulator.trace.note(
+                self.simulator.clock.now, self.name, "lost", payload,
+                detail=detail,
+            )
 
     def __repr__(self) -> str:
         return f"Segment({self.name}, {len(self._interfaces)} ifaces, mtu={self.mtu})"

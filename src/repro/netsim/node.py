@@ -86,6 +86,7 @@ class Node:
         self.proto_handlers: Dict[IPProto, ProtoHandler] = {}
         self.icmp_hooks: List[IcmpHook] = []
         self.reassembler = Reassembler()
+        self.reassembler.on_expire = self._reassembly_expired
         self.multicast_groups: set[IPAddress] = set()
         self._echo_waiters: Dict[int, Callable[[Packet], None]] = {}
         self.packets_sent = 0
@@ -100,6 +101,12 @@ class Node:
                         read=lambda: self.packets_received, node=name)
         metrics.gauge("node.reassembly_pending",
                       read=lambda: self.reassembler.pending, node=name)
+        metrics.counter("node.fragment_duplicates",
+                        read=lambda: self.reassembler.duplicates, node=name)
+        metrics.counter("node.fragment_overlaps",
+                        read=lambda: self.reassembler.overlaps, node=name)
+        metrics.counter("node.reassembly_timeouts",
+                        read=lambda: self.reassembler.timeouts, node=name)
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -312,6 +319,21 @@ class Node:
     def forward(self, in_iface: Interface, packet: Packet) -> None:
         """Hosts do not forward; routers override."""
         self.trace.note(self.now, self.name, "drop", packet, detail="not-a-router")
+
+    def _reassembly_expired(self, buffer) -> None:
+        """Trace an expired reassembly buffer as a classified drop.
+
+        Without this, a datagram whose fragments never all arrived would
+        end its trace on ``fragment-held`` — a silent disappearance the
+        invariant monitor (repro.verify) would have to special-case.
+        """
+        fragments = buffer.fragments
+        if not fragments:
+            return
+        first = fragments[min(fragments)]
+        self.trace.note(
+            self.now, self.name, "drop", first, detail="reassembly-timeout"
+        )
 
     def _local_deliver(self, packet: Packet) -> None:
         whole = self.reassembler.accept(packet, self.now)

@@ -61,6 +61,11 @@ class Router(Node):
     # Option-bearing packets (loose source routes) take the slow path.
     option_processing_delay = 0.002
 
+    # Sabotage hook for the invariant monitor's own tests: a broken
+    # router build that forgets to decrement TTL (set to 0) must be
+    # caught by the ttl-decreases invariant.  Never change in real runs.
+    ttl_decrement = 1
+
     def __init__(self, name: str, simulator: "Simulator"):
         super().__init__(name, simulator)
         self.packets_forwarded = 0
@@ -90,7 +95,7 @@ class Router(Node):
         if verdict is Verdict.DROP:
             self.trace.note(self.now, self.name, "drop", packet, detail=reason)
             return
-        packet.ttl -= 1
+        packet.ttl -= self.ttl_decrement
         self.packets_forwarded += 1
         self.trace.note(self.now, self.name, "forward", packet)
         target = PhysicalRoute(route.interface, route.gateway)

@@ -20,6 +20,7 @@ from .trace import TraceLog
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs import Observability
+    from ..verify.invariants import InvariantMonitor
     from .node import Node
 
 __all__ = ["Simulator"]
@@ -51,6 +52,7 @@ class Simulator:
         # stay off until enable_observability().
         self.metrics = MetricsRegistry()
         self.obs: Optional["Observability"] = None
+        self.invariants: Optional["InvariantMonitor"] = None
         trace = self.trace
         self.metrics.counter(
             "trace.events", read=lambda: sum(trace.action_counts.values()))
@@ -117,6 +119,24 @@ class Simulator:
             self, spans=spans, engine_cadence=engine_cadence
         ).enable()
         return self.obs
+
+    def enable_invariants(self, **kwargs) -> "InvariantMonitor":
+        """Arm the runtime invariant monitor for this run.
+
+        Attaches an :class:`~repro.verify.invariants.InvariantMonitor`
+        to the trace stream (keyword arguments pass through to its
+        constructor).  Returns the monitor, also kept on
+        ``self.invariants``; call ``monitor.finish()`` after the run
+        for the end-of-run termination accounting.
+        """
+        if self.invariants is not None:
+            raise RuntimeError("invariants are already enabled for this run")
+        from ..verify.invariants import InvariantMonitor
+
+        monitor = InvariantMonitor(self, **kwargs)
+        monitor.attach(self.trace)
+        self.invariants = monitor
+        return monitor
 
     # ------------------------------------------------------------------
     # Execution

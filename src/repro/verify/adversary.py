@@ -1,0 +1,181 @@
+"""An adversarial node for hardening runs.
+
+The paper's threat discussion (§3.1) is about *routers* distrusting
+topologically-incorrect packets; the registration protocol itself is
+described over an open UDP port.  This module supplies the attacker
+that port invites — the reason RFC 2002 made its authentication
+extension mandatory:
+
+* **spoofed registrations** — claim someone else's home address and
+  bind it to an address the attacker controls (traffic hijack);
+* **replayed registrations** — re-send a captured legitimate request
+  verbatim, authenticator and all (rebind the victim to a stale
+  care-of address);
+* **bogus encapsulation** — tunnel-protocol packets whose payload is
+  not a packet at all, probing every decapsulating endpoint;
+* **truncated encapsulation** — minimal-encapsulation packets with the
+  forwarding header torn off.
+
+The :class:`Adversary` is an ordinary :class:`~repro.netsim.node.Node`
+attached anywhere in the topology; everything it sends travels — and
+is filtered, dropped, or rejected — like any other traffic, so the
+invariant monitor and the trace observe the whole exchange.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+from ..mobileip.registration import (
+    MOBILE_IP_PORT,
+    RegistrationReply,
+    RegistrationRequest,
+)
+from ..netsim.addressing import IPAddress
+from ..netsim.node import Node
+from ..netsim.packet import IPProto, Packet
+from ..transport.sockets import TransportStack
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.simulator import Simulator
+
+__all__ = ["Adversary"]
+
+
+class Adversary(Node):
+    """A malicious host: spoofs, replays, and malforms."""
+
+    def __init__(self, name: str, simulator: "Simulator"):
+        super().__init__(name, simulator)
+        self.stack = TransportStack(self)
+        self._reg_socket = self.stack.udp_socket(MOBILE_IP_PORT)
+        self._reg_socket.on_receive(self._reply_input)
+        # Every registration reply the victim's home agent sends back.
+        self.replies: List[RegistrationReply] = []
+        # Requests captured for replay (handed over by the harness; a
+        # real attacker would sniff them off the victim's LAN).
+        self.captured: List[RegistrationRequest] = []
+        self.attacks_sent = 0
+        simulator.metrics.counter(
+            "adversary.attacks", read=lambda: self.attacks_sent, node=name)
+
+    def _reply_input(
+        self, data: Any, size: int, src_ip: IPAddress, src_port: int
+    ) -> None:
+        if isinstance(data, RegistrationReply):
+            self.replies.append(data)
+
+    # ------------------------------------------------------------------
+    # Registration attacks
+    # ------------------------------------------------------------------
+    def spoof_registration(
+        self,
+        home_agent: IPAddress,
+        victim_home_address: IPAddress,
+        care_of: Optional[IPAddress] = None,
+        lifetime: float = 300.0,
+        auth: Optional[int] = None,
+    ) -> RegistrationRequest:
+        """Register the victim's home address to our own care-of address.
+
+        Without the victim's key the attacker can at best guess ``auth``
+        (default: omit the extension entirely).  Against an
+        unauthenticated home agent this attack *succeeds* — which is
+        precisely what the hardening tests demonstrate.
+        """
+        care_of = IPAddress(care_of) if care_of else self._own_address()
+        request = RegistrationRequest(
+            home_address=IPAddress(victim_home_address),
+            care_of_address=care_of,
+            lifetime=lifetime,
+            ident=self.simulator.next_token(),
+            auth=auth,
+        )
+        self.attacks_sent += 1
+        self._reg_socket.sendto(
+            request, request.size, IPAddress(home_agent), MOBILE_IP_PORT,
+            src_override=care_of,
+        )
+        return request
+
+    def capture(self, request: RegistrationRequest) -> None:
+        """Record a legitimate request for later replay."""
+        self.captured.append(request)
+
+    def replay_captured(
+        self, home_agent: IPAddress, index: int = -1
+    ) -> Optional[RegistrationRequest]:
+        """Re-send a captured request verbatim (valid authenticator,
+        stale ident) — the attack the replay-protected ident stops."""
+        if not self.captured:
+            return None
+        request = self.captured[index]
+        self.attacks_sent += 1
+        self._reg_socket.sendto(
+            request, request.size, IPAddress(home_agent), MOBILE_IP_PORT,
+            src_override=self._own_address(),
+        )
+        return request
+
+    # ------------------------------------------------------------------
+    # Malformed-tunnel attacks
+    # ------------------------------------------------------------------
+    def send_bogus_tunnel(
+        self, dst: IPAddress, proto: IPProto = IPProto.IPIP, size: int = 64
+    ) -> Packet:
+        """A tunnel-protocol packet whose payload is not a packet."""
+        packet = Packet(
+            src=self._own_address(),
+            dst=IPAddress(dst),
+            proto=proto,
+            payload="not-an-ip-datagram",
+            payload_size=size,
+        )
+        self.attacks_sent += 1
+        self.ip_send(packet)
+        return packet
+
+    def send_truncated_tunnel(self, dst: IPAddress) -> Packet:
+        """A minimal-encapsulation packet with no forwarding header."""
+        packet = Packet(
+            src=self._own_address(),
+            dst=IPAddress(dst),
+            proto=IPProto.MINENC,
+            payload=None,
+            payload_size=8,
+        )
+        self.attacks_sent += 1
+        self.ip_send(packet)
+        return packet
+
+    # ------------------------------------------------------------------
+    def _own_address(self) -> IPAddress:
+        address = self._preferred_source()
+        if address is None:
+            raise RuntimeError(f"adversary {self.name} has no address")
+        return address
+
+    def run_schedule(
+        self, schedule: List[Tuple[float, str, dict]]
+    ) -> None:
+        """Schedule a list of attacks: ``(at, kind, kwargs)`` tuples.
+
+        ``kind`` is one of ``spoof``, ``replay``, ``bogus``,
+        ``truncated``; the fuzz harness drives this from its generated
+        adversary events.
+        """
+        dispatch = {
+            "spoof": self.spoof_registration,
+            "replay": self.replay_captured,
+            "bogus": self.send_bogus_tunnel,
+            "truncated": self.send_truncated_tunnel,
+        }
+        for at, kind, kwargs in schedule:
+            action = dispatch.get(kind)
+            if action is None:
+                raise ValueError(f"unknown adversary action {kind!r}")
+            self.simulator.events.schedule(
+                max(0.0, at - self.simulator.now),
+                lambda a=action, k=dict(kwargs): a(**k),
+                label=f"{self.name}:{kind}",
+            )

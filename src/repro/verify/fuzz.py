@@ -1,0 +1,438 @@
+"""Property-based fuzzing with shrinking.
+
+One :class:`FuzzCase` is a fully-serializable description of a run:
+a seed, a topology shape, a traffic mix, a fault schedule, and an
+adversary schedule.  :func:`run_case` builds the canonical stage from
+it, arms the :class:`~repro.verify.invariants.InvariantMonitor`, plays
+everything out, and reports any invariant violations.
+
+:func:`run_fuzz` generates cases seed-deterministically (the same
+``--seed`` explores the same cases in the same order) and, on the
+first violating case, **shrinks** it: greedily dropping fault events,
+adversary events, and traffic, and cutting topology and duration, as
+long as the violation reproduces.  The minimal case is written to disk
+as JSON so ``repro-mobility fuzz --repro file.json`` (or a regression
+test) can replay it exactly.
+
+Everything here is deterministic by construction: case generation uses
+its own :class:`random.Random`, and a run's behaviour depends only on
+the case's fields — never on wall clocks or global state.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..analysis.scenarios import Scenario, build_scenario
+from ..mobileip.correspondent import Awareness
+from ..mobileip.registration import RegistrationRequest, compute_authenticator
+from ..netsim.faults import FaultInjector, FaultPlan
+from .adversary import Adversary
+from .invariants import InvariantMonitor
+
+__all__ = [
+    "FuzzCase",
+    "CaseResult",
+    "FuzzReport",
+    "generate_case",
+    "run_case",
+    "shrink_case",
+    "run_fuzz",
+]
+
+AUTH_KEY = "fuzz-shared-secret"
+SETTLE_MARGIN = 5.0        # run past the nominal duration for stragglers
+TRAFFIC_PORT = 6200
+_TRAFFIC_SIZES = (50, 200, 600, 1400, 2500)
+_FAULT_MENU = ("link-flap", "loss-burst", "filter-toggle",
+               "agent-restart", "node-outage")
+_ADVERSARY_MENU = ("spoof", "replay", "bogus", "truncated")
+
+
+@dataclass
+class FuzzCase:
+    """One serializable fuzz input."""
+
+    seed: int
+    duration: float = 40.0
+    backbone_size: int = 4
+    ch_attach: int = 1
+    visited_filtering: bool = False
+    auth: bool = False
+    traffic: List[Dict[str, Any]] = field(default_factory=list)
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    adversary: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def event_count(self) -> int:
+        return len(self.traffic) + len(self.faults) + len(self.adversary)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FuzzCase":
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzCase":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class CaseResult:
+    """What one case's run produced."""
+
+    violations: List[Dict[str, Any]]
+    checks: Dict[str, int]
+    trace_entries: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violated_invariants(self) -> List[str]:
+        return sorted({v["invariant"] for v in self.violations})
+
+
+def generate_case(seed: int) -> FuzzCase:
+    """Derive one random case from a seed, deterministically."""
+    rng = random.Random(seed)
+    duration = round(rng.uniform(30.0, 80.0), 1)
+    backbone_size = rng.randint(3, 6)
+    case = FuzzCase(
+        seed=seed,
+        duration=duration,
+        backbone_size=backbone_size,
+        ch_attach=rng.randrange(backbone_size),
+        visited_filtering=rng.random() < 0.25,
+        auth=rng.random() < 0.5,
+    )
+    for _ in range(rng.randint(5, 20)):
+        case.traffic.append({
+            "at": round(rng.uniform(1.0, duration), 3),
+            "direction": rng.choice(("mh->ch", "ch->mh")),
+            "size": rng.choice(_TRAFFIC_SIZES),
+        })
+    for _ in range(rng.randint(0, 5)):
+        case.faults.extend(_random_fault(rng, duration))
+    for _ in range(rng.randint(0, 4)):
+        case.adversary.append({
+            "at": round(rng.uniform(2.0, duration), 3),
+            "kind": rng.choice(_ADVERSARY_MENU),
+        })
+    case.traffic.sort(key=lambda event: event["at"])
+    case.faults.sort(key=lambda event: event["time"])
+    case.adversary.sort(key=lambda event: event["at"])
+    return case
+
+
+def _random_fault(rng: random.Random, duration: float) -> List[Dict[str, Any]]:
+    kind = rng.choice(_FAULT_MENU)
+    at = round(rng.uniform(2.0, max(3.0, duration - 5.0)), 3)
+    if kind == "link-flap":
+        target = rng.choice(("uplink-visited", "uplink-home"))
+        return [{"time": at, "kind": "link-flap", "target": target,
+                 "params": {"duration": round(rng.uniform(1.0, 8.0), 3)}}]
+    if kind == "loss-burst":
+        target = rng.choice(("visited-lan", "home-lan"))
+        return [{"time": at, "kind": "loss-burst", "target": target,
+                 "params": {"duration": round(rng.uniform(1.0, 6.0), 3),
+                            "loss_rate": round(rng.uniform(0.3, 1.0), 3)}}]
+    if kind == "filter-toggle":
+        tighten = rng.random() < 0.5
+        return [{"time": at, "kind": "filter-toggle", "target": "visited-gw",
+                 "params": {"source_filtering": tighten,
+                            "forbid_transit": tighten}}]
+    if kind == "agent-restart":
+        return [{"time": at, "kind": "agent-restart", "target": "ha",
+                 "params": {"flush_bindings": rng.random() < 0.7}}]
+    # node-outage: a down always paired with a later up, so the run can
+    # end in a recoverable state.
+    target = rng.choice(("ha", "mh"))
+    up_at = round(at + rng.uniform(2.0, 10.0), 3)
+    return [
+        {"time": at, "kind": "node-down", "target": target, "params": {}},
+        {"time": up_at, "kind": "node-up", "target": target, "params": {}},
+    ]
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_case(
+    case: FuzzCase, max_tunnel_depth: Optional[int] = None
+) -> CaseResult:
+    """Build the case's world, run it with invariants armed, report."""
+    scenario = build_scenario(
+        seed=case.seed,
+        backbone_size=case.backbone_size,
+        ch_attach=min(case.ch_attach, case.backbone_size - 1),
+        ch_awareness=Awareness.DECAP_CAPABLE,
+        visited_filtering=case.visited_filtering,
+        auth_key=AUTH_KEY if case.auth else None,
+    )
+    sim = scenario.sim
+    kwargs = {} if max_tunnel_depth is None else {
+        "max_tunnel_depth": max_tunnel_depth
+    }
+    monitor = sim.enable_invariants(**kwargs)
+
+    _schedule_traffic(scenario, case)
+    if case.faults:
+        plan = FaultPlan()
+        for event in case.faults:
+            plan.add(event["time"], event["kind"], event["target"],
+                     **event.get("params", {}))
+        FaultInjector(sim, net=scenario.net).inject(plan)
+    if case.adversary:
+        _schedule_adversary(scenario, case)
+
+    sim.run(until=sim.now + case.duration + SETTLE_MARGIN)
+    monitor.finish(sim.now)
+    return CaseResult(
+        violations=[v.to_dict() for v in monitor.violations],
+        checks=dict(monitor.checks),
+        trace_entries=len(sim.trace.entries),
+    )
+
+
+def _schedule_traffic(scenario: Scenario, case: FuzzCase) -> None:
+    sim = scenario.sim
+    assert scenario.ch is not None and scenario.ch_ip is not None
+    ch_socket = scenario.ch.stack.udp_socket(TRAFFIC_PORT)
+    ch_socket.on_receive(lambda *args: None)
+    mh_socket = scenario.mh.stack.udp_socket(TRAFFIC_PORT)
+    mh_socket.on_receive(lambda *args: None)
+    for index, event in enumerate(case.traffic):
+        if event["direction"] == "mh->ch":
+            socket, dst = mh_socket, scenario.ch_ip
+        else:
+            socket, dst = ch_socket, scenario.mh.home_address
+        sim.events.schedule(
+            event["at"],
+            lambda s=socket, d=dst, size=event["size"], i=index:
+                s.sendto(("fuzz", i), size, d, TRAFFIC_PORT),
+            label=f"fuzz-traffic-{index}",
+        )
+
+
+def _schedule_adversary(scenario: Scenario, case: FuzzCase) -> None:
+    sim = scenario.sim
+    adversary = Adversary("adv", sim)
+    scenario.net.add_host("visited", adversary)
+    ha_ip = scenario.ha_ip
+    mh = scenario.mh
+
+    def attack(kind: str) -> None:
+        if kind == "spoof":
+            adversary.spoof_registration(ha_ip, mh.home_address)
+        elif kind == "replay":
+            # Model a request sniffed off the wire earlier: valid
+            # authenticator (the attacker has the ciphertext, not the
+            # key), stale ident.
+            care_of = mh.care_of if mh.care_of is not None else mh.home_address
+            lifetime = mh.reg_lifetime
+            auth = (
+                compute_authenticator(
+                    AUTH_KEY, mh.home_address, care_of, lifetime, 1)
+                if case.auth else None
+            )
+            adversary.capture(RegistrationRequest(
+                home_address=mh.home_address,
+                care_of_address=care_of,
+                lifetime=lifetime,
+                ident=1,
+                auth=auth,
+            ))
+            adversary.replay_captured(ha_ip)
+        elif kind == "bogus":
+            adversary.send_bogus_tunnel(mh.care_of or mh.home_address)
+        elif kind == "truncated":
+            adversary.send_truncated_tunnel(ha_ip)
+
+    for index, event in enumerate(case.adversary):
+        sim.events.schedule(
+            event["at"], lambda k=event["kind"]: attack(k),
+            label=f"fuzz-adversary-{index}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+def _candidates(case: FuzzCase) -> List[FuzzCase]:
+    """Smaller variants, most-aggressive first."""
+    variants: List[FuzzCase] = []
+
+    def clone(**changes: Any) -> FuzzCase:
+        data = case.to_dict()
+        data.update(changes)
+        return FuzzCase.from_dict(data)
+
+    if len(case.traffic) > 1:
+        half = len(case.traffic) // 2
+        variants.append(clone(traffic=case.traffic[:half]))
+        variants.append(clone(traffic=case.traffic[half:]))
+    for index in range(len(case.faults)):
+        variants.append(clone(
+            faults=case.faults[:index] + case.faults[index + 1:]))
+    for index in range(len(case.adversary)):
+        variants.append(clone(
+            adversary=case.adversary[:index] + case.adversary[index + 1:]))
+    if len(case.traffic) <= 4:
+        for index in range(len(case.traffic)):
+            variants.append(clone(
+                traffic=case.traffic[:index] + case.traffic[index + 1:]))
+    if case.backbone_size > 2:
+        variants.append(clone(backbone_size=case.backbone_size - 1,
+                              ch_attach=min(case.ch_attach,
+                                            case.backbone_size - 2)))
+    last_event = max(
+        [e["at"] for e in case.traffic]
+        + [e["time"] for e in case.faults]
+        + [e["at"] for e in case.adversary]
+        + [0.0]
+    )
+    if case.duration > last_event + SETTLE_MARGIN + 1.0:
+        variants.append(clone(duration=round(last_event + SETTLE_MARGIN, 1)))
+    return variants
+
+
+def shrink_case(
+    case: FuzzCase,
+    target_invariant: str,
+    max_runs: int = 200,
+    max_tunnel_depth: Optional[int] = None,
+) -> FuzzCase:
+    """Greedy shrink to a fixpoint, preserving the target violation."""
+    current = case
+    runs = 0
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        for candidate in _candidates(current):
+            runs += 1
+            if runs >= max_runs:
+                break
+            result = run_case(candidate, max_tunnel_depth=max_tunnel_depth)
+            if target_invariant in result.violated_invariants():
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+# ----------------------------------------------------------------------
+# The fuzz loop
+# ----------------------------------------------------------------------
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    seed: int
+    iterations: int
+    cases_run: int = 0
+    failed: bool = False
+    failing_case: Optional[Dict[str, Any]] = None
+    shrunk_case: Optional[Dict[str, Any]] = None
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    repro_path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "cases_run": self.cases_run,
+            "failed": self.failed,
+            "failing_case": self.failing_case,
+            "shrunk_case": self.shrunk_case,
+            "violations": self.violations,
+            "repro_path": self.repro_path,
+        }
+
+    def render(self) -> str:
+        if not self.failed:
+            return (f"fuzz: {self.cases_run}/{self.iterations} cases, "
+                    f"seed={self.seed}, no invariant violations")
+        lines = [
+            f"fuzz: FAILED after {self.cases_run} cases (seed={self.seed})",
+        ]
+        for violation in self.violations[:5]:
+            lines.append(
+                f"  [{violation['invariant']}] t={violation['time']:.3f} "
+                f"node={violation['node']} trace={violation['trace_id']}: "
+                f"{violation['message']}"
+            )
+        if self.shrunk_case is not None:
+            shrunk = FuzzCase.from_dict(self.shrunk_case)
+            lines.append(
+                f"  shrunk to {shrunk.event_count} events "
+                f"(duration {shrunk.duration:.0f}s, "
+                f"backbone {shrunk.backbone_size})"
+            )
+        if self.repro_path:
+            lines.append(f"  repro written to {self.repro_path}")
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    iterations: int = 200,
+    seed: int = 4,
+    out: Optional[str] = None,
+    shrink: bool = True,
+    max_tunnel_depth: Optional[int] = None,
+) -> FuzzReport:
+    """Run the fuzz loop; on the first violation, shrink and report.
+
+    ``out`` is where the shrunken repro JSON lands (only written on
+    failure).  Stops at the first failing case — fuzzing is a
+    detector, not a census.
+    """
+    master = random.Random(seed)
+    report = FuzzReport(seed=seed, iterations=iterations)
+    for _ in range(iterations):
+        case_seed = master.randrange(1 << 31)
+        case = generate_case(case_seed)
+        result = run_case(case, max_tunnel_depth=max_tunnel_depth)
+        report.cases_run += 1
+        if result.ok:
+            continue
+        report.failed = True
+        report.failing_case = case.to_dict()
+        report.violations = result.violations
+        if shrink:
+            target = result.violations[0]["invariant"]
+            shrunk = shrink_case(
+                case, target, max_tunnel_depth=max_tunnel_depth)
+            report.shrunk_case = shrunk.to_dict()
+        else:
+            report.shrunk_case = case.to_dict()
+        if out is not None:
+            with open(out, "w") as handle:
+                json.dump(
+                    {
+                        "case": report.shrunk_case,
+                        "violations": report.violations,
+                        "original_case": report.failing_case,
+                    },
+                    handle, indent=2, sort_keys=True,
+                )
+                handle.write("\n")
+            report.repro_path = out
+        break
+    return report
+
+
+def replay_repro(path: str) -> CaseResult:
+    """Re-run a repro file written by :func:`run_fuzz`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    case = FuzzCase.from_dict(payload["case"])
+    return run_case(case)

@@ -128,6 +128,71 @@ class TestReassembly:
         assert reassembler.pending == 0
         assert reassembler.timeouts == 1
 
+    def test_duplicate_fragment_rejected_and_counted(self):
+        packet = make_packet(3000)
+        pieces = fragment(packet, 1500)
+        reassembler = Reassembler()
+        assert reassembler.accept(pieces[0], now=0.0) is None
+        # The same fragment again (retransmitted or looped): rejected,
+        # buffer untouched, counted.
+        assert reassembler.accept(pieces[0], now=0.0) is None
+        assert reassembler.duplicates == 1
+        assert reassembler.pending == 1
+        # The remaining fragments still complete the datagram.
+        whole = None
+        for piece in pieces[1:]:
+            whole = reassembler.accept(piece, now=0.0)
+        assert whole is not None
+        assert whole.inner_size == 3000
+
+    def test_overlapping_fragment_rejected_and_counted(self):
+        packet = make_packet(3000)
+        pieces = fragment(packet, 1500)
+        reassembler = Reassembler()
+        assert reassembler.accept(pieces[0], now=0.0) is None
+        # A teardrop-style fragment whose range intersects a held one:
+        # starts inside piece 0, same datagram key.
+        overlap = packet.copy_for_fragment(offset=8, size=64, more=True)
+        overlap.shim_size = 0
+        overlap.invalidate_size_cache()
+        assert reassembler.accept(overlap, now=0.0) is None
+        assert reassembler.overlaps == 1
+        # First arrival wins: the buffer still reassembles cleanly.
+        whole = None
+        for piece in pieces[1:]:
+            whole = reassembler.accept(piece, now=0.0)
+        assert whole is not None
+        assert whole.inner_size == 3000
+
+    def test_buffer_expires_at_exactly_the_timeout(self):
+        """RFC 791 boundary: the buffer dies *at* REASSEMBLY_TIMEOUT,
+        not one event later."""
+        from repro.netsim.fragmentation import REASSEMBLY_TIMEOUT
+
+        packet = make_packet(3000)
+        pieces = fragment(packet, 1500)
+        reassembler = Reassembler()
+        reassembler.accept(pieces[0], now=0.0)
+        # Just before the deadline the buffer survives.
+        reassembler.accept(make_packet(50), now=REASSEMBLY_TIMEOUT - 1e-9)
+        assert reassembler.pending == 1
+        assert reassembler.timeouts == 0
+        # At exactly the deadline it is gone.
+        reassembler.accept(make_packet(50), now=REASSEMBLY_TIMEOUT)
+        assert reassembler.pending == 0
+        assert reassembler.timeouts == 1
+
+    def test_expiry_callback_receives_the_buffer(self):
+        expired = []
+        packet = make_packet(3000)
+        pieces = fragment(packet, 1500)
+        reassembler = Reassembler()
+        reassembler.on_expire = expired.append
+        reassembler.accept(pieces[0], now=0.0)
+        reassembler.accept(make_packet(50), now=100.0)
+        assert len(expired) == 1
+        assert pieces[0].frag_offset in expired[0].fragments
+
     def test_interleaved_datagrams_keep_separate_buffers(self):
         first = make_packet(3000)
         second = make_packet(3000)

@@ -89,6 +89,59 @@ class TestDontFragment:
         assert all(size <= 556 for size in seen)
 
 
+class TestIcmpFeedbackLoop:
+    def test_frag_needed_feedback_is_visible_end_to_end_in_the_trace(
+        self, narrow_path
+    ):
+        """The whole RFC 1191 exchange, verified from the global trace:
+        the DF datagram dies at the narrow hop, the router's ICMP
+        type-3 code-4 travels back and is *delivered* to the sender,
+        and the sender's reaction (MTU-sized resends) reaches the
+        destination."""
+        sim, a, ip_a, b, ip_b = narrow_path
+        delivered = []
+        b.proto_handlers[IPProto.UDP] = lambda p: delivered.append(p)
+
+        def react(packet, message):
+            data = getattr(message, "data", None)
+            if (isinstance(data, UnreachableData)
+                    and data.code is UnreachableCode.FRAGMENTATION_NEEDED):
+                a.ip_send(Packet(src=ip_a, dst=ip_b, proto=IPProto.UDP,
+                                 payload="retry", payload_size=data.mtu - 20,
+                                 dont_fragment=True))
+
+        a.icmp_hooks.append(react)
+        a.ip_send(Packet(src=ip_a, dst=ip_b, proto=IPProto.UDP,
+                         payload="x", payload_size=1000, dont_fragment=True))
+        sim.run(until=10)
+
+        entries = sim.trace.entries
+        # Act 1: the probe dies at the narrow hop, classified.
+        drops = [e for e in entries
+                 if e.action == "drop" and e.detail == "df-mtu-exceeded"]
+        assert len(drops) == 1
+        dropping_router = drops[0].node
+        assert dropping_router.startswith("bb")
+        # Act 2: that router's ICMP error is delivered back to the
+        # sender — not just synthesized, but carried hop by hop.
+        icmp_deliveries = [
+            e for e in entries
+            if e.action == "deliver" and e.node == "a1"
+            and e.dst == str(ip_a) and e.time > drops[0].time
+            and "ICMP" in e.packet_repr
+        ]
+        assert len(icmp_deliveries) == 1
+        # Act 3: the sender reacted and the resized datagram made it.
+        assert len(delivered) == 1
+        assert delivered[0].payload == "retry"
+        retry_deliveries = [
+            e for e in entries
+            if e.action == "deliver" and e.node == "b1"
+            and e.time > icmp_deliveries[0].time
+        ]
+        assert len(retry_deliveries) == 1
+
+
 class TestRefragmentation:
     def test_fragments_refragment_at_narrow_hop(self, narrow_path):
         """A 1500-MTU fragment meeting a 576-MTU link splits again and

@@ -237,3 +237,67 @@ class TestModuleEntryPoint:
         )
         assert result.returncode == 0
         assert "Out-IE" in result.stdout
+
+
+class TestChaosExitCodes:
+    def test_chaos_arms_invariants_and_reports_them(self, capsys):
+        assert main(["chaos", "--duration", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants" in out
+        assert "0 violations" in out
+
+    def test_chaos_exits_nonzero_on_invariant_violation(
+        self, capsys, monkeypatch
+    ):
+        from repro.netsim.router import Router
+
+        monkeypatch.setattr(Router, "ttl_decrement", 0)
+        assert main(["chaos", "--duration", "40"]) == 1
+        captured = capsys.readouterr()
+        assert "invariant violation" in captured.err
+
+
+class TestFuzzSubcommand:
+    def test_fuzz_clean_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "no invariant violations" in out
+        assert "seed=1996" in out  # the CLI's global default seed
+
+    def test_fuzz_seed_flag_overrides_default(self, capsys):
+        assert main(["fuzz", "--iterations", "1", "--seed", "9"]) == 0
+        assert "seed=9" in capsys.readouterr().out
+
+    def test_fuzz_exits_nonzero_and_writes_repro_on_violation(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        from repro.netsim.router import Router
+
+        monkeypatch.setattr(Router, "ttl_decrement", 0)
+        out_file = tmp_path / "repro.json"
+        assert main(["fuzz", "--iterations", "2", "--no-shrink",
+                     "--out", str(out_file)]) == 1
+        captured = capsys.readouterr().out
+        assert "FAILED" in captured
+        payload = json.loads(out_file.read_text())
+        assert payload["case"]
+        # Replaying the repro (sabotage still in place) fails too…
+        assert main(["fuzz", "--repro", str(out_file)]) == 1
+        assert "ttl-decreases" in capsys.readouterr().out
+
+    def test_fuzz_repro_of_clean_case_exits_zero(self, tmp_path, capsys):
+        import json
+
+        from repro.verify.fuzz import generate_case
+
+        repro = tmp_path / "clean.json"
+        repro.write_text(json.dumps(
+            {"case": generate_case(4242).to_dict(), "violations": []}))
+        assert main(["fuzz", "--repro", str(repro)]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_fuzz_missing_repro_errors(self, tmp_path, capsys):
+        assert main(["fuzz", "--repro", str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err

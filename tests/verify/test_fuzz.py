@@ -1,0 +1,87 @@
+"""Tests for the self-shrinking fuzz harness."""
+
+import json
+
+from repro.netsim.router import Router
+from repro.verify.fuzz import (
+    FuzzCase,
+    generate_case,
+    replay_repro,
+    run_case,
+    run_fuzz,
+    shrink_case,
+)
+
+
+class TestCaseGeneration:
+    def test_same_seed_same_case(self):
+        assert generate_case(12345) == generate_case(12345)
+
+    def test_different_seeds_differ(self):
+        cases = {generate_case(seed).to_json() for seed in range(10)}
+        assert len(cases) == 10
+
+    def test_events_are_time_sorted(self):
+        case = generate_case(7)
+        for events, key in ((case.traffic, "at"), (case.faults, "time"),
+                            (case.adversary, "at")):
+            times = [e[key] for e in events]
+            assert times == sorted(times)
+
+    def test_json_round_trip(self):
+        case = generate_case(99)
+        assert FuzzCase.from_json(case.to_json()) == case
+
+
+class TestRunCase:
+    def test_same_case_same_result(self):
+        case = generate_case(4242)
+        first = run_case(case)
+        second = run_case(case)
+        assert first.trace_entries == second.trace_entries
+        assert first.checks == second.checks
+        assert first.violations == second.violations
+
+    def test_case_runs_are_violation_free_and_checked(self):
+        case = generate_case(4242)
+        result = run_case(case)
+        assert result.ok, result.violations
+        assert result.checks["no-loop"] > 0
+        assert result.checks["termination"] > 0
+
+
+class TestFuzzLoop:
+    def test_short_campaign_finds_nothing(self):
+        report = run_fuzz(iterations=5, seed=4)
+        assert not report.failed
+        assert report.cases_run == 5
+
+    def test_campaign_is_seed_deterministic(self):
+        first = run_fuzz(iterations=3, seed=17)
+        second = run_fuzz(iterations=3, seed=17)
+        assert first.to_dict() == second.to_dict()
+
+    def test_broken_ttl_is_caught_and_shrunk(self, monkeypatch, tmp_path):
+        """The acceptance sabotage: a router that forgets to decrement
+        TTL must be caught and shrunk to a tiny repro."""
+        monkeypatch.setattr(Router, "ttl_decrement", 0)
+        out = tmp_path / "repro.json"
+        report = run_fuzz(iterations=5, seed=4, out=str(out))
+        assert report.failed
+        assert any(v["invariant"] == "ttl-decreases"
+                   for v in report.violations)
+        shrunk = FuzzCase.from_dict(report.shrunk_case)
+        assert shrunk.event_count <= 10
+        # The repro file replays to the same violation.
+        payload = json.loads(out.read_text())
+        assert payload["case"] == report.shrunk_case
+        result = replay_repro(str(out))
+        assert "ttl-decreases" in result.violated_invariants()
+
+    def test_shrinking_preserves_the_target_violation(self, monkeypatch):
+        monkeypatch.setattr(Router, "ttl_decrement", 0)
+        case = generate_case(4242)
+        assert "ttl-decreases" in run_case(case).violated_invariants()
+        shrunk = shrink_case(case, "ttl-decreases", max_runs=40)
+        assert shrunk.event_count <= case.event_count
+        assert "ttl-decreases" in run_case(shrunk).violated_invariants()
