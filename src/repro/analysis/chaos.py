@@ -17,18 +17,70 @@ the chaos determinism tests pin.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from ..bench.golden import trace_digest
 from ..core.selection import ProbeStrategy
+from ..experiment.runner import Runner
+from ..experiment.spec import ExperimentSpec
 from ..mobileip.correspondent import Awareness
-from ..netsim.faults import FaultInjector, FaultKind, FaultPlan
+from ..netsim.faults import FaultKind, FaultPlan
 from .scenarios import Scenario, build_scenario
 
-__all__ = ["CHAOS_PORT", "ChaosReport", "build_chaos_stage", "demo_plan", "run_chaos"]
+__all__ = [
+    "CHAOS_PORT",
+    "ChaosReport",
+    "build_chaos_stage",
+    "chaos_spec",
+    "demo_plan",
+    "run_chaos",
+]
 
 CHAOS_PORT = 6100
+
+# build_scenario kwarg names whose spec field is spelled differently.
+_KWARG_TO_SPEC_FIELD = {"ch_awareness": "awareness", "scheme": "encap"}
+
+
+def _spec_fields(overrides: Dict[str, Any]) -> Dict[str, Any]:
+    """Translate ``build_scenario`` keyword overrides to spec fields."""
+    fields: Dict[str, Any] = {}
+    for key, value in overrides.items():
+        if isinstance(value, enum.Enum):
+            value = value.value
+        fields[_KWARG_TO_SPEC_FIELD.get(key, key)] = value
+    return fields
+
+
+def chaos_spec(
+    seed: int = 4242,
+    duration: float = 260.0,
+    strategy: ProbeStrategy = ProbeStrategy.CONSERVATIVE_FIRST,
+    plan: Optional[FaultPlan] = None,
+    arm_invariants: bool = False,
+    **overrides: Any,
+) -> ExperimentSpec:
+    """The chaos world as an :class:`ExperimentSpec`.
+
+    The visited domain is permissive (no egress source filtering) and
+    the correspondent can decapsulate, so a conservative-first mobile
+    host genuinely climbs Out-IE → Out-DE → Out-DH when the network is
+    healthy — giving faults something to knock down.  ``overrides``
+    take ``build_scenario`` keyword names for backward compatibility.
+    """
+    fields: Dict[str, Any] = dict(
+        seed=seed,
+        duration=duration,
+        absolute=True,
+        strategy=strategy.value,
+        awareness=Awareness.DECAP_CAPABLE.value,
+        visited_filtering=False,
+        arm_invariants=arm_invariants,
+        faults=plan.to_dict() if plan is not None else None,
+    )
+    fields.update(_spec_fields(overrides))
+    return ExperimentSpec(**fields)
 
 
 def build_chaos_stage(
@@ -36,21 +88,9 @@ def build_chaos_stage(
     strategy: ProbeStrategy = ProbeStrategy.CONSERVATIVE_FIRST,
     **overrides: Any,
 ) -> Scenario:
-    """The standard stage, tuned so the whole mode ladder is reachable.
-
-    The visited domain is permissive (no egress source filtering) and
-    the correspondent can decapsulate, so a conservative-first mobile
-    host genuinely climbs Out-IE → Out-DE → Out-DH when the network is
-    healthy — giving faults something to knock down.
-    """
-    defaults: Dict[str, Any] = dict(
-        seed=seed,
-        strategy=strategy,
-        ch_awareness=Awareness.DECAP_CAPABLE,
-        visited_filtering=False,
-    )
-    defaults.update(overrides)
-    return build_scenario(**defaults)
+    """Build (only) the chaos stage — :func:`chaos_spec`'s world."""
+    spec = chaos_spec(seed=seed, strategy=strategy, **overrides)
+    return build_scenario(**spec.scenario_kwargs())
 
 
 def demo_plan() -> FaultPlan:
@@ -169,66 +209,73 @@ def run_chaos(
     refresh cadence so a scripted home-agent outage lands on a live
     refresh instead of slipping between 300-second ones.
     """
-    scenario = build_chaos_stage(seed=seed, strategy=strategy, **overrides)
-    assert scenario.ch is not None and scenario.ch_ip is not None
-    sim = scenario.sim
-    # The monitor is passive (no RNG draws, no state mutation), so
-    # arming it never changes the digest of the run it watches.
-    monitor = sim.enable_invariants() if arm_invariants else None
-    if reg_lifetime is not None:
-        scenario.mh.reg_lifetime = reg_lifetime
-        if scenario.mh.registered:
-            scenario.mh.register_with_home_agent(reg_lifetime)
     if plan is None:
         plan = demo_plan()
-    injector = FaultInjector(sim, net=scenario.net)
-    injector.inject(plan)
-
-    scenario.ch.stack.listen(
-        CHAOS_PORT,
-        lambda conn: setattr(
-            conn, "on_data", lambda d, s: conn.send(20, ("ack", d))
-        ),
+    # The monitor is passive (no RNG draws, no state mutation), so
+    # arming it never changes the digest of the run it watches.
+    spec = chaos_spec(
+        seed=seed,
+        duration=duration,
+        strategy=strategy,
+        plan=plan,
+        arm_invariants=arm_invariants,
+        **overrides,
     )
     state = {"conn": None, "sent": 0, "echoes": 0, "reconnects": 0}
 
-    def fresh_conn():
-        conn = scenario.mh.stack.connect(scenario.ch_ip, CHAOS_PORT)
-        conn.on_data = lambda d, s: state.__setitem__(
-            "echoes", state["echoes"] + 1
+    def conversation(scenario: Scenario, _spec: ExperimentSpec):
+        assert scenario.ch is not None and scenario.ch_ip is not None
+        sim = scenario.sim
+        if reg_lifetime is not None:
+            scenario.mh.reg_lifetime = reg_lifetime
+            if scenario.mh.registered:
+                scenario.mh.register_with_home_agent(reg_lifetime)
+
+        scenario.ch.stack.listen(
+            CHAOS_PORT,
+            lambda conn: setattr(
+                conn, "on_data", lambda d, s: conn.send(20, ("ack", d))
+            ),
         )
-        state["conn"] = conn
-        return conn
 
-    def tick() -> None:
-        if sim.now >= duration:
-            return
-        conn = state["conn"]
-        if conn is None or not (
-            conn.is_open or conn.state.value == "SYN_SENT"
-        ):
-            if conn is not None:
-                state["reconnects"] += 1
-            fresh_conn()
-        elif conn.is_open:
-            state["sent"] += 1
-            conn.send(50, state["sent"])
+        def fresh_conn():
+            conn = scenario.mh.stack.connect(scenario.ch_ip, CHAOS_PORT)
+            conn.on_data = lambda d, s: state.__setitem__(
+                "echoes", state["echoes"] + 1
+            )
+            state["conn"] = conn
+            return conn
+
+        def tick() -> None:
+            if sim.now >= duration:
+                return
+            conn = state["conn"]
+            if conn is None or not (
+                conn.is_open or conn.state.value == "SYN_SENT"
+            ):
+                if conn is not None:
+                    state["reconnects"] += 1
+                fresh_conn()
+            elif conn.is_open:
+                state["sent"] += 1
+                conn.send(50, state["sent"])
+            sim.events.schedule(message_interval, tick)
+
+        fresh_conn()
         sim.events.schedule(message_interval, tick)
+        return None
 
-    fresh_conn()
-    sim.events.schedule(message_interval, tick)
-    sim.run(until=duration)
-    if monitor is not None:
-        monitor.finish(sim.now)
-
-    digest, entries = trace_digest(sim.trace)
+    runner = Runner()
+    result = runner.run(spec, driver=conversation)
+    scenario = runner.scenario
+    assert scenario is not None
     record = scenario.mh.engine.cache.records.get(scenario.ch_ip)
     return ChaosReport(
         seed=seed,
         duration=duration,
-        digest=digest,
-        trace_entries=entries,
-        faults=dict(injector.applied),
+        digest=result.digest,
+        trace_entries=result.trace_entries,
+        faults=dict(result.faults),
         messages_sent=state["sent"],
         echoes=state["echoes"],
         reconnects=state["reconnects"],
@@ -240,6 +287,6 @@ def run_chaos(
         mode_changes=scenario.mh.engine.cache.total_mode_changes(),
         final_mode=record.current.value if record else None,
         forgiveness=record.forgiveness if record else 0,
-        invariants_armed=monitor is not None,
-        invariant_violations=monitor.violation_count if monitor else 0,
+        invariants_armed=result.invariants["armed"],
+        invariant_violations=result.invariants.get("violation_count", 0),
     )

@@ -16,6 +16,7 @@ construct it once, consistently, for tests, examples, and benchmarks:
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Optional
 
@@ -31,7 +32,7 @@ from ..netsim.encap import EncapScheme
 from ..netsim.simulator import Simulator
 from ..netsim.topology import Domain, Internet
 
-__all__ = ["Scenario", "build_scenario", "MH_HOME_ADDRESS"]
+__all__ = ["Scenario", "build_scenario", "MH_HOME_ADDRESS", "SCENARIO_KNOBS"]
 
 MH_HOME_ADDRESS = IPAddress("10.1.0.10")
 
@@ -196,3 +197,10 @@ def build_scenario(
             mh.move_to(net, "visited")
         scenario.settle()
     return scenario
+
+
+# The builder's real keyword surface, derived from the signature so it
+# cannot drift.  repro.experiment.spec validates against this: an
+# ExperimentSpec may only produce kwargs named here.
+SCENARIO_KNOBS = frozenset(
+    inspect.signature(build_scenario).parameters)

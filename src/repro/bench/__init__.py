@@ -24,6 +24,7 @@ micro-benchmarks.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -37,6 +38,8 @@ __all__ = [
     "run_scenario_traffic",
     "run_obs_overhead",
     "run_chaos_recovery",
+    "run_sweep_throughput",
+    "run_sweep_throughput_parallel",
     "run_packet_sizing",
     "run_address_churn",
     "run_suite",
@@ -115,21 +118,15 @@ def run_scenario_traffic(datagrams: int = 200, seed: int = 1401) -> Tuple[int, s
     The workload shape most figure benchmarks use: correspondent sends
     to the mobile host's home address, the home agent tunnels to the
     care-of address, packets traverse backbone routers and links.
+    Executed through the experiment runner, so its numbers also price
+    the canonical lifecycle every sweep cell pays.
     """
-    from repro.analysis import MH_HOME_ADDRESS, build_scenario
-    from repro.mobileip import Awareness
+    from repro.experiment import Runner, canonical_traffic_spec
 
-    scenario = build_scenario(seed=seed, ch_awareness=Awareness.CONVENTIONAL)
-    sock = scenario.mh.stack.udp_socket(7000)
-    sock.on_receive(lambda *args: None)
-    ch_sock = scenario.ch.stack.udp_socket()
-    for index in range(datagrams):
-        scenario.sim.events.schedule(
-            index * 0.01,
-            lambda: ch_sock.sendto("x", 100, MH_HOME_ADDRESS, 7000),
-        )
-    scenario.sim.run_for(30)
-    assert scenario.ha.packets_tunneled == datagrams
+    runner = Runner()
+    runner.run(canonical_traffic_spec(seed=seed, datagrams=datagrams))
+    assert runner.scenario is not None
+    assert runner.scenario.ha.packets_tunneled == datagrams
     return datagrams, "packets"
 
 
@@ -142,23 +139,12 @@ def run_obs_overhead(datagrams: int = 200, seed: int = 1401) -> Tuple[int, str]:
     the acceptance bar for the layer is that ``scenario_traffic`` itself
     (observability off) stays flat, which the baseline diff shows.
     """
-    from repro.analysis import MH_HOME_ADDRESS, build_scenario
-    from repro.mobileip import Awareness
+    from repro.experiment import Runner, canonical_traffic_spec
 
-    scenario = build_scenario(seed=seed, ch_awareness=Awareness.CONVENTIONAL)
-    obs = scenario.sim.enable_observability(engine_cadence=0.1)
-    sock = scenario.mh.stack.udp_socket(7000)
-    sock.on_receive(lambda *args: None)
-    ch_sock = scenario.ch.stack.udp_socket()
-    for index in range(datagrams):
-        scenario.sim.events.schedule(
-            index * 0.01,
-            lambda: ch_sock.sendto("x", 100, MH_HOME_ADDRESS, 7000),
-        )
-    scenario.sim.run_for(30)
-    obs.finish()
-    report = obs.report()
-    assert report["spans"]["count"] >= datagrams
+    result = Runner().run(canonical_traffic_spec(
+        seed=seed, datagrams=datagrams, observe=True, obs_cadence=0.1))
+    assert result.obs is not None
+    assert result.obs["spans"]["count"] >= datagrams
     return datagrams, "packets"
 
 
@@ -176,6 +162,33 @@ def run_chaos_recovery(duration: float = 260.0, seed: int = 4242) -> Tuple[int, 
     assert report.faults, "fault plan applied no events"
     assert report.registered, "mobile host failed to recover registration"
     return report.trace_entries, "trace entries"
+
+
+def run_sweep_throughput(
+    jobs: int = 1, specs: int = 8, datagrams: int = 40
+) -> Tuple[int, str]:
+    """Execute a fixed slice of the demo grid through the sweep executor.
+
+    The unit is completed runs, so ``ops/sec`` is sweep throughput in
+    runs per second.  Compare ``sweep_throughput`` (``jobs=1``, inline)
+    against ``sweep_throughput_j4`` (``jobs=4``, spawn pool) to read
+    off parallel scaling on the host; the report's ``meta.cpu_count``
+    says how many cores the ratio could possibly reach.
+    """
+    from repro.experiment import SweepExecutor, demo_grid
+
+    grid = demo_grid(seeds=[1996], datagrams=datagrams)
+    expanded = grid.expand()[:specs]
+    result = SweepExecutor(jobs=jobs).run(expanded)
+    assert result.ok, "demo-grid sweep hit invariant violations"
+    return result.runs, "runs"
+
+
+def run_sweep_throughput_parallel(
+    specs: int = 8, datagrams: int = 40
+) -> Tuple[int, str]:
+    """``sweep_throughput`` across a 4-worker spawn pool (same specs)."""
+    return run_sweep_throughput(jobs=4, specs=specs, datagrams=datagrams)
 
 
 def run_packet_sizing(n: int = 30_000) -> Tuple[int, str]:
@@ -231,6 +244,8 @@ WORKLOADS: Dict[str, Callable[..., Tuple[int, str]]] = {
     "scenario_traffic": run_scenario_traffic,
     "obs_overhead": run_obs_overhead,
     "chaos_recovery": run_chaos_recovery,
+    "sweep_throughput": run_sweep_throughput,
+    "sweep_throughput_j4": run_sweep_throughput_parallel,
     "packet_sizing": run_packet_sizing,
     "address_churn": run_address_churn,
 }
@@ -242,6 +257,8 @@ _QUICK_ARGS: Dict[str, Dict[str, int]] = {
     "scenario_traffic": {"datagrams": 50},
     "obs_overhead": {"datagrams": 50},
     "chaos_recovery": {"duration": 130.0},
+    "sweep_throughput": {"specs": 4, "datagrams": 20},
+    "sweep_throughput_j4": {"specs": 4, "datagrams": 20},
     "packet_sizing": {"n": 4_000},
     "address_churn": {"n": 4_000},
 }
@@ -282,6 +299,7 @@ def run_suite(quick: bool = False, repeat: int = 3) -> Dict[str, Any]:
         "meta": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
             "quick": quick,
             "repeat": repeat,
         },

@@ -20,6 +20,10 @@ Subcommands:
 * ``chaos``       — run the stage under a fault-injection script
   (``--fault-script faults.json``, or the built-in demo plan) and
   report how the recovery machinery fared.
+* ``sweep``       — expand an experiment-spec grid (``--grid g.json``,
+  or the built-in 4x4-coverage grid) and run every cell, optionally
+  across worker processes (``--jobs N``); ``--spec repro.json``
+  replays a single spec, including one embedded in a fuzz repro.
 
 The global ``--obs-out report.json`` flag enables the observability
 layer (metrics registry snapshot, packet-lifecycle spans, engine
@@ -39,6 +43,7 @@ from typing import List, Optional
 from .analysis.scenarios import MH_HOME_ADDRESS, build_scenario
 from .core.grid import GRID
 from .core.modes import AddressPlan, InMode, OutMode, build_incoming_direct, build_outgoing
+from .experiment import ExperimentSpec, SpecError
 from .mobileip import Awareness
 from .netsim import IPAddress, render_topology, traceroute
 from .netsim.packet import IPProto
@@ -46,14 +51,27 @@ from .netsim.packet import IPProto
 __all__ = ["main"]
 
 
-def _build_scenario(args: argparse.Namespace, **kwargs):
-    """``build_scenario`` plus optional observability attachment.
+def spec_from_args(args: argparse.Namespace, **overrides) -> ExperimentSpec:
+    """The one place argparse output becomes an :class:`ExperimentSpec`.
+
+    Every scenario-building subcommand describes its world as the
+    default spec (the canonical stage) plus command-specific
+    ``overrides`` — no subcommand re-spells the builder's keyword
+    list.
+    """
+    fields = {"seed": args.seed}
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+def _build_scenario(args: argparse.Namespace, spec: ExperimentSpec):
+    """Build a spec's scenario, plus optional observability attachment.
 
     Every subcommand that assembles a stage goes through here so the
     global ``--obs-out`` flag can enable the observability layer on
     each scenario and collect the reports for ``main`` to merge.
     """
-    scenario = build_scenario(**kwargs)
+    scenario = build_scenario(**spec.scenario_kwargs())
     if getattr(args, "obs_out", None):
         args._obs.append(scenario.sim.enable_observability())
     return scenario
@@ -83,14 +101,13 @@ def _cmd_grid(args: argparse.Namespace) -> int:
 def _run_cell(in_mode: InMode, out_mode: OutMode, args: argparse.Namespace) -> bool:
     from .transport import UDPDatagram
 
-    scenario = _build_scenario(
+    scenario = _build_scenario(args, spec_from_args(
         args,
-        seed=args.seed,
-        ch_awareness=Awareness.MOBILE_AWARE,
+        awareness=Awareness.MOBILE_AWARE.value,
         ch_in_visited_lan=(in_mode is InMode.IN_DH),
         visited_filtering=False,
         ch_filtering=False,
-    )
+    ))
     plan = AddressPlan(MH_HOME_ADDRESS, scenario.mh.care_of,
                        scenario.ha_ip, scenario.ch_ip)
     if in_mode in (InMode.IN_DE, InMode.IN_DH):
@@ -139,8 +156,7 @@ def _describe(packet) -> str:
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
-    scenario = _build_scenario(args, seed=args.seed,
-                               ch_awareness=Awareness.CONVENTIONAL)
+    scenario = _build_scenario(args, spec_from_args(args))
     print(render_topology(scenario.net))
     print(f"\nmobile host: home {MH_HOME_ADDRESS}, care-of "
           f"{scenario.mh.care_of}, registered={scenario.mh.registered}")
@@ -148,9 +164,8 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    scenario = _build_scenario(args, seed=args.seed,
-                               ch_awareness=Awareness.CONVENTIONAL,
-                               visited_filtering=False)
+    scenario = _build_scenario(
+        args, spec_from_args(args, visited_filtering=False))
     names = {}
     for node in scenario.sim.nodes.values():
         for address in node.addresses:
@@ -180,8 +195,7 @@ def _cmd_durability(args: argparse.Namespace) -> int:
 
     for label, bound in (("Mobile IP (home endpoint)", False),
                          ("no Mobile IP (care-of endpoint)", True)):
-        scenario = _build_scenario(args, seed=args.seed,
-                                   ch_awareness=Awareness.CONVENTIONAL)
+        scenario = _build_scenario(args, spec_from_args(args))
         scenario.net.add_domain("visited2", "10.5.0.0/16", attach_at=3)
         TelnetServer(scenario.ch.stack)
         session = TelnetSession(
@@ -200,25 +214,30 @@ def _cmd_durability(args: argparse.Namespace) -> int:
 
 def _cmd_obs(args: argparse.Namespace) -> int:
     """Run canonical traffic with the full observability layer on."""
-    scenario = build_scenario(seed=args.seed,
-                              ch_awareness=Awareness.CONVENTIONAL)
-    obs = scenario.sim.enable_observability(engine_cadence=args.cadence)
+    from .experiment import Runner, TrafficProgram
+
+    traffic = None
+    if args.datagrams > 0:
+        traffic = TrafficProgram(port=7000, uniform={
+            "datagrams": args.datagrams,
+            "spacing": args.duration / args.datagrams,
+            "size": 100,
+            "direction": "ch->mh",
+        })
+    spec = spec_from_args(
+        args,
+        duration=args.duration + 5.0,
+        traffic=traffic,
+        observe=True,
+        obs_cadence=args.cadence,
+    )
+    runner = Runner()
+    result = runner.run(spec)
+    obs = runner.scenario.sim.obs
     if getattr(args, "obs_out", None):
         args._obs.append(obs)
 
-    sock = scenario.mh.stack.udp_socket(7000)
-    sock.on_receive(lambda *_: None)
-    ch_sock = scenario.ch.stack.udp_socket()
-    spacing = args.duration / max(args.datagrams, 1)
-    for index in range(args.datagrams):
-        scenario.sim.events.schedule(
-            index * spacing,
-            lambda: ch_sock.sendto("x", 100, MH_HOME_ADDRESS, 7000),
-        )
-    scenario.sim.run_for(args.duration + 5.0)
-    obs.finish()
-
-    report = obs.report()
+    report = result.obs
     print(f"simulated {report['sim_time']:.1f}s, "
           f"{report['events_processed']} events processed")
     print("\nper-mode datagram summary:")
@@ -301,6 +320,49 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if not report.registered:
         print("error: mobile host did not recover its registration",
               file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Expand a spec grid and fan the runs out across processes."""
+    import json
+
+    from .experiment import ExperimentSpec, SpecGrid, SweepExecutor, demo_grid
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 1
+    if args.spec and args.grid:
+        print("error: --spec and --grid are mutually exclusive",
+              file=sys.stderr)
+        return 1
+    try:
+        if args.spec:
+            specs = [ExperimentSpec.from_file(args.spec)]
+        elif args.grid:
+            specs = SpecGrid.from_file(args.grid).expand()
+        else:
+            specs = demo_grid().expand()
+    except (OSError, SpecError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.show_specs:
+        print(json.dumps([spec.to_dict() for spec in specs], indent=2,
+                         sort_keys=True))
+        return 0
+    executor = SweepExecutor(jobs=args.jobs)
+    result = executor.run(specs)
+    print(result.render())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"sweep results written to {args.json_out}")
+    if result.violation_count:
+        print(f"error: {result.violation_count} invariant violation(s) "
+              "across the sweep", file=sys.stderr)
         return 1
     return 0
 
@@ -399,6 +461,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the chaos report as JSON")
     chaos.set_defaults(func=_cmd_chaos)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="expand a spec grid and run it across worker processes")
+    sweep.add_argument("--grid", metavar="PATH", default=None,
+                       help="spec grid JSON ({\"base\": {...}, \"axes\": "
+                            "{...}}); default: the built-in 4x4-coverage "
+                            "grid")
+    sweep.add_argument("--spec", metavar="PATH", default=None,
+                       help="run a single experiment spec (also accepts a "
+                            "fuzz repro file, replaying its embedded spec)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1: run inline; "
+                            "per-run digests are identical at any --jobs)")
+    sweep.add_argument("--json-out", metavar="PATH", default=None,
+                       help="write the full sweep results as JSON")
+    sweep.add_argument("--show-specs", action="store_true",
+                       help="print the expanded specs as JSON and exit "
+                            "(no run)")
+    sweep.set_defaults(func=_cmd_sweep)
+
     fuzz = sub.add_parser(
         "fuzz",
         help="fuzz random topologies/traffic/faults with invariants armed")
@@ -441,7 +523,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     args._obs = []
-    status = args.func(args)
+    try:
+        status = args.func(args)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if getattr(args, "obs_out", None) and args._obs:
         import json
 

@@ -1,0 +1,39 @@
+"""The experiment layer: declarative runs, one lifecycle, parallel sweeps.
+
+* :mod:`repro.experiment.spec` — :class:`ExperimentSpec`, a validated
+  JSON-serializable description of one run (world knobs, traffic
+  program, fault plan, adversary schedule, arming, seed);
+* :mod:`repro.experiment.runner` — :class:`Runner`, the canonical
+  build → arm → drive → collect sequence, returning a plain-data
+  :class:`RunResult`;
+* :mod:`repro.experiment.sweep` — :class:`SpecGrid` expansion and the
+  :class:`SweepExecutor` that fans runs out across worker processes
+  with byte-identical-to-serial per-run trace digests.
+
+See docs/ARCHITECTURE.md §10.
+"""
+
+from .runner import Driver, Runner, RunResult
+from .spec import (
+    ADVERSARY_KINDS,
+    ExperimentSpec,
+    SpecError,
+    TrafficProgram,
+    canonical_traffic_spec,
+)
+from .sweep import SpecGrid, SweepExecutor, SweepResult, demo_grid
+
+__all__ = [
+    "ADVERSARY_KINDS",
+    "Driver",
+    "ExperimentSpec",
+    "Runner",
+    "RunResult",
+    "SpecError",
+    "SpecGrid",
+    "SweepExecutor",
+    "SweepResult",
+    "TrafficProgram",
+    "canonical_traffic_spec",
+    "demo_grid",
+]

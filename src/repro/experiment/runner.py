@@ -1,0 +1,278 @@
+"""The canonical run lifecycle: build → arm → drive → collect.
+
+Every driver in the tree used to hand-roll this sequence around
+:func:`build_scenario`; the :class:`Runner` owns it once.  Given an
+:class:`~repro.experiment.spec.ExperimentSpec` it
+
+1. **builds** the scenario from ``spec.scenario_kwargs()``;
+2. **arms** the observability layer (``spec.observe``), the invariant
+   monitor (``spec.arm_invariants``), the fault plan, and the
+   adversary schedule — in that fixed order, which reproduces the
+   event-queue insertion order of the legacy call sites so trace
+   digests are byte-identical to the code this replaced;
+3. **drives** the spec's traffic program (and an optional in-process
+   ``driver`` hook for workloads that need custom sockets — the chaos
+   conversation, the CLI's figure experiments);
+4. **collects** a :class:`RunResult`: trace digest, deliverability and
+   overhead summaries, a full metrics-registry snapshot, and the
+   invariant verdict.
+
+A :class:`RunResult` is plain data (JSON/pickle-clean), so runs can
+execute in worker processes and merge losslessly — the property the
+parallel sweep executor is built on.  For in-process callers that need
+the live objects (benchmark asserts, chrome-trace export), the runner
+keeps the last scenario on :attr:`Runner.scenario`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..analysis.scenarios import Scenario, build_scenario
+from ..bench.golden import trace_digest
+from ..netsim.faults import FaultInjector
+from .spec import ExperimentSpec
+
+__all__ = ["RunResult", "Runner", "Driver"]
+
+# A driver installs custom workload machinery on the built, armed
+# scenario before the clock runs, and may return a collector invoked
+# after the run whose dict lands in RunResult.extras.
+Driver = Callable[[Scenario, ExperimentSpec], Optional[Callable[[], Dict[str, Any]]]]
+
+
+@dataclass
+class RunResult:
+    """Everything one run produced, as plain data."""
+
+    spec: Dict[str, Any]
+    label: str
+    seed: int
+    sim_time: float
+    digest: str
+    trace_entries: int
+    deliverability: Dict[str, Any]
+    overhead: Dict[str, Any]
+    metrics: Dict[str, Any]
+    invariants: Dict[str, Any]
+    registered: Optional[bool]
+    faults: Dict[str, int] = field(default_factory=dict)
+    obs: Optional[Dict[str, Any]] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """No invariant violations (vacuously true when unarmed)."""
+        return not self.invariants.get("violation_count")
+
+    @property
+    def violations(self) -> List[Dict[str, Any]]:
+        return self.invariants.get("violations", [])
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec,
+            "label": self.label,
+            "seed": self.seed,
+            "sim_time": self.sim_time,
+            "digest": self.digest,
+            "trace_entries": self.trace_entries,
+            "deliverability": self.deliverability,
+            "overhead": self.overhead,
+            "metrics": self.metrics,
+            "invariants": self.invariants,
+            "registered": self.registered,
+            "faults": self.faults,
+            "obs": self.obs,
+            "extras": self.extras,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        return cls(**data)
+
+
+class Runner:
+    """Executes one :class:`ExperimentSpec` through the full lifecycle."""
+
+    def __init__(self) -> None:
+        self.scenario: Optional[Scenario] = None
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        driver: Optional[Driver] = None,
+    ) -> RunResult:
+        # -- build ----------------------------------------------------
+        scenario = build_scenario(**spec.scenario_kwargs())
+        self.scenario = scenario
+        sim = scenario.sim
+
+        # -- arm ------------------------------------------------------
+        obs = (
+            sim.enable_observability(engine_cadence=spec.obs_cadence)
+            if spec.observe else None
+        )
+        monitor = (
+            sim.enable_invariants(**spec.invariant_kwargs())
+            if spec.arm_invariants else None
+        )
+
+        # -- drive ----------------------------------------------------
+        if spec.traffic is not None and spec.traffic.resolved_events():
+            _schedule_traffic(scenario, spec)
+        injector = None
+        plan = spec.fault_plan()
+        if plan is not None and plan.events:
+            injector = FaultInjector(sim, net=scenario.net)
+            injector.inject(plan)
+        if spec.adversary:
+            _schedule_adversary(scenario, spec)
+        collect_extras = driver(scenario, spec) if driver is not None else None
+
+        if spec.absolute:
+            sim.run(until=spec.duration)
+        else:
+            sim.run(until=sim.now + spec.duration + spec.settle_margin)
+
+        if monitor is not None:
+            monitor.finish(sim.now)
+        if obs is not None:
+            obs.finish()
+
+        # -- collect --------------------------------------------------
+        digest, entries = trace_digest(sim.trace)
+        trace = sim.trace
+        deliverability: Dict[str, Any] = {
+            "aggregates": trace.aggregates,
+        }
+        overhead: Dict[str, Any] = {}
+        if trace.aggregates:
+            counts = trace.action_counts
+            deliverability.update({
+                "sent": counts.get("send", 0),
+                "delivered": counts.get("deliver", 0),
+                "dropped": counts.get("drop", 0),
+                "lost": counts.get("lost", 0),
+                "drops_by_reason": dict(trace.drops_by_reason),
+            })
+            overhead = {
+                "tunneled_by_ha": scenario.ha.packets_tunneled,
+                "bytes_by_link": dict(trace.bytes_by_link),
+            }
+        invariants: Dict[str, Any] = {"armed": monitor is not None}
+        if monitor is not None:
+            invariants.update({
+                "violation_count": monitor.violation_count,
+                "violations": [v.to_dict() for v in monitor.violations],
+                "checks": dict(monitor.checks),
+            })
+        extras = collect_extras() if collect_extras is not None else {}
+        return RunResult(
+            spec=spec.to_dict(),
+            label=spec.label,
+            seed=spec.seed,
+            sim_time=sim.now,
+            digest=digest,
+            trace_entries=entries,
+            deliverability=deliverability,
+            overhead=overhead,
+            metrics=sim.metrics.collect(),
+            invariants=invariants,
+            registered=scenario.mh.registered,
+            faults=dict(injector.applied) if injector is not None else {},
+            obs=obs.report() if obs is not None else None,
+            extras=extras,
+        )
+
+
+# ----------------------------------------------------------------------
+# Traffic & adversary interpreters
+# ----------------------------------------------------------------------
+def _schedule_traffic(scenario: Scenario, spec: ExperimentSpec) -> None:
+    """Install the spec's UDP program on the scenario's sockets.
+
+    The two socket disciplines replicate the legacy call sites exactly
+    (see :class:`~repro.experiment.spec.TrafficProgram`): ``ch_bind``
+    opens the correspondent socket first, bound at ``port`` (the
+    fuzzer's shape); otherwise the mobile host binds at ``port`` and
+    the correspondent sends from an ephemeral socket (the canonical
+    workload's shape).
+    """
+    program = spec.traffic
+    assert program is not None
+    sim = scenario.sim
+    assert scenario.ch is not None and scenario.ch_ip is not None, (
+        "traffic program needs a correspondent")
+    if program.ch_bind:
+        ch_sock = scenario.ch.stack.udp_socket(program.port)
+        ch_sock.on_receive(lambda *args: None)
+        mh_sock = scenario.mh.stack.udp_socket(program.port)
+        mh_sock.on_receive(lambda *args: None)
+        dst_port = program.port
+    else:
+        mh_sock = scenario.mh.stack.udp_socket(program.port)
+        mh_sock.on_receive(lambda *args: None)
+        ch_sock = scenario.ch.stack.udp_socket()
+        ch_sock.on_receive(lambda *args: None)
+        dst_port = program.port
+    indexed = program.payload_style == "indexed"
+    for index, event in enumerate(program.resolved_events()):
+        if event["direction"] == "mh->ch":
+            socket, dst = mh_sock, scenario.ch_ip
+        else:
+            socket, dst = ch_sock, scenario.mh.home_address
+        payload = ("fuzz", index) if indexed else "x"
+        sim.events.schedule(
+            event["at"],
+            lambda s=socket, p=payload, size=event["size"], d=dst:
+                s.sendto(p, size, d, dst_port),
+            label=f"traffic-{index}",
+        )
+
+
+def _schedule_adversary(scenario: Scenario, spec: ExperimentSpec) -> None:
+    """Schedule the spec's adversary events (attacker on the visited LAN)."""
+    from ..mobileip.registration import RegistrationRequest, compute_authenticator
+    from ..verify.adversary import Adversary
+
+    sim = scenario.sim
+    adversary = Adversary("adv", sim)
+    scenario.net.add_host("visited", adversary)
+    ha_ip = scenario.ha_ip
+    mh = scenario.mh
+    auth_key = spec.auth_key
+
+    def attack(kind: str) -> None:
+        if kind == "spoof":
+            adversary.spoof_registration(ha_ip, mh.home_address)
+        elif kind == "replay":
+            # A request sniffed off the wire earlier: valid
+            # authenticator (the attacker has the ciphertext, not the
+            # key), stale ident.
+            care_of = mh.care_of if mh.care_of is not None else mh.home_address
+            lifetime = mh.reg_lifetime
+            auth = (
+                compute_authenticator(
+                    auth_key, mh.home_address, care_of, lifetime, 1)
+                if auth_key else None
+            )
+            adversary.capture(RegistrationRequest(
+                home_address=mh.home_address,
+                care_of_address=care_of,
+                lifetime=lifetime,
+                ident=1,
+                auth=auth,
+            ))
+            adversary.replay_captured(ha_ip)
+        elif kind == "bogus":
+            adversary.send_bogus_tunnel(mh.care_of or mh.home_address)
+        elif kind == "truncated":
+            adversary.send_truncated_tunnel(ha_ip)
+
+    for index, event in enumerate(spec.adversary):
+        sim.events.schedule(
+            event["at"], lambda k=event["kind"]: attack(k),
+            label=f"adversary-{index}",
+        )

@@ -1,0 +1,257 @@
+"""Parameter sweeps: expand a spec grid, fan runs out across processes.
+
+The paper's central claim is that the *right* cell of the 4x4 grid
+depends on network permissiveness, correspondent awareness, and what
+you optimize — a cross-product of knobs.  :class:`SpecGrid` expands a
+base :class:`~repro.experiment.spec.ExperimentSpec` against named axes
+into a deterministic, ordered list of specs, and :class:`SweepExecutor`
+runs them — inline for ``jobs=1``, or across a spawn-safe
+``multiprocessing`` pool for ``jobs>1``, merging results back in spec
+order.
+
+Determinism is the contract: every run builds its own seeded
+:class:`~repro.netsim.simulator.Simulator`, no state crosses runs
+(trace digests already normalize away the only process-global
+counters), so a parallel sweep produces **byte-identical per-run trace
+digests** to the same specs run serially.  The executor only moves
+plain dicts across the process boundary, which is also why specs and
+results must be plain data.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .runner import Runner, RunResult
+from .spec import ExperimentSpec, SpecError, TrafficProgram
+
+__all__ = ["SpecGrid", "SweepResult", "SweepExecutor", "demo_grid"]
+
+
+@dataclass
+class SpecGrid:
+    """A base spec plus axes to cross: ``{"base": {...}, "axes": {...}}``.
+
+    Axis order (insertion order of ``axes``) fixes the expansion
+    order: the last axis varies fastest, like nested for-loops.  Each
+    expanded spec gets a ``label`` naming its coordinates unless the
+    base already sets one.
+    """
+
+    base: Dict[str, Any] = field(default_factory=dict)
+    axes: Dict[str, List[Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, dict):
+            raise SpecError(f"grid base must be an object, got {self.base!r}")
+        if not isinstance(self.axes, dict):
+            raise SpecError(f"grid axes must be an object, got {self.axes!r}")
+        valid = set(ExperimentSpec.__dataclass_fields__)
+        for name, values in self.axes.items():
+            if name not in valid:
+                raise SpecError(
+                    f"grid axis {name!r} is not an experiment-spec field")
+            if not isinstance(values, list) or not values:
+                raise SpecError(
+                    f"grid axis {name!r} needs a non-empty list of values, "
+                    f"got {values!r}")
+        unknown = set(self.base) - valid
+        if unknown:
+            raise SpecError(
+                f"grid base has unknown spec fields {sorted(unknown)}")
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def expand(self) -> List[ExperimentSpec]:
+        """All axis combinations as validated specs, in grid order."""
+        names = list(self.axes)
+        specs: List[ExperimentSpec] = []
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            data = dict(self.base)
+            data.update(zip(names, combo))
+            data.setdefault(
+                "label",
+                ",".join(f"{n}={v}" for n, v in zip(names, combo)))
+            specs.append(ExperimentSpec.from_dict(data))
+        return specs
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"base": dict(self.base), "axes": dict(self.axes)}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpecGrid":
+        if not isinstance(data, dict):
+            raise SpecError(f"grid must be a JSON object, got {data!r}")
+        unknown = set(data) - {"base", "axes"}
+        if unknown:
+            raise SpecError(f"grid has unknown fields {sorted(unknown)}")
+        return cls(base=data.get("base", {}), axes=data.get("axes", {}))
+
+    @classmethod
+    def from_json(cls, text: str) -> "SpecGrid":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid grid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str) -> "SpecGrid":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+
+@dataclass
+class SweepResult:
+    """Ordered results of one sweep, plus executor accounting."""
+
+    results: List[RunResult]
+    jobs: int
+    elapsed: float
+
+    @property
+    def runs(self) -> int:
+        return len(self.results)
+
+    @property
+    def runs_per_sec(self) -> float:
+        return self.runs / self.elapsed if self.elapsed > 0 else float("inf")
+
+    @property
+    def violation_count(self) -> int:
+        return sum(
+            r.invariants.get("violation_count", 0) for r in self.results)
+
+    @property
+    def ok(self) -> bool:
+        return self.violation_count == 0
+
+    def digests(self) -> List[str]:
+        return [r.digest for r in self.results]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "runs": self.runs,
+            "elapsed": self.elapsed,
+            "runs_per_sec": self.runs_per_sec,
+            "violation_count": self.violation_count,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"sweep: {self.runs} runs, jobs={self.jobs}, "
+            f"{self.elapsed:.2f}s wall ({self.runs_per_sec:.2f} runs/s), "
+            f"{self.violation_count} invariant violation(s)",
+            f"  {'label':<44} {'digest':<14} {'deliv':>6} {'drop':>5} "
+            f"{'viol':>5}",
+        ]
+        for result in self.results:
+            label = result.label or f"seed={result.seed}"
+            deliverability = result.deliverability
+            lines.append(
+                f"  {label[:44]:<44} {result.digest[:12]:<14} "
+                f"{deliverability.get('delivered', '-'):>6} "
+                f"{deliverability.get('dropped', '-'):>5} "
+                f"{result.invariants.get('violation_count', 0) if result.invariants.get('armed') else '-':>5}"
+            )
+        return "\n".join(lines)
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: spec dict in, result dict out.
+
+    Module-level so it pickles by reference under the ``spawn`` start
+    method (workers re-import :mod:`repro.experiment.sweep`).
+    """
+    spec = ExperimentSpec.from_dict(payload)
+    return Runner().run(spec).to_dict()
+
+
+class SweepExecutor:
+    """Run a list of specs, optionally across worker processes.
+
+    ``jobs=1`` executes inline (no multiprocessing at all — the
+    debugging and determinism baseline).  ``jobs>1`` uses a ``spawn``
+    pool: spawn is the only start method that is safe everywhere
+    (fork duplicates arbitrary parent state; the simulator holds
+    nothing process-global that matters, but spawn proves it), and the
+    workers exchange only JSON-clean dicts.  Results always come back
+    in spec order regardless of completion order.
+    """
+
+    def __init__(self, jobs: int = 1, mp_context: str = "spawn") -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.mp_context = mp_context
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> SweepResult:
+        payloads = [spec.to_dict() for spec in specs]
+        start = time.perf_counter()
+        if self.jobs == 1 or len(payloads) <= 1:
+            raw = [_execute_payload(payload) for payload in payloads]
+        else:
+            raw = self._run_pool(payloads)
+        elapsed = time.perf_counter() - start
+        return SweepResult(
+            results=[RunResult.from_dict(r) for r in raw],
+            jobs=self.jobs,
+            elapsed=elapsed,
+        )
+
+    def _run_pool(
+        self, payloads: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        import multiprocessing
+
+        context = multiprocessing.get_context(self.mp_context)
+        workers = min(self.jobs, len(payloads))
+        with context.Pool(processes=workers) as pool:
+            # map() preserves input order; chunksize=1 keeps the
+            # longest-running specs from serializing behind each other.
+            return pool.map(_execute_payload, payloads, chunksize=1)
+
+
+def demo_grid(
+    seeds: Optional[List[int]] = None,
+    datagrams: int = 60,
+) -> SpecGrid:
+    """The worked 4x4-coverage sweep (see README): awareness ×
+    visited-domain posture × probe strategy, crossed with seeds.
+
+    Sixteen-plus cells of world configuration around the canonical
+    traffic workload — the cross-product the paper's Figure 10
+    taxonomy lives in.  Every run arms the invariant monitor, so the
+    sweep doubles as a correctness gate.
+    """
+    base = ExperimentSpec(
+        duration=30.0,
+        traffic=TrafficProgram(
+            uniform={"datagrams": datagrams, "spacing": 0.25,
+                     "size": 100, "direction": "both"},
+        ),
+        arm_invariants=True,
+    ).to_dict()
+    del base["label"]
+    return SpecGrid(
+        base=base,
+        axes={
+            "seed": list(seeds) if seeds else [1996, 2024],
+            "awareness": ["conventional", "decap-capable", "mobile-aware"],
+            "visited_filtering": [True, False],
+            "strategy": ["rule-seeded", "conservative-first"],
+        },
+    )

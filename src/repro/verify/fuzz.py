@@ -2,9 +2,14 @@
 
 One :class:`FuzzCase` is a fully-serializable description of a run:
 a seed, a topology shape, a traffic mix, a fault schedule, and an
-adversary schedule.  :func:`run_case` builds the canonical stage from
-it, arms the :class:`~repro.verify.invariants.InvariantMonitor`, plays
-everything out, and reports any invariant violations.
+adversary schedule.  :func:`run_case` converts it to an
+:class:`~repro.experiment.spec.ExperimentSpec` (``FuzzCase.to_spec``)
+and hands it to the shared :class:`~repro.experiment.runner.Runner`,
+which builds the stage, arms the
+:class:`~repro.verify.invariants.InvariantMonitor`, plays everything
+out, and reports any invariant violations.  The spec is also embedded
+in repro files, so a shrunken failure replays outside the fuzzer with
+``repro-mobility sweep --spec repro.json``.
 
 :func:`run_fuzz` generates cases seed-deterministically (the same
 ``--seed`` explores the same cases in the same order) and, on the
@@ -26,12 +31,10 @@ import random
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
-from ..analysis.scenarios import Scenario, build_scenario
+from ..experiment.runner import Runner
+from ..experiment.spec import ExperimentSpec, TrafficProgram
 from ..mobileip.correspondent import Awareness
-from ..mobileip.registration import RegistrationRequest, compute_authenticator
-from ..netsim.faults import FaultInjector, FaultPlan
-from .adversary import Adversary
-from .invariants import InvariantMonitor
+from ..netsim.faults import FaultPlan
 
 __all__ = [
     "FuzzCase",
@@ -83,6 +86,44 @@ class FuzzCase:
     @classmethod
     def from_json(cls, text: str) -> "FuzzCase":
         return cls.from_dict(json.loads(text))
+
+    def to_spec(
+        self, max_tunnel_depth: Optional[int] = None
+    ) -> ExperimentSpec:
+        """This case's world as an :class:`ExperimentSpec`.
+
+        The spec is the replayable form: it lands inside the repro
+        JSON so ``repro-mobility sweep --spec repro.json`` re-runs the
+        exact world (invariants armed) outside the fuzzer.
+        """
+        faults = None
+        if self.faults:
+            plan = FaultPlan()
+            for event in self.faults:
+                plan.add(event["time"], event["kind"], event["target"],
+                         **event.get("params", {}))
+            faults = plan.to_dict()
+        return ExperimentSpec(
+            label=f"fuzz-case-{self.seed}",
+            seed=self.seed,
+            duration=self.duration,
+            settle_margin=SETTLE_MARGIN,
+            backbone_size=self.backbone_size,
+            ch_attach=min(self.ch_attach, self.backbone_size - 1),
+            awareness=Awareness.DECAP_CAPABLE.value,
+            visited_filtering=self.visited_filtering,
+            auth_key=AUTH_KEY if self.auth else None,
+            traffic=TrafficProgram(
+                port=TRAFFIC_PORT,
+                ch_bind=True,
+                payload_style="indexed",
+                events=list(self.traffic),
+            ),
+            faults=faults,
+            adversary=list(self.adversary),
+            arm_invariants=True,
+            max_tunnel_depth=max_tunnel_depth,
+        )
 
 
 @dataclass
@@ -169,99 +210,19 @@ def _random_fault(rng: random.Random, duration: float) -> List[Dict[str, Any]]:
 def run_case(
     case: FuzzCase, max_tunnel_depth: Optional[int] = None
 ) -> CaseResult:
-    """Build the case's world, run it with invariants armed, report."""
-    scenario = build_scenario(
-        seed=case.seed,
-        backbone_size=case.backbone_size,
-        ch_attach=min(case.ch_attach, case.backbone_size - 1),
-        ch_awareness=Awareness.DECAP_CAPABLE,
-        visited_filtering=case.visited_filtering,
-        auth_key=AUTH_KEY if case.auth else None,
-    )
-    sim = scenario.sim
-    kwargs = {} if max_tunnel_depth is None else {
-        "max_tunnel_depth": max_tunnel_depth
-    }
-    monitor = sim.enable_invariants(**kwargs)
+    """Build the case's world, run it with invariants armed, report.
 
-    _schedule_traffic(scenario, case)
-    if case.faults:
-        plan = FaultPlan()
-        for event in case.faults:
-            plan.add(event["time"], event["kind"], event["target"],
-                     **event.get("params", {}))
-        FaultInjector(sim, net=scenario.net).inject(plan)
-    if case.adversary:
-        _schedule_adversary(scenario, case)
-
-    sim.run(until=sim.now + case.duration + SETTLE_MARGIN)
-    monitor.finish(sim.now)
+    One line of real work: the case converts to an
+    :class:`ExperimentSpec` and the shared :class:`Runner` owns the
+    build → arm → drive → collect lifecycle (traffic, fault plan, and
+    adversary schedule included).
+    """
+    result = Runner().run(case.to_spec(max_tunnel_depth=max_tunnel_depth))
     return CaseResult(
-        violations=[v.to_dict() for v in monitor.violations],
-        checks=dict(monitor.checks),
-        trace_entries=len(sim.trace.entries),
+        violations=list(result.invariants["violations"]),
+        checks=dict(result.invariants["checks"]),
+        trace_entries=result.trace_entries,
     )
-
-
-def _schedule_traffic(scenario: Scenario, case: FuzzCase) -> None:
-    sim = scenario.sim
-    assert scenario.ch is not None and scenario.ch_ip is not None
-    ch_socket = scenario.ch.stack.udp_socket(TRAFFIC_PORT)
-    ch_socket.on_receive(lambda *args: None)
-    mh_socket = scenario.mh.stack.udp_socket(TRAFFIC_PORT)
-    mh_socket.on_receive(lambda *args: None)
-    for index, event in enumerate(case.traffic):
-        if event["direction"] == "mh->ch":
-            socket, dst = mh_socket, scenario.ch_ip
-        else:
-            socket, dst = ch_socket, scenario.mh.home_address
-        sim.events.schedule(
-            event["at"],
-            lambda s=socket, d=dst, size=event["size"], i=index:
-                s.sendto(("fuzz", i), size, d, TRAFFIC_PORT),
-            label=f"fuzz-traffic-{index}",
-        )
-
-
-def _schedule_adversary(scenario: Scenario, case: FuzzCase) -> None:
-    sim = scenario.sim
-    adversary = Adversary("adv", sim)
-    scenario.net.add_host("visited", adversary)
-    ha_ip = scenario.ha_ip
-    mh = scenario.mh
-
-    def attack(kind: str) -> None:
-        if kind == "spoof":
-            adversary.spoof_registration(ha_ip, mh.home_address)
-        elif kind == "replay":
-            # Model a request sniffed off the wire earlier: valid
-            # authenticator (the attacker has the ciphertext, not the
-            # key), stale ident.
-            care_of = mh.care_of if mh.care_of is not None else mh.home_address
-            lifetime = mh.reg_lifetime
-            auth = (
-                compute_authenticator(
-                    AUTH_KEY, mh.home_address, care_of, lifetime, 1)
-                if case.auth else None
-            )
-            adversary.capture(RegistrationRequest(
-                home_address=mh.home_address,
-                care_of_address=care_of,
-                lifetime=lifetime,
-                ident=1,
-                auth=auth,
-            ))
-            adversary.replay_captured(ha_ip)
-        elif kind == "bogus":
-            adversary.send_bogus_tunnel(mh.care_of or mh.home_address)
-        elif kind == "truncated":
-            adversary.send_truncated_tunnel(ha_ip)
-
-    for index, event in enumerate(case.adversary):
-        sim.events.schedule(
-            event["at"], lambda k=event["kind"]: attack(k),
-            label=f"fuzz-adversary-{index}",
-        )
 
 
 # ----------------------------------------------------------------------
@@ -415,10 +376,16 @@ def run_fuzz(
         else:
             report.shrunk_case = case.to_dict()
         if out is not None:
+            shrunk = FuzzCase.from_dict(report.shrunk_case)
             with open(out, "w") as handle:
                 json.dump(
                     {
                         "case": report.shrunk_case,
+                        # The replayable form: `repro-mobility sweep
+                        # --spec repro.json` re-runs this exact world
+                        # through the generic experiment runner.
+                        "spec": shrunk.to_spec(
+                            max_tunnel_depth=max_tunnel_depth).to_dict(),
                         "violations": report.violations,
                         "original_case": report.failing_case,
                     },

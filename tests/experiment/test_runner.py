@@ -1,0 +1,114 @@
+"""Tests for the experiment runner lifecycle."""
+
+from repro.experiment import Runner, RunResult, canonical_traffic_spec
+
+# The pinned golden digest (tests/netsim/test_golden_trace.py): the
+# runner must reproduce the legacy hand-rolled workload byte-for-byte.
+GOLDEN_DIGEST = "6c91661118a78681dfe5624d953ae85bb5a3f6e3b7e88fc4d166a9a121cf8a8f"
+GOLDEN_ENTRIES = 3618
+
+
+def _legacy_canonical_run():
+    """The hand-rolled loop the runner replaced, inline."""
+    from repro.analysis import MH_HOME_ADDRESS, build_scenario
+    from repro.bench.golden import trace_digest
+    from repro.mobileip import Awareness
+
+    scenario = build_scenario(seed=1401, ch_awareness=Awareness.CONVENTIONAL)
+    sock = scenario.mh.stack.udp_socket(7000)
+    sock.on_receive(lambda *args: None)
+    ch_sock = scenario.ch.stack.udp_socket()
+    for index in range(200):
+        scenario.sim.events.schedule(
+            index * 0.01,
+            lambda: ch_sock.sendto("x", 100, MH_HOME_ADDRESS, 7000),
+        )
+    scenario.sim.run_for(30)
+    return trace_digest(scenario.sim.trace)
+
+
+class TestDigestFidelity:
+    def test_runner_reproduces_pinned_golden_digest(self):
+        result = Runner().run(canonical_traffic_spec())
+        assert result.digest == GOLDEN_DIGEST
+        assert result.trace_entries == GOLDEN_ENTRIES
+
+    def test_runner_matches_legacy_inline_workload(self):
+        legacy_digest, legacy_entries = _legacy_canonical_run()
+        result = Runner().run(canonical_traffic_spec())
+        assert result.digest == legacy_digest
+        assert result.trace_entries == legacy_entries
+
+    def test_arming_invariants_does_not_change_digest(self):
+        bare = Runner().run(canonical_traffic_spec(datagrams=40))
+        armed = Runner().run(canonical_traffic_spec(
+            datagrams=40, arm_invariants=True))
+        assert armed.digest == bare.digest
+        assert armed.invariants["armed"] is True
+        assert armed.invariants["violation_count"] == 0
+        assert bare.invariants == {"armed": False}
+
+    def test_observability_does_not_change_digest(self):
+        bare = Runner().run(canonical_traffic_spec(datagrams=40))
+        observed = Runner().run(canonical_traffic_spec(
+            datagrams=40, observe=True))
+        assert observed.digest == bare.digest
+        assert observed.obs is not None
+        assert observed.obs["spans"]["count"] >= 40
+        assert bare.obs is None
+
+
+class TestCollection:
+    def test_result_summaries(self):
+        result = Runner().run(canonical_traffic_spec(datagrams=40))
+        assert result.ok
+        assert result.registered is True
+        assert result.seed == 1401
+        assert result.sim_time > 30.0
+        assert result.deliverability["sent"] >= 40
+        assert result.deliverability["delivered"] >= 40
+        assert result.overhead["tunneled_by_ha"] == 40
+        assert result.overhead["bytes_by_link"]
+        assert result.metrics  # full registry snapshot present
+
+    def test_result_round_trips_as_plain_data(self):
+        result = Runner().run(canonical_traffic_spec(datagrams=10))
+        clone = RunResult.from_dict(result.to_dict())
+        assert clone == result
+
+    def test_runner_keeps_live_scenario(self):
+        runner = Runner()
+        runner.run(canonical_traffic_spec(datagrams=10))
+        assert runner.scenario is not None
+        assert runner.scenario.ha.packets_tunneled == 10
+
+    def test_zero_tunnel_depth_forces_deterministic_violation(self):
+        # max_tunnel_depth=0 declares *any* encapsulation illegal, so
+        # the canonical tunnelled workload must violate — the knob CI
+        # uses to prove the sweep's nonzero exit path.
+        result = Runner().run(canonical_traffic_spec(
+            datagrams=10, arm_invariants=True, max_tunnel_depth=0))
+        assert not result.ok
+        assert result.invariants["violation_count"] > 0
+        assert any(v["invariant"] == "tunnel-depth"
+                   for v in result.violations)
+
+
+class TestDriverHook:
+    def test_driver_runs_and_collects_extras(self):
+        seen = {}
+
+        def driver(scenario, spec):
+            seen["mh"] = scenario.mh.name
+            seen["seed"] = spec.seed
+            return lambda: {"note": "collected"}
+
+        result = Runner().run(canonical_traffic_spec(datagrams=5), driver)
+        assert seen["seed"] == 1401
+        assert seen["mh"]  # driver saw the built scenario
+        assert result.extras == {"note": "collected"}
+
+    def test_driver_without_collector(self):
+        result = Runner().run(
+            canonical_traffic_spec(datagrams=5), lambda sc, sp: None)
+        assert result.extras == {}

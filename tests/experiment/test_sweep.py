@@ -1,0 +1,165 @@
+"""Tests for grid expansion and the (parallel) sweep executor."""
+
+import pathlib
+
+import pytest
+
+from repro.experiment import (
+    ExperimentSpec,
+    SpecError,
+    SpecGrid,
+    SweepExecutor,
+    canonical_traffic_spec,
+    demo_grid,
+)
+
+
+def _small_grid(datagrams=8):
+    """A 16-spec grid cheap enough to run twice in one test."""
+    base = canonical_traffic_spec(datagrams=datagrams).to_dict()
+    del base["label"]
+    return SpecGrid(
+        base=base,
+        axes={
+            "seed": [1401, 1996],
+            "awareness": ["conventional", "decap-capable"],
+            "visited_filtering": [True, False],
+            "encap": ["ipip", "minimal"],
+        },
+    )
+
+
+class TestSpecGrid:
+    def test_expansion_order_is_nested_loops(self):
+        grid = SpecGrid(axes={"seed": [1, 2], "encap": ["ipip", "gre"]})
+        specs = grid.expand()
+        assert len(grid) == len(specs) == 4
+        assert [(s.seed, s.encap) for s in specs] == [
+            (1, "ipip"), (1, "gre"), (2, "ipip"), (2, "gre")]
+
+    def test_labels_name_coordinates(self):
+        specs = SpecGrid(axes={"seed": [7], "encap": ["gre"]}).expand()
+        assert specs[0].label == "seed=7,encap=gre"
+
+    def test_base_label_wins(self):
+        specs = SpecGrid(base={"label": "fixed"},
+                         axes={"seed": [1, 2]}).expand()
+        assert [s.label for s in specs] == ["fixed", "fixed"]
+
+    def test_json_round_trip(self):
+        grid = _small_grid()
+        clone = SpecGrid.from_json(grid.to_json())
+        assert clone.to_dict() == grid.to_dict()
+        assert [s.to_dict() for s in clone.expand()] == \
+            [s.to_dict() for s in grid.expand()]
+
+    @pytest.mark.parametrize("data,match", [
+        ({"axes": {"warp_factor": [1]}}, "not an experiment-spec field"),
+        ({"axes": {"seed": []}}, "non-empty list"),
+        ({"axes": {"seed": 5}}, "non-empty list"),
+        ({"base": {"bogus": 1}}, "unknown spec fields"),
+        ({"base": [], "axes": {}}, "must be an object"),
+        ({"extra": {}}, "unknown fields"),
+    ])
+    def test_bad_grid_raises(self, data, match):
+        with pytest.raises(SpecError, match=match):
+            SpecGrid.from_dict(data)
+
+    def test_expansion_validates_each_cell(self):
+        grid = SpecGrid(axes={"encap": ["ipip", "smoke-signals"]})
+        with pytest.raises(SpecError, match="unknown encap"):
+            grid.expand()
+
+    def test_demo_grid_covers_sixteen_plus_cells(self):
+        specs = demo_grid().expand()
+        assert len(specs) >= 16
+        assert all(s.arm_invariants for s in specs)
+        assert len({s.label for s in specs}) == len(specs)
+
+
+class TestSweepExecutor:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            SweepExecutor(jobs=0)
+
+    def test_serial_sweep_preserves_spec_order(self):
+        specs = _small_grid().expand()[:4]
+        result = SweepExecutor(jobs=1).run(specs)
+        assert [r.label for r in result.results] == \
+            [s.label for s in specs]
+        assert result.jobs == 1
+        assert result.runs == 4
+        assert result.elapsed > 0
+
+    def test_parallel_digests_match_serial(self):
+        # The PR's determinism bar: a fixed-seed sweep over >= 16
+        # specs yields byte-identical per-run trace digests whether
+        # run inline or across a 4-worker spawn pool.
+        specs = _small_grid().expand()
+        assert len(specs) == 16
+        serial = SweepExecutor(jobs=1).run(specs)
+        parallel = SweepExecutor(jobs=4).run(specs)
+        assert serial.digests() == parallel.digests()
+        assert [r.label for r in parallel.results] == \
+            [s.label for s in specs]
+        # The grid genuinely varies the world: distinct digests exist.
+        assert len(set(serial.digests())) > 1
+
+    def test_violations_surface_in_sweep_result(self):
+        bad = canonical_traffic_spec(
+            datagrams=5, arm_invariants=True, max_tunnel_depth=0)
+        result = SweepExecutor(jobs=1).run([bad])
+        assert not result.ok
+        assert result.violation_count > 0
+
+    def test_render_mentions_every_label(self):
+        specs = _small_grid().expand()[:2]
+        rendered = SweepExecutor(jobs=1).run(specs).render()
+        assert "sweep: 2 runs" in rendered
+        for spec in specs:
+            assert spec.label[:44] in rendered
+
+    def test_result_dict_is_json_clean(self):
+        import json
+
+        result = SweepExecutor(jobs=1).run(_small_grid().expand()[:2])
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["runs"] == 2
+        assert len(payload["results"]) == 2
+
+    def test_single_spec_skips_the_pool(self):
+        # jobs>1 with one spec must not pay spawn cost; digest still
+        # matches the inline path.
+        spec = canonical_traffic_spec(datagrams=5)
+        inline = SweepExecutor(jobs=1).run([spec])
+        fanned = SweepExecutor(jobs=4).run([spec])
+        assert inline.digests() == fanned.digests()
+
+
+class TestSpecFieldCoverage:
+    def test_grid_axes_accept_any_spec_field(self):
+        # Guard: every public spec field can be an axis name.
+        for name in ExperimentSpec.__dataclass_fields__:
+            SpecGrid(axes={name: [getattr(ExperimentSpec(), name)]})
+
+
+class TestExampleFiles:
+    """The committed example grid/spec files stay loadable and honest."""
+
+    EXAMPLES = (pathlib.Path(__file__).resolve().parent.parent.parent
+                / "examples")
+
+    def test_grid_4x4_expands_to_sixteen_plus_cells(self):
+        grid = SpecGrid.from_file(str(self.EXAMPLES / "grid_4x4.json"))
+        specs = grid.expand()
+        assert len(specs) >= 16
+        assert all(s.arm_invariants for s in specs)
+        # It is exactly the worked demo grid the CLI runs by default.
+        assert grid.to_dict() == demo_grid().to_dict()
+
+    def test_violating_spec_violates(self):
+        spec = ExperimentSpec.from_file(
+            str(self.EXAMPLES / "violating_spec.json"))
+        assert spec.arm_invariants and spec.max_tunnel_depth == 0
+        result = SweepExecutor(jobs=1).run([spec])
+        assert result.violation_count > 0

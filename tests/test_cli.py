@@ -301,3 +301,109 @@ class TestFuzzSubcommand:
     def test_fuzz_missing_repro_errors(self, tmp_path, capsys):
         assert main(["fuzz", "--repro", str(tmp_path / "nope.json")]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestSweepSubcommand:
+    def _grid_file(self, tmp_path, specs=2, datagrams=5):
+        import json
+
+        from repro.experiment import canonical_traffic_spec
+
+        base = canonical_traffic_spec(datagrams=datagrams).to_dict()
+        del base["label"]
+        seeds = [1401, 1996, 7, 11][:specs]
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(
+            {"base": base, "axes": {"seed": seeds}}))
+        return str(path)
+
+    def test_sweep_grid_runs_and_exits_zero(self, tmp_path, capsys):
+        assert main(["sweep", "--grid", self._grid_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 runs" in out
+        assert "seed=1401" in out and "seed=1996" in out
+
+    def test_sweep_json_out(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "results.json"
+        assert main(["sweep", "--grid", self._grid_file(tmp_path),
+                     "--json-out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["runs"] == 2
+        assert all(r["digest"] for r in payload["results"])
+
+    def test_sweep_parallel_matches_serial_digests(self, tmp_path, capsys):
+        import json
+
+        grid = self._grid_file(tmp_path, specs=3)
+        serial_out = tmp_path / "serial.json"
+        parallel_out = tmp_path / "parallel.json"
+        assert main(["sweep", "--grid", grid, "--jobs", "1",
+                     "--json-out", str(serial_out)]) == 0
+        assert main(["sweep", "--grid", grid, "--jobs", "2",
+                     "--json-out", str(parallel_out)]) == 0
+        serial = json.loads(serial_out.read_text())
+        parallel = json.loads(parallel_out.read_text())
+        assert [r["digest"] for r in serial["results"]] == \
+            [r["digest"] for r in parallel["results"]]
+
+    def test_sweep_show_specs_prints_without_running(self, tmp_path, capsys):
+        import json
+
+        assert main(["sweep", "--grid", self._grid_file(tmp_path),
+                     "--show-specs"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 2
+        assert payload[0]["seed"] == 1401
+
+    def test_sweep_single_spec_file(self, tmp_path, capsys):
+        from repro.experiment import canonical_traffic_spec
+
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(canonical_traffic_spec(datagrams=5).to_json())
+        assert main(["sweep", "--spec", str(spec_file)]) == 0
+        assert "sweep: 1 runs" in capsys.readouterr().out
+
+    def test_sweep_exits_nonzero_on_violation(self, tmp_path, capsys):
+        from repro.experiment import canonical_traffic_spec
+
+        spec_file = tmp_path / "violating.json"
+        spec_file.write_text(canonical_traffic_spec(
+            datagrams=5, arm_invariants=True,
+            max_tunnel_depth=0).to_json())
+        assert main(["sweep", "--spec", str(spec_file)]) == 1
+        captured = capsys.readouterr()
+        assert "invariant violation" in captured.err
+
+    def test_sweep_replays_fuzz_repro(self, tmp_path, capsys, monkeypatch):
+        from repro.netsim.router import Router
+
+        monkeypatch.setattr(Router, "ttl_decrement", 0)
+        out_file = tmp_path / "repro.json"
+        assert main(["fuzz", "--iterations", "2", "--no-shrink",
+                     "--out", str(out_file)]) == 1
+        capsys.readouterr()
+        # The repro's embedded spec arms invariants; the sabotage is
+        # still in place, so the sweep replay reports the violation.
+        assert main(["sweep", "--spec", str(out_file)]) == 1
+        captured = capsys.readouterr()
+        assert "invariant violation" in captured.err
+
+    def test_sweep_spec_and_grid_are_exclusive(self, tmp_path, capsys):
+        assert main(["sweep", "--spec", "a.json", "--grid", "b.json"]) == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_sweep_missing_grid_errors(self, tmp_path, capsys):
+        assert main(["sweep", "--grid", str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_bad_grid_is_a_spec_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"axes": {"warp_factor": [1]}}')
+        assert main(["sweep", "--grid", str(bad)]) == 1
+        assert "not an experiment-spec field" in capsys.readouterr().err
+
+    def test_sweep_bad_jobs_errors(self, capsys):
+        assert main(["sweep", "--jobs", "0"]) == 1
+        assert "--jobs" in capsys.readouterr().err

@@ -85,3 +85,40 @@ class TestFuzzLoop:
         shrunk = shrink_case(case, "ttl-decreases", max_runs=40)
         assert shrunk.event_count <= case.event_count
         assert "ttl-decreases" in run_case(shrunk).violated_invariants()
+
+
+class TestCaseAsSpec:
+    def test_spec_json_round_trip(self):
+        from repro.experiment import ExperimentSpec
+
+        spec = generate_case(4242).to_spec()
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+
+    def test_spec_replays_identically_to_run_case(self):
+        from repro.experiment import Runner
+
+        case = generate_case(4242)
+        legacy = run_case(case)
+        result = Runner().run(case.to_spec())
+        assert result.trace_entries == legacy.trace_entries
+        assert result.invariants["checks"] == legacy.checks
+        assert result.violations == legacy.violations
+
+    def test_repro_file_embeds_a_loadable_spec(self, monkeypatch, tmp_path):
+        from repro.experiment import ExperimentSpec, Runner
+
+        monkeypatch.setattr(Router, "ttl_decrement", 0)
+        out = tmp_path / "repro.json"
+        report = run_fuzz(iterations=5, seed=4, out=str(out))
+        assert report.failed
+        payload = json.loads(out.read_text())
+        # The shrunken world ships as a spec alongside the case…
+        spec = ExperimentSpec.from_dict(payload["spec"])
+        assert spec == FuzzCase.from_dict(payload["case"]).to_spec()
+        # …and ExperimentSpec.from_file unwraps the repro envelope, so
+        # the sweep CLI replays it to the same violation.
+        assert ExperimentSpec.from_file(str(out)) == spec
+        result = Runner().run(spec)
+        assert any(v["invariant"] == "ttl-decreases"
+                   for v in result.violations)
