@@ -90,6 +90,7 @@ def build_scenario(
     trace_entries: bool = True,
     trace_aggregates: bool = True,
     auth_key: Optional[str] = None,
+    fast_forward: bool = True,
 ) -> Scenario:
     """Build the standard stage.
 
@@ -106,6 +107,7 @@ def build_scenario(
         seed=seed,
         trace_entries=trace_entries,
         trace_aggregates=trace_aggregates,
+        fast_forward=fast_forward,
     )
     net = Internet(sim, backbone_size=backbone_size, backbone_latency=backbone_latency)
     if visited_attach is None:

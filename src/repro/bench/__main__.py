@@ -31,7 +31,14 @@ def main(argv=None) -> int:
                         help="write JSON results to PATH")
     parser.add_argument("--baseline", metavar="PATH",
                         help="baseline JSON to compare against; with "
-                             "--output, a merged before/after report is written")
+                             "--output, a merged before/after report is "
+                             "written; exits nonzero if any workload "
+                             "regresses past --regression-threshold")
+    parser.add_argument("--regression-threshold", type=float, default=0.25,
+                        metavar="FRACTION",
+                        help="with --baseline, fail when any workload's "
+                             "ops/sec drops by more than this fraction "
+                             "(default 0.25)")
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error(f"--repeat must be >= 1, got {args.repeat}")
@@ -55,6 +62,19 @@ def main(argv=None) -> int:
         print(render_report(merged))
         if args.output:
             write_report(merged, args.output)
+        floor = 1.0 - args.regression_threshold
+        regressed = {
+            name: speedup
+            for name, speedup in merged["speedup"].items()
+            if speedup < floor
+        }
+        if regressed:
+            for name, speedup in sorted(regressed.items()):
+                print(f"regression: {name} at x{speedup:.2f} of baseline "
+                      f"(floor x{floor:.2f})", file=sys.stderr)
+            if args.output:
+                print(f"\nwrote {args.output}")
+            return 1
     else:
         print(render_report(report))
         if args.output:

@@ -328,7 +328,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     """Expand a spec grid and fan the runs out across processes."""
     import json
 
-    from .experiment import ExperimentSpec, SpecGrid, SweepExecutor, demo_grid
+    from .experiment import (
+        ExperimentSpec,
+        ResultCache,
+        SpecGrid,
+        SweepExecutor,
+        demo_grid,
+    )
 
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}",
@@ -352,9 +358,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(json.dumps([spec.to_dict() for spec in specs], indent=2,
                          sort_keys=True))
         return 0
-    executor = SweepExecutor(jobs=args.jobs)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(root=args.cache_dir)
+    executor = SweepExecutor(jobs=args.jobs, cache=cache)
     result = executor.run(specs)
     print(result.render())
+    if cache is not None:
+        stats = cache.stats()
+        print(f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+              f"{stats['invalidations']} invalidation(s), "
+              f"{stats['bytes_read']}B read / {stats['bytes_written']}B "
+              f"written ({cache.root})")
     if args.json_out:
         with open(args.json_out, "w") as handle:
             json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
@@ -479,6 +494,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--show-specs", action="store_true",
                        help="print the expanded specs as JSON and exit "
                             "(no run)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the spec-digest result cache (runs are "
+                            "deterministic, so cached cells are normally "
+                            "byte-identical to live ones)")
+    sweep.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="result-cache directory (default: "
+                            "$XDG_CACHE_HOME/repro-mobility or "
+                            "~/.cache/repro-mobility)")
     sweep.set_defaults(func=_cmd_sweep)
 
     fuzz = sub.add_parser(

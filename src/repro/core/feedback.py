@@ -58,7 +58,11 @@ class RetransmissionDetector(TransportObserver):
         self._health: Dict[IPAddress, RemoteHealth] = {}
 
     def health(self, remote: IPAddress) -> RemoteHealth:
-        return self._health.setdefault(IPAddress(remote), RemoteHealth())
+        key = IPAddress(remote)
+        record = self._health.get(key)
+        if record is None:
+            record = self._health[key] = RemoteHealth()
+        return record
 
     # ------------------------------------------------------------------
     # TransportObserver interface

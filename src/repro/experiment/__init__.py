@@ -13,6 +13,7 @@
 See docs/ARCHITECTURE.md §10.
 """
 
+from .cache import CACHE_SALT, ResultCache, default_cache_dir, spec_digest
 from .runner import Driver, Runner, RunResult
 from .spec import (
     ADVERSARY_KINDS,
@@ -25,8 +26,10 @@ from .sweep import SpecGrid, SweepExecutor, SweepResult, demo_grid
 
 __all__ = [
     "ADVERSARY_KINDS",
+    "CACHE_SALT",
     "Driver",
     "ExperimentSpec",
+    "ResultCache",
     "Runner",
     "RunResult",
     "SpecError",
@@ -35,5 +38,7 @@ __all__ = [
     "SweepResult",
     "TrafficProgram",
     "canonical_traffic_spec",
+    "default_cache_dir",
     "demo_grid",
+    "spec_digest",
 ]

@@ -26,6 +26,7 @@ keeps the last scenario on :attr:`Runner.scenario`.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -104,6 +105,24 @@ class Runner:
         spec: ExperimentSpec,
         driver: Optional[Driver] = None,
     ) -> RunResult:
+        # One run allocates heavily (trace entries, heap tuples, packet
+        # objects) but everything stays reachable until collection is
+        # pointless; pausing the cyclic GC for the bounded lifecycle
+        # avoids dozens of gen-0 scans.  Re-enabled even on error.
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            return self._run(spec, driver)
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    def _run(
+        self,
+        spec: ExperimentSpec,
+        driver: Optional[Driver] = None,
+    ) -> RunResult:
         # -- build ----------------------------------------------------
         scenario = build_scenario(**spec.scenario_kwargs())
         self.scenario = scenario
@@ -169,6 +188,9 @@ class Runner:
                 "checks": dict(monitor.checks),
             })
         extras = collect_extras() if collect_extras is not None else {}
+        if sim.fast_forward is not None:
+            extras = dict(extras)
+            extras["fast_forward"] = sim.fast_forward.stats()
         return RunResult(
             spec=spec.to_dict(),
             label=spec.label,
@@ -190,6 +212,14 @@ class Runner:
 # ----------------------------------------------------------------------
 # Traffic & adversary interpreters
 # ----------------------------------------------------------------------
+def _traffic_sink(*_args) -> None:
+    """Shared no-op receive callback; ``ff_pure`` lets the fast path
+    prune the delivery invoke from replay templates."""
+
+
+_traffic_sink.ff_pure = True
+
+
 def _schedule_traffic(scenario: Scenario, spec: ExperimentSpec) -> None:
     """Install the spec's UDP program on the scenario's sockets.
 
@@ -207,29 +237,44 @@ def _schedule_traffic(scenario: Scenario, spec: ExperimentSpec) -> None:
         "traffic program needs a correspondent")
     if program.ch_bind:
         ch_sock = scenario.ch.stack.udp_socket(program.port)
-        ch_sock.on_receive(lambda *args: None)
+        ch_sock.on_receive(_traffic_sink)
         mh_sock = scenario.mh.stack.udp_socket(program.port)
-        mh_sock.on_receive(lambda *args: None)
+        mh_sock.on_receive(_traffic_sink)
         dst_port = program.port
     else:
         mh_sock = scenario.mh.stack.udp_socket(program.port)
-        mh_sock.on_receive(lambda *args: None)
+        mh_sock.on_receive(_traffic_sink)
         ch_sock = scenario.ch.stack.udp_socket()
-        ch_sock.on_receive(lambda *args: None)
+        ch_sock.on_receive(_traffic_sink)
         dst_port = program.port
     indexed = program.payload_style == "indexed"
+    ff = sim.fast_forward
+    if ff is not None:
+        ff.register_traffic(
+            stacks=(scenario.mh.stack, scenario.ch.stack),
+            sockets=(mh_sock, ch_sock),
+        )
     for index, event in enumerate(program.resolved_events()):
         if event["direction"] == "mh->ch":
-            socket, dst = mh_sock, scenario.ch_ip
+            origin, socket, dst = scenario.mh, mh_sock, scenario.ch_ip
         else:
-            socket, dst = ch_sock, scenario.mh.home_address
+            origin, socket, dst = ch_sock.stack.node, ch_sock, scenario.mh.home_address
         payload = ("fuzz", index) if indexed else "x"
-        sim.events.schedule(
+        handle = sim.events.schedule(
             event["at"],
             lambda s=socket, p=payload, size=event["size"], d=dst:
                 s.sendto(p, size, d, dst_port),
             label=f"traffic-{index}",
         )
+        if ff is not None:
+            # Flow identity: same origin/destination/port/size dispatches
+            # are candidates for one replay template (payload content is
+            # still verified per-capture through the recorded invokes).
+            ff.register_flow_event(
+                handle, origin,
+                (event["direction"], str(dst), dst_port, event["size"]),
+                dst,
+            )
 
 
 def _schedule_adversary(scenario: Scenario, spec: ExperimentSpec) -> None:

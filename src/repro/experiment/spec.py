@@ -222,6 +222,7 @@ class ExperimentSpec:
     mobile_starts_away: bool = True
     trace_entries: bool = True
     trace_aggregates: bool = True
+    fast_forward: bool = True
     auth_key: Optional[str] = None
     # Programs
     traffic: Optional[TrafficProgram] = None
@@ -294,8 +295,8 @@ class ExperimentSpec:
                      "visited_filtering", "ch_filtering", "privacy",
                      "notify_correspondents", "with_dns",
                      "with_foreign_agent", "mobile_starts_away",
-                     "trace_entries", "trace_aggregates", "absolute",
-                     "observe", "arm_invariants"):
+                     "trace_entries", "trace_aggregates", "fast_forward",
+                     "absolute", "observe", "arm_invariants"):
             value = getattr(self, name)
             _require(isinstance(value, bool),
                      f"{name} must be a bool, got {value!r}")
@@ -366,6 +367,7 @@ class ExperimentSpec:
             "backbone_latency": self.backbone_latency,
             "trace_entries": self.trace_entries,
             "trace_aggregates": self.trace_aggregates,
+            "fast_forward": self.fast_forward,
             "auth_key": self.auth_key,
         }
         stray = set(kwargs) - SCENARIO_KNOBS

@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from .cache import ResultCache
 from .runner import Runner, RunResult
 from .spec import ExperimentSpec, SpecError, TrafficProgram
 
@@ -119,6 +120,8 @@ class SweepResult:
     results: List[RunResult]
     jobs: int
     elapsed: float
+    # Cache counters for this sweep (None when no cache was wired).
+    cache: Optional[Dict[str, int]] = None
 
     @property
     def runs(self) -> int:
@@ -147,14 +150,21 @@ class SweepResult:
             "elapsed": self.elapsed,
             "runs_per_sec": self.runs_per_sec,
             "violation_count": self.violation_count,
+            "cache": self.cache,
             "results": [r.to_dict() for r in self.results],
         }
 
     def render(self) -> str:
+        cache_note = ""
+        if self.cache is not None:
+            cache_note = (
+                f", cache {self.cache['hits']} hit(s) / "
+                f"{self.cache['misses']} miss(es)")
         lines = [
             f"sweep: {self.runs} runs, jobs={self.jobs}, "
             f"{self.elapsed:.2f}s wall ({self.runs_per_sec:.2f} runs/s), "
-            f"{self.violation_count} invariant violation(s)",
+            f"{self.violation_count} invariant violation(s)"
+            f"{cache_note}",
             f"  {'label':<44} {'digest':<14} {'deliv':>6} {'drop':>5} "
             f"{'viol':>5}",
         ]
@@ -192,24 +202,54 @@ class SweepExecutor:
     in spec order regardless of completion order.
     """
 
-    def __init__(self, jobs: int = 1, mp_context: str = "spawn") -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        mp_context: str = "spawn",
+        cache: Optional[ResultCache] = None,
+    ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.mp_context = mp_context
+        self.cache = cache
 
     def run(self, specs: Sequence[ExperimentSpec]) -> SweepResult:
-        payloads = [spec.to_dict() for spec in specs]
         start = time.perf_counter()
-        if self.jobs == 1 or len(payloads) <= 1:
+        cache = self.cache
+        # Parent-side cache lookups happen before any pool dispatch, so
+        # a fully-warm grid never pays worker spawn cost.  Cached cells
+        # flow through the same result list, so invariant accounting
+        # (SweepResult.violation_count) sees them like live runs.
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        pending: List[int] = []
+        if cache is not None:
+            for index, spec in enumerate(specs):
+                hit = cache.lookup(spec)
+                if hit is not None:
+                    results[index] = hit
+                else:
+                    pending.append(index)
+        else:
+            pending = list(range(len(specs)))
+        payloads = [specs[index].to_dict() for index in pending]
+        if not payloads:
+            raw: List[Dict[str, Any]] = []
+        elif self.jobs == 1 or len(payloads) <= 1:
             raw = [_execute_payload(payload) for payload in payloads]
         else:
             raw = self._run_pool(payloads)
+        for index, data in zip(pending, raw):
+            result = RunResult.from_dict(data)
+            results[index] = result
+            if cache is not None:
+                cache.store(specs[index], result)
         elapsed = time.perf_counter() - start
         return SweepResult(
-            results=[RunResult.from_dict(r) for r in raw],
+            results=[r for r in results if r is not None],
             jobs=self.jobs,
             elapsed=elapsed,
+            cache=cache.stats() if cache is not None else None,
         )
 
     def _run_pool(

@@ -77,7 +77,7 @@ class IPAddress:
     caches — cheap.
     """
 
-    __slots__ = ("value", "_hash")
+    __slots__ = ("value", "_hash", "_str")
 
     value: int
 
@@ -156,11 +156,18 @@ class IPAddress:
         return self.value
 
     def __str__(self) -> str:
-        v = self.value
-        return f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+        # Instances are immutable and interned, so the dotted quad is
+        # computed once (tracing stringifies addresses per packet hop).
+        try:
+            return self._str
+        except AttributeError:
+            v = self.value
+            text = f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+            object.__setattr__(self, "_str", text)
+            return text
 
     def __repr__(self) -> str:
-        return f"IPAddress('{self}')"
+        return f"IPAddress('{self!s}')"
 
     @property
     def is_multicast(self) -> bool:
@@ -197,7 +204,7 @@ class Network:
     hashing.
     """
 
-    __slots__ = ("prefix", "prefix_len")
+    __slots__ = ("prefix", "prefix_len", "_mask")
 
     prefix: int
     prefix_len: int
@@ -226,6 +233,7 @@ class Network:
             )
         object.__setattr__(self, "prefix", prefix)
         object.__setattr__(self, "prefix_len", length)
+        object.__setattr__(self, "_mask", mask)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError(f"Network is immutable: cannot set {name!r}")
@@ -286,13 +294,13 @@ class Network:
 
     def contains(self, address: Union[IPAddress, "Network"]) -> bool:
         """True if ``address`` (or the whole sub-``Network``) lies inside."""
-        mask = self._mask_for(self.prefix_len)
+        mask = self._mask
         if isinstance(address, Network):
             return (
                 address.prefix_len >= self.prefix_len
                 and (address.prefix & mask) == self.prefix
             )
-        return (int(address) & mask) == self.prefix
+        return (address.value & mask) == self.prefix
 
     def overlaps(self, other: "Network") -> bool:
         """True if the two prefixes share any address."""

@@ -112,7 +112,10 @@ class Interface:
         return addrs
 
     def owns(self, ip: IPAddress) -> bool:
-        return ip in self.addresses
+        own = self.ip
+        if own is not None and ip == own:
+            return True
+        return ip in self.secondary_ips
 
     # ------------------------------------------------------------------
     def attach(self, segment: "Segment") -> None:

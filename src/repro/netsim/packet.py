@@ -177,6 +177,11 @@ class Packet:
     @property
     def wire_size(self) -> int:
         """Total on-the-wire size of this packet in bytes."""
+        # Fast path: size cache warm and no options (the overwhelmingly
+        # common case on forwarding paths, where this is called per hop).
+        cached = self._inner_size_cache
+        if cached is not None and not self.source_route:
+            return IPV4_HEADER_SIZE + cached
         return IPV4_HEADER_SIZE + self.options_size + self.inner_size
 
     # ------------------------------------------------------------------
@@ -208,7 +213,12 @@ class Packet:
     # ------------------------------------------------------------------
     def record(self, time: float, node: str, action: str, detail: str = "") -> None:
         """Append a hop record (shared with the innermost packet's list)."""
-        self.hops.append(HopRecord(time, node, action, detail))
+        # Built via __new__ + __dict__: the frozen dataclass __init__
+        # routes every field through object.__setattr__, and this runs
+        # once per trace event.  Field values match the constructor.
+        hop = HopRecord.__new__(HopRecord)
+        hop.__dict__.update(time=time, node=node, action=action, detail=detail)
+        self.hops.append(hop)
 
     @property
     def path(self) -> Tuple[str, ...]:
@@ -253,13 +263,16 @@ class Packet:
         return fragment
 
     def __repr__(self) -> str:
-        inner = ""
-        if self.is_encapsulated:
-            inner = f" [{self.payload!r}]"
+        payload = self.payload
+        inner = f" [{payload!r}]" if isinstance(payload, Packet) else ""
         frag = ""
         if self.frag_offset or self.more_fragments:
             frag = f" frag(off={self.frag_offset},mf={self.more_fragments})"
+        # ``_name_`` is the enum's stored name — same string as ``.name``
+        # without the DynamicClassAttribute descriptor overhead; ``!s``
+        # reaches the addresses' cached dotted quads without the
+        # ``__format__`` indirection.
         return (
-            f"Packet({self.src}->{self.dst} {self.proto.name}"
+            f"Packet({self.src!s}->{self.dst!s} {self.proto._name_}"
             f" {self.wire_size}B ttl={self.ttl}{frag}{inner})"
         )

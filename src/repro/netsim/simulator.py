@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from ..obs.metrics import MetricsRegistry
 from .events import EventQueue, SimClock
+from .fastforward import FastForwarder
 from .link import Segment
 from .trace import TraceLog
 
@@ -34,11 +35,17 @@ class Simulator:
         seed: int = 1996,
         trace_entries: bool = True,
         trace_aggregates: bool = True,
+        fast_forward: bool = True,
     ):
         """``trace_entries=False`` drops per-event entries but keeps hop
         records and aggregate counters; additionally passing
         ``trace_aggregates=False`` turns tracing into a true no-op for
-        maximum-throughput runs (see :class:`TraceLog`)."""
+        maximum-throughput runs (see :class:`TraceLog`).
+
+        ``fast_forward`` enables the steady-flow replay engine (see
+        :class:`~repro.netsim.fastforward.FastForwarder`); it changes
+        wall-clock only, never observable behavior, and disengages
+        itself whenever observability or invariants are armed."""
         self.clock = SimClock()
         self.events = EventQueue(self.clock)
         self.trace = TraceLog(enabled=trace_entries, aggregates=trace_aggregates)
@@ -53,6 +60,9 @@ class Simulator:
         self.metrics = MetricsRegistry()
         self.obs: Optional["Observability"] = None
         self.invariants: Optional["InvariantMonitor"] = None
+        self.fast_forward: Optional[FastForwarder] = (
+            FastForwarder(self) if fast_forward else None
+        )
         trace = self.trace
         self.metrics.counter(
             "trace.events", read=lambda: sum(trace.action_counts.values()))
@@ -143,11 +153,14 @@ class Simulator:
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> float:
         """Run events (optionally up to an absolute time)."""
+        ff = self.fast_forward
+        if ff is not None:
+            return ff.run(until=until, max_events=max_events)
         return self.events.run(until=until, max_events=max_events)
 
     def run_for(self, duration: float, max_events: int = 1_000_000) -> float:
         """Run events for a relative duration from the current time."""
-        return self.events.run(until=self.clock.now + duration, max_events=max_events)
+        return self.run(until=self.clock.now + duration, max_events=max_events)
 
     @property
     def now(self) -> float:

@@ -93,20 +93,25 @@ class TraceLog:
         if action == "drop":
             self.drops_by_reason[detail] += 1
         if self.enabled:
-            self._entries_by_id[packet.trace_id].append(len(self.entries))
-            self.entries.append(
-                TraceEntry(
-                    time=time,
-                    node=node,
-                    action=action,
-                    packet_repr=repr(packet),
-                    trace_id=packet.trace_id,
-                    src=str(packet.src),
-                    dst=str(packet.dst),
-                    wire_size=packet.wire_size,
-                    detail=detail,
-                )
+            entries = self.entries
+            self._entries_by_id[packet.trace_id].append(len(entries))
+            # Build the frozen entry via __new__ + __dict__: the dataclass
+            # __init__ routes every field through object.__setattr__, which
+            # dominates the tracing-enabled hot path.  Field values are
+            # identical to the constructor call this replaces.
+            entry = TraceEntry.__new__(TraceEntry)
+            entry.__dict__.update(
+                time=time,
+                node=node,
+                action=action,
+                packet_repr=repr(packet),
+                trace_id=packet.trace_id,
+                src=str(packet.src),
+                dst=str(packet.dst),
+                wire_size=packet.wire_size,
+                detail=detail,
             )
+            entries.append(entry)
 
     def _note_disabled(
         self,

@@ -31,6 +31,7 @@ import random
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..experiment.cache import ResultCache
 from ..experiment.runner import Runner
 from ..experiment.spec import ExperimentSpec, TrafficProgram
 from ..mobileip.correspondent import Awareness
@@ -208,16 +209,25 @@ def _random_fault(rng: random.Random, duration: float) -> List[Dict[str, Any]]:
 # Execution
 # ----------------------------------------------------------------------
 def run_case(
-    case: FuzzCase, max_tunnel_depth: Optional[int] = None
+    case: FuzzCase,
+    max_tunnel_depth: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> CaseResult:
     """Build the case's world, run it with invariants armed, report.
 
     One line of real work: the case converts to an
     :class:`ExperimentSpec` and the shared :class:`Runner` owns the
     build → arm → drive → collect lifecycle (traffic, fault plan, and
-    adversary schedule included).
+    adversary schedule included).  With a ``cache``, the spec digest is
+    looked up first — the shrinker revisits near-identical worlds, and
+    a hit skips the whole run.
     """
-    result = Runner().run(case.to_spec(max_tunnel_depth=max_tunnel_depth))
+    spec = case.to_spec(max_tunnel_depth=max_tunnel_depth)
+    result = cache.lookup(spec) if cache is not None else None
+    if result is None:
+        result = Runner().run(spec)
+        if cache is not None:
+            cache.store(spec, result)
     return CaseResult(
         violations=list(result.invariants["violations"]),
         checks=dict(result.invariants["checks"]),
@@ -271,8 +281,14 @@ def shrink_case(
     target_invariant: str,
     max_runs: int = 200,
     max_tunnel_depth: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> FuzzCase:
-    """Greedy shrink to a fixpoint, preserving the target violation."""
+    """Greedy shrink to a fixpoint, preserving the target violation.
+
+    The greedy loop regenerates candidate lists after every accepted
+    shrink, so the same candidate world often comes up again; with a
+    ``cache`` those repeats are digest hits instead of full runs.
+    """
     current = case
     runs = 0
     improved = True
@@ -282,7 +298,8 @@ def shrink_case(
             runs += 1
             if runs >= max_runs:
                 break
-            result = run_case(candidate, max_tunnel_depth=max_tunnel_depth)
+            result = run_case(
+                candidate, max_tunnel_depth=max_tunnel_depth, cache=cache)
             if target_invariant in result.violated_invariants():
                 current = candidate
                 improved = True
@@ -349,6 +366,7 @@ def run_fuzz(
     out: Optional[str] = None,
     shrink: bool = True,
     max_tunnel_depth: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> FuzzReport:
     """Run the fuzz loop; on the first violation, shrink and report.
 
@@ -361,7 +379,7 @@ def run_fuzz(
     for _ in range(iterations):
         case_seed = master.randrange(1 << 31)
         case = generate_case(case_seed)
-        result = run_case(case, max_tunnel_depth=max_tunnel_depth)
+        result = run_case(case, max_tunnel_depth=max_tunnel_depth, cache=cache)
         report.cases_run += 1
         if result.ok:
             continue
@@ -371,7 +389,7 @@ def run_fuzz(
         if shrink:
             target = result.violations[0]["invariant"]
             shrunk = shrink_case(
-                case, target, max_tunnel_depth=max_tunnel_depth)
+                case, target, max_tunnel_depth=max_tunnel_depth, cache=cache)
             report.shrunk_case = shrunk.to_dict()
         else:
             report.shrunk_case = case.to_dict()

@@ -106,9 +106,11 @@ class TestDriverHook:
         result = Runner().run(canonical_traffic_spec(datagrams=5), driver)
         assert seen["seed"] == 1401
         assert seen["mh"]  # driver saw the built scenario
-        assert result.extras == {"note": "collected"}
+        assert result.extras["note"] == "collected"
+        # The fast-forward engine reports alongside driver extras.
+        assert result.extras["fast_forward"]["enabled"] is True
 
     def test_driver_without_collector(self):
         result = Runner().run(
             canonical_traffic_spec(datagrams=5), lambda sc, sp: None)
-        assert result.extras == {}
+        assert set(result.extras) == {"fast_forward"}

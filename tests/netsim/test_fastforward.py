@@ -1,0 +1,99 @@
+"""Equivalence proofs for the flow fast-forwarder.
+
+The fast path's contract is *byte-identical* output: the same
+:class:`~repro.netsim.trace.TraceLog` entries (hence the same digest),
+deliverability, overhead, and metrics with fast-forward on and off.
+These tests exercise that contract across the worked 24-cell grid, the
+canonical golden workload, and a run disturbed mid-conversation by a
+fault plan.
+"""
+
+import dataclasses
+import pathlib
+
+from repro.experiment import Runner, SpecGrid
+from repro.netsim.faults import FaultPlan
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+GRID = EXAMPLES / "grid_4x4.json"
+
+
+def _run_pair(spec):
+    """One spec, fast-forward on and off; returns both results."""
+    on = Runner().run(spec)
+    off = Runner().run(dataclasses.replace(spec, fast_forward=False))
+    return on, off
+
+
+def _assert_equivalent(on, off, label=""):
+    assert on.digest == off.digest, f"digest diverged: {label}"
+    assert on.trace_entries == off.trace_entries, label
+    assert on.deliverability == off.deliverability, label
+    assert on.overhead == off.overhead, label
+    assert on.metrics == off.metrics, label
+    assert on.invariants == off.invariants, label
+
+
+class TestGridEquivalence:
+    def test_grid_digests_identical_on_and_off(self):
+        """All 24 worked-grid cells: same digests with the flag flipped.
+
+        The grid arms the invariant monitor, which is a disturbance
+        source the forwarder refuses to fast-forward past — so these
+        cells prove the *stand-aside* path changes nothing.
+        """
+        specs = SpecGrid.from_file(str(GRID)).expand()
+        assert len(specs) == 24
+        for spec in specs:
+            on, off = _run_pair(spec)
+            _assert_equivalent(on, off, label=spec.label)
+
+    def test_unarmed_grid_cells_engage_and_match(self):
+        """With invariants unarmed the fast path can engage; digests
+        must still match cell for cell."""
+        specs = SpecGrid.from_file(str(GRID)).expand()
+        engaged = 0
+        for spec in specs[:6]:
+            spec = dataclasses.replace(spec, arm_invariants=False)
+            on, off = _run_pair(spec)
+            _assert_equivalent(on, off, label=spec.label)
+            engaged += on.extras["fast_forward"]["engaged_runs"]
+        assert engaged > 0, "no unarmed cell engaged the fast path"
+
+
+class TestGoldenEquivalence:
+    def test_canonical_workload_replays_and_matches(self):
+        from repro.experiment import canonical_traffic_spec
+
+        spec = canonical_traffic_spec(datagrams=200, seed=1401)
+        on, off = _run_pair(spec)
+        _assert_equivalent(on, off, label="canonical")
+        ff = on.extras["fast_forward"]
+        assert ff["engaged_runs"] == 1
+        assert ff["replayed"] > 0, "fast path never replayed a cascade"
+        assert ff["fallbacks"] == 0
+        # With the engine flag off the forwarder is never constructed.
+        assert "fast_forward" not in off.extras
+
+
+class TestFaultDisengagement:
+    def test_mid_conversation_fault_disengages_and_matches(self):
+        """A fault plan firing inside the send window forces the
+        forwarder to drop its templates (world change) and re-verify;
+        output must still be byte-identical to the per-event run."""
+        from repro.experiment import canonical_traffic_spec
+
+        plan = FaultPlan()
+        plan.add(0.45, "link-flap", "uplink-visited", duration=0.2)
+        spec = dataclasses.replace(
+            canonical_traffic_spec(datagrams=100, seed=1401),
+            faults=plan.to_dict())
+        on, off = _run_pair(spec)
+        _assert_equivalent(on, off, label="mid-conversation fault")
+        ff = on.extras["fast_forward"]
+        assert ff["engaged_runs"] == 1
+        # The flap's scheduled events run outside the verified flows:
+        # the forwarder must notice and invalidate at least once...
+        assert ff["world_changes"] >= 1
+        # ...and still have fast-forwarded the quiet stretches.
+        assert ff["replayed"] > 0
