@@ -138,6 +138,13 @@ class ChaosReport:
     forgiveness: int = 0
     invariants_armed: bool = False
     invariant_violations: int = 0
+    # Path of the postmortem flight-recorder dump, when one was armed
+    # and the run ended unhealthy (violation or unrecovered
+    # registration); None otherwise.
+    flightrec_path: Optional[str] = None
+    # The observability report, when the run was observed (see the
+    # CLI's global --obs-out flag); None otherwise.
+    obs: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -159,6 +166,8 @@ class ChaosReport:
             "forgiveness": self.forgiveness,
             "invariants_armed": self.invariants_armed,
             "invariant_violations": self.invariant_violations,
+            "flightrec_path": self.flightrec_path,
+            "obs": self.obs,
         }
 
     def render(self) -> str:
@@ -184,6 +193,10 @@ class ChaosReport:
             lines.append(
                 f"  invariants          {self.invariant_violations} violations"
             )
+        if self.flightrec_path:
+            lines.append(
+                f"  flight recorder     dumped to {self.flightrec_path}"
+            )
         return "\n".join(lines)
 
 
@@ -195,6 +208,8 @@ def run_chaos(
     strategy: ProbeStrategy = ProbeStrategy.CONSERVATIVE_FIRST,
     reg_lifetime: Optional[float] = None,
     arm_invariants: bool = False,
+    flightrec_path: Optional[str] = None,
+    flightrec_limit: Optional[int] = None,
     **overrides: Any,
 ) -> ChaosReport:
     """Run one chaos scenario end to end and report.
@@ -208,6 +223,11 @@ def run_chaos(
     lifetime (and immediately renews at the new value), tightening the
     refresh cadence so a scripted home-agent outage lands on a live
     refresh instead of slipping between 300-second ones.
+
+    ``flightrec_path`` arms the flight recorder for the run; beyond the
+    runner's own dump-on-violation, a chaos run also dumps when the
+    mobile host ends the run unregistered — the chaos-specific "the
+    recovery machinery lost" outcome worth a postmortem.
     """
     if plan is None:
         plan = demo_plan()
@@ -265,11 +285,22 @@ def run_chaos(
         sim.events.schedule(message_interval, tick)
         return None
 
-    runner = Runner()
+    runner = Runner(
+        flightrec_path=flightrec_path, flightrec_limit=flightrec_limit)
     result = runner.run(spec, driver=conversation)
     scenario = runner.scenario
     assert scenario is not None
     record = scenario.mh.engine.cache.records.get(scenario.ch_ip)
+    flightrec_info = result.extras.get("flightrec")
+    dump_path: Optional[str] = None
+    if flightrec_info is not None:
+        if flightrec_info["dumped"]:
+            dump_path = flightrec_info["path"]
+        elif not scenario.mh.registered:
+            recorder = scenario.sim.flightrec
+            assert recorder is not None and flightrec_path is not None
+            dump_path = recorder.dump(
+                flightrec_path, reason="unrecovered-registration")
     return ChaosReport(
         seed=seed,
         duration=duration,
@@ -289,4 +320,6 @@ def run_chaos(
         forgiveness=record.forgiveness if record else 0,
         invariants_armed=result.invariants["armed"],
         invariant_violations=result.invariants.get("violation_count", 0),
+        flightrec_path=dump_path,
+        obs=result.obs,
     )

@@ -197,6 +197,38 @@ def run_obs_overhead(datagrams: int = 200, seed: int = 1401) -> Tuple[int, str]:
     return datagrams, "packets"
 
 
+def run_ledger_overhead(datagrams: int = 200, seed: int = 1401) -> Tuple[int, str]:
+    """The canonical workload with full telemetry armed.
+
+    Same traffic shape as ``scenario_traffic``, plus a run-ledger append
+    and the flight recorder on the trace stream.  The recorder forces
+    live execution (it stands the fast-forwarder aside), so the honest
+    comparator is ``scenario_traffic_no_ff``: that delta is the price of
+    the ledger append plus the per-entry ring copy.  Versus
+    ``scenario_traffic`` the number also includes the foregone replay
+    speedup — the real cost of arming telemetry on a hot path.
+    """
+    import os
+    import tempfile
+
+    from repro.experiment import Runner, canonical_traffic_spec
+    from repro.obs.ledger import RunLedger
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as root:
+        ledger = RunLedger(os.path.join(root, "ledger.jsonl"))
+        with ledger:
+            runner = Runner(
+                ledger=ledger,
+                flightrec_path=os.path.join(root, "flightrec.json"),
+            )
+            result = runner.run(canonical_traffic_spec(
+                seed=seed, datagrams=datagrams))
+        assert ledger.appended == 1
+        info = result.extras["flightrec"]
+        assert info["armed"] and not info["dumped"]
+    return datagrams, "packets"
+
+
 def run_chaos_recovery(duration: float = 260.0, seed: int = 4242) -> Tuple[int, str]:
     """The default chaos scenario: faults injected, recovery measured.
 
@@ -312,6 +344,7 @@ WORKLOADS: Dict[str, Callable[..., Tuple[int, str]]] = {
     "scenario_traffic_no_ff": run_scenario_traffic_no_ff,
     "fast_forward": run_fast_forward,
     "obs_overhead": run_obs_overhead,
+    "ledger_overhead": run_ledger_overhead,
     "chaos_recovery": run_chaos_recovery,
     "chaos_recovery_no_ff": run_chaos_recovery_no_ff,
     "sweep_throughput": run_sweep_throughput,
@@ -334,6 +367,7 @@ _QUICK_ARGS: Dict[str, Dict[str, int]] = {
     "scenario_traffic_no_ff": {"datagrams": 50},
     "fast_forward": {"datagrams": 50},
     "obs_overhead": {"datagrams": 50},
+    "ledger_overhead": {"datagrams": 50},
     "chaos_recovery": {"duration": 130.0},
     "chaos_recovery_no_ff": {"duration": 130.0},
     "sweep_throughput": {"specs": 4, "datagrams": 20},

@@ -24,11 +24,24 @@ Subcommands:
   or the built-in 4x4-coverage grid) and run every cell, optionally
   across worker processes (``--jobs N``); ``--spec repro.json``
   replays a single spec, including one embedded in a fuzz repro.
+  ``--progress`` streams per-cell completion to stderr and
+  ``--ledger run.jsonl`` appends one durable JSONL record per cell.
+* ``report``      — render a run ledger (or a committed
+  ``BENCH_PR*.json`` trajectory) as markdown or JSON: phase-time
+  breakdown, slowest cells, fast-forward/cache efficacy, violation
+  index.
 
 The global ``--obs-out report.json`` flag enables the observability
 layer (metrics registry snapshot, packet-lifecycle spans, engine
 sampler) on any scenario-building subcommand and writes the merged
-report when the command finishes.
+report when the command finishes; on ``sweep``/``chaos``/``fuzz`` it
+additionally carries the result-cache and fast-forward counters.
+
+The ``chaos``/``sweep``/``fuzz`` subcommands arm a postmortem flight
+recorder by default (``--no-flightrec`` disarms): a bounded ring of
+the last trace entries, dumped to ``flightrec.json`` (with engine
+state) when a run ends with invariant violations — or, for chaos, an
+unrecovered registration.
 
 Installed as ``repro-mobility`` (see pyproject.toml), or run with
 ``python -m repro``.
@@ -294,6 +307,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.show_plan:
         print(plan.to_json())
         return 0
+    overrides = {}
+    if getattr(args, "obs_out", None):
+        # observe flows through chaos_spec into the spec, so the
+        # Runner arms the full observability layer on the run itself.
+        overrides["observe"] = True
     try:
         report = run_chaos(
             plan=plan,
@@ -301,11 +319,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             duration=args.duration,
             message_interval=args.interval,
             arm_invariants=True,
+            flightrec_path=None if args.no_flightrec else args.flightrec,
+            **overrides,
         )
     except FaultError as exc:
         # A plan naming a segment/node the stage does not have.
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if getattr(args, "obs_out", None) and report.obs is not None:
+        args._obs.append(report.obs)
     print(report.render())
     if args.json_out:
         with open(args.json_out, "w") as handle:
@@ -324,6 +346,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_renderer():
+    """A :data:`ProgressCallback` painting one stderr status line."""
+
+    def render(event):
+        line = (
+            f"[{event['completed']}/{event['total']}] "
+            f"{event['cells_per_sec']:.2f} cells/s "
+            f"eta {event['eta_sec']:5.1f}s "
+            f"cache {event['cache_hit_rate']:.0%} "
+            f"viol {event['violations_total']} "
+            f"{(event['label'] or '')[:28]}"
+        )
+        print(f"\r{line:<79}", end="", file=sys.stderr, flush=True)
+
+    return render
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     """Expand a spec grid and fan the runs out across processes."""
     import json
@@ -333,8 +372,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ResultCache,
         SpecGrid,
         SweepExecutor,
+        aggregate_fast_forward,
         demo_grid,
     )
+    from .obs.ledger import RunLedger
 
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}",
@@ -361,8 +402,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(root=args.cache_dir)
-    executor = SweepExecutor(jobs=args.jobs, cache=cache)
-    result = executor.run(specs)
+    ledger = RunLedger(args.ledger) if args.ledger else None
+    try:
+        executor = SweepExecutor(
+            jobs=args.jobs,
+            cache=cache,
+            ledger=ledger,
+            progress=_progress_renderer() if args.progress else None,
+            flightrec_path=None if args.no_flightrec else args.flightrec,
+        )
+        result = executor.run(specs)
+    finally:
+        if ledger is not None:
+            ledger.close()
+    if args.progress:
+        print(file=sys.stderr)  # leave the \r status line behind
     print(result.render())
     if cache is not None:
         stats = cache.stats()
@@ -370,11 +424,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{stats['invalidations']} invalidation(s), "
               f"{stats['bytes_read']}B read / {stats['bytes_written']}B "
               f"written ({cache.root})")
+    if ledger is not None:
+        print(f"run ledger: {ledger.appended} record(s) appended "
+              f"to {args.ledger}")
+    for path in result.flightrec_dumps():
+        print(f"flight recorder dumped to {path}")
     if args.json_out:
         with open(args.json_out, "w") as handle:
             json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"sweep results written to {args.json_out}")
+    if getattr(args, "obs_out", None):
+        from .obs.metrics import MetricsRegistry
+
+        # The report-side registry: worker processes are gone, so the
+        # fast-forward family reads the merged per-run totals, and the
+        # cache family reads the live parent-side cache.
+        registry = MetricsRegistry()
+        if cache is not None:
+            cache.register_metrics(registry)
+        ff_totals = aggregate_fast_forward(result.results)
+        registry.family("fast_forward", lambda: {
+            key: float(value) for key, value in ff_totals.items()})
+        args._obs.append({
+            "command": "sweep",
+            "runs": result.runs,
+            "jobs": result.jobs,
+            "elapsed": result.elapsed,
+            "violation_count": result.violation_count,
+            "metrics": registry.collect(),
+        })
     if result.violation_count:
         print(f"error: {result.violation_count} invariant violation(s) "
               "across the sweep", file=sys.stderr)
@@ -408,9 +487,139 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         seed=args.seed,
         out=args.out,
         shrink=not args.no_shrink,
+        max_tunnel_depth=args.max_tunnel_depth,
+        flightrec_path=None if args.no_flightrec else args.flightrec,
     )
     print(report.render())
+    if getattr(args, "obs_out", None):
+        args._obs.append({
+            "command": "fuzz",
+            "cases_run": report.cases_run,
+            "failed": report.failed,
+            "fast_forward": dict(report.fast_forward),
+        })
     return 1 if report.failed else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render a run ledger or bench trajectory as markdown/JSON."""
+    import json
+
+    from .obs.ledger import (
+        read_ledger,
+        render_ledger_markdown,
+        summarize_ledger,
+        validate_record,
+    )
+
+    try:
+        with open(args.path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    # A bench trajectory is one JSON document; a ledger is JSONL (a
+    # single-record ledger also parses whole, so the schema field is
+    # the discriminator).
+    try:
+        whole = json.loads(text)
+    except json.JSONDecodeError:
+        whole = None
+    is_ledger = whole is None or (
+        isinstance(whole, dict)
+        and str(whole.get("schema", "")).startswith("repro-mobility-ledger")
+    )
+    is_bench = not is_ledger and isinstance(whole, dict) and (
+        "baseline" in whole or ("results" in whole and "meta" in whole))
+    invalid = 0
+    if is_bench:
+        summary = _bench_summary(whole)
+        rendered = _render_bench_markdown(summary)
+    elif is_ledger:
+        records, torn = read_ledger(args.path)
+        valid = []
+        for record in records:
+            if validate_record(record):
+                invalid += 1
+            else:
+                valid.append(record)
+        invalid += torn
+        summary = summarize_ledger(valid)
+        summary["invalid_records"] = invalid
+        rendered = render_ledger_markdown(summary)
+        if invalid:
+            rendered += f"\n\n{invalid} invalid or torn record(s) skipped.\n"
+    else:
+        print(f"error: {args.path}: neither a run ledger nor a bench "
+              "trajectory", file=sys.stderr)
+        return 1
+    output = (json.dumps(summary, indent=2, sort_keys=True) + "\n"
+              if args.json else rendered)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(output)
+        print(f"report written to {args.out}")
+    else:
+        print(output, end="" if output.endswith("\n") else "\n")
+    if args.strict and invalid:
+        print(f"error: {invalid} invalid ledger record(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _bench_summary(data):
+    """Normalize a bench file (raw suite or baseline/optimized pair)."""
+    suites = {}
+    if "meta" in data and "results" in data:
+        suites["suite"] = data
+    for name in ("baseline", "optimized"):
+        suite = data.get(name)
+        if isinstance(suite, dict) and "results" in suite:
+            suites[name] = suite
+    return {
+        "kind": "bench",
+        "suites": {
+            name: {
+                "meta": dict(suite.get("meta", {})),
+                "workloads": {
+                    workload: {
+                        "ns_per_op": result.get("ns_per_op"),
+                        "ops_per_sec": result.get("ops_per_sec"),
+                        "units": result.get("units"),
+                        "unit": result.get("unit"),
+                    }
+                    for workload, result in sorted(suite["results"].items())
+                },
+            }
+            for name, suite in suites.items()
+        },
+        "speedup": dict(data.get("speedup") or {}),
+    }
+
+
+def _render_bench_markdown(summary) -> str:
+    lines = ["# Bench trajectory report", ""]
+    speedups = summary.get("speedup", {})
+    for name, suite in summary["suites"].items():
+        meta = suite.get("meta", {})
+        note = (f" (python {meta['python']}, repeat {meta.get('repeat')})"
+                if meta.get("python") else "")
+        with_speedup = bool(speedups) and name == "optimized"
+        lines.append(f"## {name}{note}")
+        lines.append("")
+        lines.append("| workload | ns/op | ops/sec |"
+                     + (" speedup |" if with_speedup else ""))
+        lines.append("|---|---:|---:|" + ("---:|" if with_speedup else ""))
+        for workload, result in suite["workloads"].items():
+            row = (f"| {workload} | {result['ns_per_op']:,.0f} "
+                   f"| {result['ops_per_sec']:,.0f} |")
+            if with_speedup and workload in speedups:
+                row += f" {speedups[workload]:.2f}x |"
+            elif with_speedup:
+                row += " - |"
+            lines.append(row)
+        lines.append("")
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -474,6 +683,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the plan as JSON and exit (no run)")
     chaos.add_argument("--json-out", metavar="PATH", default=None,
                        help="also write the chaos report as JSON")
+    chaos.add_argument("--flightrec", metavar="PATH",
+                       default="flightrec.json",
+                       help="flight-recorder dump path (armed by default; "
+                            "dumps on invariant violation or unrecovered "
+                            "registration)")
+    chaos.add_argument("--no-flightrec", action="store_true",
+                       help="disarm the flight recorder")
     chaos.set_defaults(func=_cmd_chaos)
 
     sweep = sub.add_parser(
@@ -502,6 +718,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result-cache directory (default: "
                             "$XDG_CACHE_HOME/repro-mobility or "
                             "~/.cache/repro-mobility)")
+    sweep.add_argument("--progress", action="store_true",
+                       help="stream per-cell completion to stderr "
+                            "(completed/total, cells/s, ETA, cache-hit "
+                            "rate, violations)")
+    sweep.add_argument("--ledger", metavar="PATH", default=None,
+                       help="append one JSONL run-ledger record per cell "
+                            "as it completes (plus sweep-start/sweep-end "
+                            "bookends); render with `repro-mobility "
+                            "report PATH`")
+    sweep.add_argument("--flightrec", metavar="PATH",
+                       default="flightrec.json",
+                       help="flight-recorder dump path (armed by default; "
+                            "multi-cell sweeps write PATH-NNN.json per "
+                            "violating cell)")
+    sweep.add_argument("--no-flightrec", action="store_true",
+                       help="disarm the flight recorder")
     sweep.set_defaults(func=_cmd_sweep)
 
     fuzz = sub.add_parser(
@@ -518,7 +750,35 @@ def build_parser() -> argparse.ArgumentParser:
                       help="replay a previously-written repro file instead")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="report the first failing case without shrinking")
+    fuzz.add_argument("--max-tunnel-depth", type=int, default=None,
+                      help="cap nested encapsulation depth for every case "
+                           "(0 makes any tunnel a violation — a "
+                           "deterministic failure for exercising the "
+                           "shrinker and flight recorder)")
+    fuzz.add_argument("--flightrec", metavar="PATH",
+                      default="flightrec.json",
+                      help="flight-recorder dump path (armed by default; "
+                           "on failure the shrunken case replays once "
+                           "with the recorder on, so the dump matches "
+                           "the repro JSON)")
+    fuzz.add_argument("--no-flightrec", action="store_true",
+                      help="disarm the flight recorder")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    report = sub.add_parser(
+        "report",
+        help="render a run ledger or bench trajectory as markdown/JSON")
+    report.add_argument("path",
+                        help="ledger JSONL (from sweep --ledger or a "
+                             "Runner ledger) or a BENCH_PR*.json file")
+    report.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON instead of markdown")
+    report.add_argument("--out", metavar="PATH", default=None,
+                        help="write the report here instead of stdout")
+    report.add_argument("--strict", action="store_true",
+                        help="exit nonzero if any ledger record is "
+                             "invalid or torn")
+    report.set_defaults(func=_cmd_report)
     return parser
 
 
@@ -556,8 +816,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         reports = []
         for obs in args._obs:
-            obs.finish()
-            reports.append(obs.report())
+            # Entries are live Observability handles (scenario-building
+            # subcommands) or already-collected plain dicts (sweep's
+            # merged counters, chaos's finished run report).
+            if isinstance(obs, dict):
+                reports.append(obs)
+            else:
+                obs.finish()
+                reports.append(obs.report())
         merged = reports[0] if len(reports) == 1 else {"runs": reports}
         with open(args.obs_out, "w") as handle:
             json.dump(merged, handle, indent=2, sort_keys=True)

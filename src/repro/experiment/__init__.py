@@ -22,12 +22,19 @@ from .spec import (
     TrafficProgram,
     canonical_traffic_spec,
 )
-from .sweep import SpecGrid, SweepExecutor, SweepResult, demo_grid
+from .sweep import (
+    SpecGrid,
+    SweepExecutor,
+    SweepResult,
+    aggregate_fast_forward,
+    demo_grid,
+)
 
 __all__ = [
     "ADVERSARY_KINDS",
     "CACHE_SALT",
     "Driver",
+    "aggregate_fast_forward",
     "ExperimentSpec",
     "ResultCache",
     "Runner",

@@ -28,12 +28,16 @@ from __future__ import annotations
 
 import gc
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from ..analysis.scenarios import Scenario, build_scenario
 from ..bench.golden import trace_digest
 from ..netsim.faults import FaultInjector
 from .spec import ExperimentSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.ledger import RunLedger
 
 __all__ = ["RunResult", "Runner", "Driver"]
 
@@ -61,6 +65,10 @@ class RunResult:
     faults: Dict[str, int] = field(default_factory=dict)
     obs: Optional[Dict[str, Any]] = None
     extras: Dict[str, Any] = field(default_factory=dict)
+    # Per-phase wall timings from the Runner profiler: build / arm /
+    # drive / collect / total, in seconds.  Defaulted so result dicts
+    # cached before the profiler existed still deserialize.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -87,6 +95,7 @@ class RunResult:
             "faults": self.faults,
             "obs": self.obs,
             "extras": self.extras,
+            "timings": self.timings,
         }
 
     @classmethod
@@ -95,10 +104,27 @@ class RunResult:
 
 
 class Runner:
-    """Executes one :class:`ExperimentSpec` through the full lifecycle."""
+    """Executes one :class:`ExperimentSpec` through the full lifecycle.
 
-    def __init__(self) -> None:
+    ``ledger`` (a :class:`~repro.obs.ledger.RunLedger`) receives one
+    durable JSONL record per run.  ``flightrec_path`` arms the
+    postmortem flight recorder (see :mod:`repro.obs.flightrec`): the
+    ring rides every run, and a run that ends with invariant
+    violations dumps it to that path; the dump's whereabouts land in
+    ``RunResult.extras["flightrec"]``.  Both default off, so plain
+    callers pay nothing.
+    """
+
+    def __init__(
+        self,
+        ledger: Optional["RunLedger"] = None,
+        flightrec_path: Optional[str] = None,
+        flightrec_limit: Optional[int] = None,
+    ) -> None:
         self.scenario: Optional[Scenario] = None
+        self.ledger = ledger
+        self.flightrec_path = flightrec_path
+        self.flightrec_limit = flightrec_limit
 
     def run(
         self,
@@ -123,10 +149,12 @@ class Runner:
         spec: ExperimentSpec,
         driver: Optional[Driver] = None,
     ) -> RunResult:
+        t_start = perf_counter()
         # -- build ----------------------------------------------------
         scenario = build_scenario(**spec.scenario_kwargs())
         self.scenario = scenario
         sim = scenario.sim
+        t_built = perf_counter()
 
         # -- arm ------------------------------------------------------
         obs = (
@@ -137,6 +165,11 @@ class Runner:
             sim.enable_invariants(**spec.invariant_kwargs())
             if spec.arm_invariants else None
         )
+        flightrec = (
+            sim.enable_flight_recorder(limit=self.flightrec_limit)
+            if self.flightrec_path is not None else None
+        )
+        t_armed = perf_counter()
 
         # -- drive ----------------------------------------------------
         if spec.traffic is not None and spec.traffic.resolved_events():
@@ -154,6 +187,7 @@ class Runner:
             sim.run(until=spec.duration)
         else:
             sim.run(until=sim.now + spec.duration + spec.settle_margin)
+        t_driven = perf_counter()
 
         if monitor is not None:
             monitor.finish(sim.now)
@@ -191,7 +225,32 @@ class Runner:
         if sim.fast_forward is not None:
             extras = dict(extras)
             extras["fast_forward"] = sim.fast_forward.stats()
-        return RunResult(
+        if flightrec is not None:
+            extras = dict(extras)
+            info: Dict[str, Any] = {
+                "armed": True,
+                "limit": flightrec.limit,
+                "recorded": flightrec.recorded,
+                "path": None,
+                "dumped": False,
+                "reason": None,
+            }
+            if monitor is not None and monitor.violation_count:
+                info["path"] = flightrec.dump(
+                    self.flightrec_path, reason="invariant-violation",
+                    violations=[v.to_dict() for v in monitor.violations])
+                info["dumped"] = True
+                info["reason"] = "invariant-violation"
+            extras["flightrec"] = info
+        t_collected = perf_counter()
+        timings = {
+            "build": t_built - t_start,
+            "arm": t_armed - t_built,
+            "drive": t_driven - t_armed,
+            "collect": t_collected - t_driven,
+            "total": t_collected - t_start,
+        }
+        result = RunResult(
             spec=spec.to_dict(),
             label=spec.label,
             seed=spec.seed,
@@ -206,7 +265,13 @@ class Runner:
             faults=dict(injector.applied) if injector is not None else {},
             obs=obs.report() if obs is not None else None,
             extras=extras,
+            timings=timings,
         )
+        if self.ledger is not None:
+            from ..obs.ledger import run_record
+
+            self.ledger.append(run_record(result, provenance="run"))
+        return result
 
 
 # ----------------------------------------------------------------------

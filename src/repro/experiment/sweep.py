@@ -22,15 +22,32 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..obs.ledger import (
+    RunLedger,
+    run_record,
+    sweep_end_record,
+    sweep_start_record,
+)
 from .cache import ResultCache
 from .runner import Runner, RunResult
 from .spec import ExperimentSpec, SpecError, TrafficProgram
 
-__all__ = ["SpecGrid", "SweepResult", "SweepExecutor", "demo_grid"]
+__all__ = [
+    "SpecGrid",
+    "SweepResult",
+    "SweepExecutor",
+    "aggregate_fast_forward",
+    "demo_grid",
+]
+
+# One per-cell completion event, delivered to SweepExecutor's progress
+# callback as cells finish (in completion order, not spec order).
+ProgressCallback = Callable[[Dict[str, Any]], None]
 
 
 @dataclass
@@ -143,6 +160,15 @@ class SweepResult:
     def digests(self) -> List[str]:
         return [r.digest for r in self.results]
 
+    def flightrec_dumps(self) -> List[str]:
+        """Paths of flight-recorder dumps the sweep's live runs wrote."""
+        paths = []
+        for result in self.results:
+            info = result.extras.get("flightrec")
+            if info and info.get("dumped") and info.get("path"):
+                paths.append(info["path"])
+        return paths
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "jobs": self.jobs,
@@ -151,6 +177,7 @@ class SweepResult:
             "runs_per_sec": self.runs_per_sec,
             "violation_count": self.violation_count,
             "cache": self.cache,
+            "flightrec_dumps": self.flightrec_dumps(),
             "results": [r.to_dict() for r in self.results],
         }
 
@@ -181,13 +208,19 @@ class SweepResult:
 
 
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: spec dict in, result dict out.
+    """Worker entry point: indexed spec payload in, indexed result out.
 
     Module-level so it pickles by reference under the ``spawn`` start
-    method (workers re-import :mod:`repro.experiment.sweep`).
+    method (workers re-import :mod:`repro.experiment.sweep`).  The
+    index rides along because results now stream back in *completion*
+    order; the parent re-slots them into spec order.
     """
-    spec = ExperimentSpec.from_dict(payload)
-    return Runner().run(spec).to_dict()
+    spec = ExperimentSpec.from_dict(payload["spec"])
+    runner = Runner(
+        flightrec_path=payload.get("flightrec_path"),
+        flightrec_limit=payload.get("flightrec_limit"),
+    )
+    return {"index": payload["index"], "result": runner.run(spec).to_dict()}
 
 
 class SweepExecutor:
@@ -200,6 +233,23 @@ class SweepExecutor:
     nothing process-global that matters, but spawn proves it), and the
     workers exchange only JSON-clean dicts.  Results always come back
     in spec order regardless of completion order.
+
+    Telemetry hooks (all optional, all parent-side):
+
+    * ``ledger`` — a :class:`~repro.obs.ledger.RunLedger`; the sweep
+      appends a ``sweep-start`` record, one ``run`` record per cell
+      **as it completes** (provenance ``"cache"`` or ``"run"``), and a
+      ``sweep-end`` record.  Because cells are recorded at completion
+      and appends are atomic, a killed sweep leaves exactly the
+      completed cells as valid JSONL.
+    * ``progress`` — a callback receiving one dict per completed cell:
+      completed/total, cells/sec, ETA, cache-hit rate, cumulative
+      violations, plus the cell's label/digest (the CLI renders these
+      to stderr behind ``--progress``).
+    * ``flightrec_path`` — arm the per-run flight recorder in every
+      worker; multi-cell sweeps write per-cell dumps next to the base
+      path (``flightrec-007.json``).  Cache hits never re-dump: the
+      postmortem belongs to the run that actually executed.
     """
 
     def __init__(
@@ -207,44 +257,123 @@ class SweepExecutor:
         jobs: int = 1,
         mp_context: str = "spawn",
         cache: Optional[ResultCache] = None,
+        ledger: Optional[RunLedger] = None,
+        progress: Optional[ProgressCallback] = None,
+        flightrec_path: Optional[str] = None,
+        flightrec_limit: Optional[int] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.mp_context = mp_context
         self.cache = cache
+        self.ledger = ledger
+        self.progress = progress
+        self.flightrec_path = flightrec_path
+        self.flightrec_limit = flightrec_limit
+
+    def _cell_flightrec_path(self, index: int, total: int) -> Optional[str]:
+        if self.flightrec_path is None:
+            return None
+        if total <= 1:
+            return self.flightrec_path
+        root, ext = os.path.splitext(self.flightrec_path)
+        return f"{root}-{index:03d}{ext or '.json'}"
 
     def run(self, specs: Sequence[ExperimentSpec]) -> SweepResult:
         start = time.perf_counter()
         cache = self.cache
+        ledger = self.ledger
+        progress = self.progress
+        total = len(specs)
+        results: List[Optional[RunResult]] = [None] * total
+        completed = 0
+        cache_hits = 0
+        violations_total = 0
+        if ledger is not None:
+            ledger.append(sweep_start_record(
+                total=total, jobs=self.jobs, cache=cache is not None))
+
+        def finish_cell(index: int, result: RunResult,
+                        cache_hit: bool) -> None:
+            # The single completion path: every cell — cached or live,
+            # inline or from a worker — lands here the moment it is
+            # known, so the ledger and progress stream see the sweep
+            # cell-by-cell rather than at the final merge.
+            nonlocal completed, cache_hits, violations_total
+            results[index] = result
+            completed += 1
+            cache_hits += 1 if cache_hit else 0
+            cell_violations = result.invariants.get("violation_count", 0)
+            violations_total += cell_violations
+            if ledger is not None:
+                ledger.append(run_record(
+                    result, provenance="cache" if cache_hit else "run"))
+            if progress is not None:
+                elapsed = time.perf_counter() - start
+                rate = completed / elapsed if elapsed > 0 else 0.0
+                progress({
+                    "index": index,
+                    "label": result.label,
+                    "digest": result.digest,
+                    "cache_hit": cache_hit,
+                    "violations": cell_violations,
+                    "completed": completed,
+                    "total": total,
+                    "elapsed": elapsed,
+                    "cells_per_sec": rate,
+                    "eta_sec": (total - completed) / rate if rate > 0
+                    else 0.0,
+                    "cache_hits": cache_hits,
+                    "cache_hit_rate": cache_hits / completed,
+                    "violations_total": violations_total,
+                })
+
         # Parent-side cache lookups happen before any pool dispatch, so
         # a fully-warm grid never pays worker spawn cost.  Cached cells
         # flow through the same result list, so invariant accounting
         # (SweepResult.violation_count) sees them like live runs.
-        results: List[Optional[RunResult]] = [None] * len(specs)
         pending: List[int] = []
         if cache is not None:
             for index, spec in enumerate(specs):
                 hit = cache.lookup(spec)
                 if hit is not None:
-                    results[index] = hit
+                    finish_cell(index, hit, True)
                 else:
                     pending.append(index)
         else:
-            pending = list(range(len(specs)))
-        payloads = [specs[index].to_dict() for index in pending]
-        if not payloads:
-            raw: List[Dict[str, Any]] = []
-        elif self.jobs == 1 or len(payloads) <= 1:
-            raw = [_execute_payload(payload) for payload in payloads]
-        else:
-            raw = self._run_pool(payloads)
-        for index, data in zip(pending, raw):
-            result = RunResult.from_dict(data)
-            results[index] = result
+            pending = list(range(total))
+        payloads = [
+            {
+                "index": index,
+                "spec": specs[index].to_dict(),
+                "flightrec_path": self._cell_flightrec_path(index, total),
+                "flightrec_limit": self.flightrec_limit,
+            }
+            for index in pending
+        ]
+
+        def absorb(data: Dict[str, Any]) -> None:
+            index = data["index"]
+            result = RunResult.from_dict(data["result"])
             if cache is not None:
                 cache.store(specs[index], result)
+            finish_cell(index, result, False)
+
+        if not payloads:
+            pass
+        elif self.jobs == 1 or len(payloads) <= 1:
+            for payload in payloads:
+                absorb(_execute_payload(payload))
+        else:
+            for data in self._stream_pool(payloads):
+                absorb(data)
         elapsed = time.perf_counter() - start
+        if ledger is not None:
+            ledger.append(sweep_end_record(
+                completed=completed, total=total, elapsed=elapsed,
+                violation_count=violations_total,
+                cache=cache.stats() if cache is not None else None))
         return SweepResult(
             results=[r for r in results if r is not None],
             jobs=self.jobs,
@@ -252,17 +381,32 @@ class SweepExecutor:
             cache=cache.stats() if cache is not None else None,
         )
 
-    def _run_pool(
-        self, payloads: List[Dict[str, Any]]
-    ) -> List[Dict[str, Any]]:
+    def _stream_pool(self, payloads: List[Dict[str, Any]]):
         import multiprocessing
 
         context = multiprocessing.get_context(self.mp_context)
         workers = min(self.jobs, len(payloads))
         with context.Pool(processes=workers) as pool:
-            # map() preserves input order; chunksize=1 keeps the
-            # longest-running specs from serializing behind each other.
-            return pool.map(_execute_payload, payloads, chunksize=1)
+            # imap_unordered streams completions back as they happen —
+            # the live-progress contract; the payload index restores
+            # spec order.  chunksize=1 keeps the longest-running specs
+            # from serializing behind each other.
+            for data in pool.imap_unordered(
+                    _execute_payload, payloads, chunksize=1):
+                yield data
+
+
+def aggregate_fast_forward(results: Sequence[RunResult]) -> Dict[str, int]:
+    """Sum per-run fast-forward stats across a sweep's results."""
+    totals = {
+        "engaged_runs": 0, "replayed": 0, "captured": 0,
+        "fallbacks": 0, "world_changes": 0,
+    }
+    for result in results:
+        stats = result.extras.get("fast_forward") or {}
+        for key in totals:
+            totals[key] += stats.get(key, 0)
+    return totals
 
 
 def demo_grid(

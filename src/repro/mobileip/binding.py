@@ -94,6 +94,24 @@ class BindingTable:
         """
         return self._bindings.get(IPAddress(home_address))
 
+    def snapshot(self, now: float) -> Dict[str, Dict[str, object]]:
+        """Non-mutating JSON-clean export of every stored binding.
+
+        Like :meth:`peek`, this never triggers lazy expiry — it is for
+        outside observers (the flight recorder's engine-state dump),
+        and observing a run must not change it.  Entries past their
+        lifetime are included with ``valid: false``.
+        """
+        return {
+            str(home): {
+                "care_of": str(binding.care_of_address),
+                "registered_at": binding.registered_at,
+                "expires_at": binding.expires_at,
+                "valid": binding.valid_at(now),
+            }
+            for home, binding in self._bindings.items()
+        }
+
     def flush(self) -> int:
         """Drop every binding without counting deregistrations.
 

@@ -275,6 +275,9 @@ class FastForwarder:
         self._orig_schedule = None
         self._orig_note = None
         self._orig_link = None
+        # True while _run_engaged is on the stack: observers (the
+        # engine sampler) use it to tag readings taken mid-replay.
+        self.active = False
         # stats
         self.engaged = 0
         self.replayed = 0
@@ -311,6 +314,21 @@ class FastForwarder:
             "world_changes": self.world_changes,
         }
 
+    def register_metrics(self, registry: Any) -> None:
+        """Expose the counters as a ``fast_forward`` metrics family.
+
+        Deliberately *not* registered on the simulator's own registry:
+        a run's metrics snapshot must be byte-identical with the
+        forwarder on or off (the equivalence contract).  Callers that
+        want the counters in an observability report — the CLI's
+        ``--obs-out`` path — register them on a report-side registry,
+        the same pattern :meth:`ResultCache.register_metrics` uses.
+        """
+        registry.family(
+            "fast_forward",
+            lambda: {k: float(v) for k, v in self.stats().items()},
+        )
+
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
@@ -319,7 +337,11 @@ class FastForwarder:
         sim = self._sim
         if (not self.enabled or until is None or not self._flows
                 or sim.obs is not None or sim.invariants is not None
+                or sim.flightrec is not None
                 or not self._segments_clean()):
+            # Flight recorders ride note(); replay appends entries
+            # directly, so an armed recorder would miss replayed
+            # cascades — stand aside, like for obs and invariants.
             return sim.events.run(until=until, max_events=max_events)
         return self._run_engaged(until, max_events)
 
@@ -336,7 +358,9 @@ class FastForwarder:
         horizon = self._until
         exempt = self._exempt
         for time, seq, event in self._sim.events._heap:
-            if time < horizon and seq not in exempt and not event.cancelled:
+            if (time < horizon and seq not in exempt
+                    and not event.cancelled
+                    and not getattr(event.action, "ff_transparent", False)):
                 horizon = time
         for node in self._sim.nodes.values():
             node_horizon = node.ff_time_horizon(now)
@@ -391,6 +415,7 @@ class FastForwarder:
         processed = 0
         live_popped = 0
         self._install()
+        self.active = True
         try:
             while True:
                 if processed >= max_events:
@@ -540,11 +565,17 @@ class FastForwarder:
                             self._horizon = None
                 elif seq in exempt:
                     event.action(*event.args)  # our own capture child
+                elif getattr(event.action, "ff_transparent", False):
+                    # Read-only observers (the engine sampler tick):
+                    # run benign — real execution, children exempt —
+                    # instead of dropping every template on each tick.
+                    self._benign_exec(event)
                 else:
                     self._world_changed()
                     event.action(*event.args)
                 processed += 1
         finally:
+            self.active = False
             self._restore()
             self._flush()
             queue.processed += processed

@@ -21,6 +21,7 @@ from .trace import TraceLog
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs import Observability
+    from ..obs.flightrec import FlightRecorder
     from ..verify.invariants import InvariantMonitor
     from .node import Node
 
@@ -60,6 +61,7 @@ class Simulator:
         self.metrics = MetricsRegistry()
         self.obs: Optional["Observability"] = None
         self.invariants: Optional["InvariantMonitor"] = None
+        self.flightrec: Optional["FlightRecorder"] = None
         self.fast_forward: Optional[FastForwarder] = (
             FastForwarder(self) if fast_forward else None
         )
@@ -147,6 +149,27 @@ class Simulator:
         monitor.attach(self.trace)
         self.invariants = monitor
         return monitor
+
+    def enable_flight_recorder(self, limit: Optional[int] = None) -> "FlightRecorder":
+        """Arm the postmortem flight recorder for this run.
+
+        Attaches a :class:`~repro.obs.flightrec.FlightRecorder` ring
+        buffer to the trace stream (``limit`` entries; see that module
+        for the digest-neutrality argument).  Returns the recorder,
+        also kept on ``self.flightrec``; the fast-forwarder stands
+        aside while one is armed so the ring never misses replayed
+        entries.
+        """
+        if self.flightrec is not None:
+            raise RuntimeError(
+                "flight recorder is already enabled for this run")
+        from ..obs.flightrec import DEFAULT_FLIGHT_LIMIT, FlightRecorder
+
+        recorder = FlightRecorder(
+            self, limit=DEFAULT_FLIGHT_LIMIT if limit is None else limit)
+        recorder.attach(self.trace)
+        self.flightrec = recorder
+        return recorder
 
     # ------------------------------------------------------------------
     # Execution

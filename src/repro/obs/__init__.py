@@ -32,6 +32,8 @@ import json
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from .engine import DEFAULT_CADENCE, EngineSampler
+from .flightrec import DEFAULT_FLIGHT_LIMIT, FlightRecorder
+from .ledger import RunLedger
 from .metrics import (
     LATENCY_BUCKETS,
     SIZE_BUCKETS,
@@ -55,6 +57,9 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "EngineSampler",
+    "FlightRecorder",
+    "DEFAULT_FLIGHT_LIMIT",
+    "RunLedger",
     "Observability",
 ]
 

@@ -45,6 +45,7 @@ class EngineSampler:
         self.max_samples = max_samples
         self.samples: List[Dict[str, Any]] = []
         self._last_link_bytes: Dict[str, int] = {}
+        self._last_replayed = 0
         self._timer = None
         self._running = False
 
@@ -79,6 +80,13 @@ class EngineSampler:
             self.cadence, self._tick, label="obs:engine-sample"
         )
 
+    # The tick only *reads* engine state, so the fast-forwarder treats
+    # it as transparent: it neither blocks the replay horizon nor drops
+    # templates when it fires (samples taken mid-replay are tagged —
+    # see sample()).  Bound methods forward attribute lookups to the
+    # underlying function, so the marker is visible on scheduled events.
+    _tick.ff_transparent = True
+
     # ------------------------------------------------------------------
     def sample(self) -> Dict[str, Any]:
         """One instantaneous reading (also usable without the timer)."""
@@ -107,7 +115,7 @@ class EngineSampler:
                 "bytes_carried": carried,
                 "utilization": (delta * 8.0 / segment.bandwidth) / self.cadence,
             }
-        return {
+        sample = {
             "time": self.sim.now,
             "pending": live,
             "heap": heap,
@@ -119,6 +127,18 @@ class EngineSampler:
             "nodes": nodes,
             "links": links,
         }
+        # Fast-forward replay advances the clock without executing
+        # events, so depth/processed readings are misleading while a
+        # template replays: tag such samples instead of pretending the
+        # numbers are exact.  Samples from plain runs keep their shape.
+        ff = getattr(self.sim, "fast_forward", None)
+        if ff is not None:
+            replayed_delta = ff.replayed - self._last_replayed
+            if ff.active or replayed_delta:
+                sample["fast_forwarded"] = True
+                sample["replayed_since_last"] = replayed_delta
+            self._last_replayed = ff.replayed
+        return sample
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, Any]:
@@ -131,7 +151,9 @@ class EngineSampler:
                 if link["utilization"] > peak_links.get(name, 0.0):
                     peak_links[name] = link["utilization"]
         count = len(self.samples)
-        return {
+        fast_forwarded = sum(
+            1 for s in self.samples if s.get("fast_forwarded"))
+        out = {
             "samples": count,
             "peak_pending": max(s["pending"] for s in self.samples),
             "peak_heap": max(s["heap"] for s in self.samples),
@@ -145,3 +167,8 @@ class EngineSampler:
             ),
             "peak_link_utilization": dict(sorted(peak_links.items())),
         }
+        if fast_forwarded:
+            out["fast_forwarded_samples"] = fast_forwarded
+            out["replayed_in_samples"] = sum(
+                s.get("replayed_since_last", 0) for s in self.samples)
+        return out

@@ -1,0 +1,179 @@
+"""Violation flight recorder: the last N trace events plus engine state.
+
+When a sweep cell, chaos run, or fuzz case ends in an invariant
+violation, the full trace is usually gone (large runs disable entry
+recording) or buried (a 260-second chaos run produces tens of
+thousands of entries).  The :class:`FlightRecorder` keeps a bounded
+ring buffer of the most recent trace events — attached with the same
+instance-rebinding ``TraceLog.note`` wrap the span recorder and the
+invariant monitor use, so an unarmed run pays nothing at all — and,
+on request, dumps the ring plus a snapshot of live engine state
+(event-queue depth, clock, per-node reassembly backlog, mobility
+bindings, segment health) to a ``flightrec.json`` for postmortem.
+
+Digest neutrality is by construction: the wrapper calls the original
+``note`` with unmodified arguments and only *reads* packet state, so
+the trace stream, RNG, and event order are untouched.  The one
+behavioral interaction is with the fast-forwarder: replayed cascades
+append entries directly to ``TraceLog.entries`` without calling
+``note()``, so the ring would silently miss them — the forwarder
+therefore stands aside (plain execution) whenever a recorder is
+armed, exactly as it does for observability and invariants.  The
+replayed-vs-real trace is byte-identical either way, so arming the
+recorder still never changes a digest.
+
+Entry snapshots are eager (packets mutate in place — TTL decrements,
+encapsulation), which makes the armed cost comparable to entry-level
+tracing; the ``ledger_overhead`` bench workload records it honestly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.simulator import Simulator
+    from ..netsim.trace import TraceLog
+
+__all__ = ["FlightRecorder", "DEFAULT_FLIGHT_LIMIT", "FLIGHTREC_SCHEMA"]
+
+FLIGHTREC_SCHEMA = "repro-mobility-flightrec/v1"
+DEFAULT_FLIGHT_LIMIT = 256
+
+
+class FlightRecorder:
+    """Bounded ring of recent trace events, dumpable with engine state."""
+
+    def __init__(self, sim: "Simulator", limit: int = DEFAULT_FLIGHT_LIMIT):
+        if limit < 1:
+            raise ValueError(f"flight-recorder limit must be >= 1, got {limit}")
+        self.sim = sim
+        self.limit = limit
+        self.ring: deque = deque(maxlen=limit)
+        self.recorded = 0
+        self.dumps = 0
+        self._trace: Optional["TraceLog"] = None
+        self._wrapped_note = None
+        self._note_was_instance = False
+
+    # ------------------------------------------------------------------
+    # Attachment (same instance-rebinding wrap as obs.spans / invariants)
+    # ------------------------------------------------------------------
+    def attach(self, trace: "TraceLog") -> None:
+        if self._trace is not None:
+            raise RuntimeError("flight recorder is already attached")
+        self._trace = trace
+        self._note_was_instance = "note" in trace.__dict__
+        original = trace.note
+        self._wrapped_note = original
+        ring = self.ring
+
+        def note_with_flightrec(time, node, action, packet, detail=""):
+            original(time, node, action, packet, detail)
+            # Eager snapshot: packets mutate in place, so every field
+            # is frozen at note() time (same rule as TraceLog itself).
+            ring.append((
+                time, node, action, packet.trace_id, str(packet.src),
+                str(packet.dst), packet.wire_size, detail, repr(packet),
+            ))
+            self.recorded += 1
+
+        trace.note = note_with_flightrec  # type: ignore[method-assign]
+
+    def detach(self) -> None:
+        if self._trace is None:
+            return
+        if self._note_was_instance:
+            self._trace.note = self._wrapped_note  # type: ignore[method-assign]
+        else:
+            del self._trace.note  # fall back to the class method
+        self._trace = None
+        self._wrapped_note = None
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Dict[str, Any]]:
+        """The ring's contents, oldest first, as JSON-clean dicts."""
+        return [
+            {
+                "time": time, "node": node, "action": action,
+                "trace_id": trace_id, "src": src, "dst": dst,
+                "wire_size": wire_size, "detail": detail, "packet": packet,
+            }
+            for (time, node, action, trace_id, src, dst,
+                 wire_size, detail, packet) in self.ring
+        ]
+
+    def engine_state(self) -> Dict[str, Any]:
+        """Live engine internals at dump time (queue, nodes, segments)."""
+        sim = self.sim
+        events = sim.events
+        heap = events.heap_size
+        cancelled = events.cancelled_backlog
+        nodes: Dict[str, Any] = {}
+        for name, node in sim.nodes.items():
+            info: Dict[str, Any] = {
+                "reassembly_pending": node.reassembler.pending,
+                "packets_sent": node.packets_sent,
+                "packets_received": node.packets_received,
+                "up": getattr(node, "up", True),
+            }
+            bindings = getattr(node, "bindings", None)
+            snapshot = getattr(bindings, "snapshot", None)
+            if snapshot is not None:
+                info["bindings"] = snapshot(sim.now)
+            nodes[name] = info
+        segments = {
+            name: {
+                "up": segment.up,
+                "loss_rate": segment.loss_rate,
+                "bytes_carried": segment.bytes_carried,
+            }
+            for name, segment in sim.segments.items()
+        }
+        return {
+            "clock": sim.now,
+            "events": {
+                "heap": heap,
+                "cancelled": cancelled,
+                "pending_live": heap - cancelled,
+                "processed": events.processed,
+            },
+            "nodes": nodes,
+            "segments": segments,
+        }
+
+    # ------------------------------------------------------------------
+    # Dump
+    # ------------------------------------------------------------------
+    def dump(
+        self,
+        path: str,
+        reason: str,
+        violations: Optional[List[Dict[str, Any]]] = None,
+    ) -> str:
+        """Write the postmortem JSON atomically; returns ``path``."""
+        payload = {
+            "schema": FLIGHTREC_SCHEMA,
+            "reason": reason,
+            "limit": self.limit,
+            "recorded": self.recorded,
+            "entries": self.entries(),
+            "engine": self.engine_state(),
+            "violations": list(violations or []),
+        }
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # Write-then-rename: a killed worker never leaves a torn dump.
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+        self.dumps += 1
+        return path

@@ -134,6 +134,9 @@ class CaseResult:
     violations: List[Dict[str, Any]]
     checks: Dict[str, int]
     trace_entries: int
+    # The run's fast-forward counters (``extras["fast_forward"]``), so
+    # a campaign can aggregate engine efficacy; empty if absent.
+    fast_forward: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -212,6 +215,7 @@ def run_case(
     case: FuzzCase,
     max_tunnel_depth: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    flightrec_path: Optional[str] = None,
 ) -> CaseResult:
     """Build the case's world, run it with invariants armed, report.
 
@@ -220,18 +224,22 @@ def run_case(
     build → arm → drive → collect lifecycle (traffic, fault plan, and
     adversary schedule included).  With a ``cache``, the spec digest is
     looked up first — the shrinker revisits near-identical worlds, and
-    a hit skips the whole run.
+    a hit skips the whole run.  ``flightrec_path`` arms the flight
+    recorder and forces a live run (a cache hit has no ring to dump).
     """
     spec = case.to_spec(max_tunnel_depth=max_tunnel_depth)
+    if flightrec_path is not None:
+        cache = None
     result = cache.lookup(spec) if cache is not None else None
     if result is None:
-        result = Runner().run(spec)
+        result = Runner(flightrec_path=flightrec_path).run(spec)
         if cache is not None:
             cache.store(spec, result)
     return CaseResult(
         violations=list(result.invariants["violations"]),
         checks=dict(result.invariants["checks"]),
         trace_entries=result.trace_entries,
+        fast_forward=dict(result.extras.get("fast_forward") or {}),
     )
 
 
@@ -310,6 +318,10 @@ def shrink_case(
 # ----------------------------------------------------------------------
 # The fuzz loop
 # ----------------------------------------------------------------------
+_FF_TOTAL_KEYS = ("engaged_runs", "replayed", "captured", "fallbacks",
+                  "world_changes")
+
+
 @dataclass
 class FuzzReport:
     """Outcome of one fuzzing campaign."""
@@ -322,6 +334,9 @@ class FuzzReport:
     shrunk_case: Optional[Dict[str, Any]] = None
     violations: List[Dict[str, Any]] = field(default_factory=list)
     repro_path: Optional[str] = None
+    flightrec_path: Optional[str] = None
+    # Campaign-total fast-forward counters, summed across cases.
+    fast_forward: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -333,6 +348,8 @@ class FuzzReport:
             "shrunk_case": self.shrunk_case,
             "violations": self.violations,
             "repro_path": self.repro_path,
+            "flightrec_path": self.flightrec_path,
+            "fast_forward": dict(self.fast_forward),
         }
 
     def render(self) -> str:
@@ -357,6 +374,9 @@ class FuzzReport:
             )
         if self.repro_path:
             lines.append(f"  repro written to {self.repro_path}")
+        if self.flightrec_path:
+            lines.append(
+                f"  flight recorder dumped to {self.flightrec_path}")
         return "\n".join(lines)
 
 
@@ -367,20 +387,29 @@ def run_fuzz(
     shrink: bool = True,
     max_tunnel_depth: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    flightrec_path: Optional[str] = None,
 ) -> FuzzReport:
     """Run the fuzz loop; on the first violation, shrink and report.
 
     ``out`` is where the shrunken repro JSON lands (only written on
     failure).  Stops at the first failing case — fuzzing is a
     detector, not a census.
+
+    ``flightrec_path`` keeps the campaign and shrinker unperturbed
+    (the ring would defeat the shrinker's cache) and instead replays
+    the **shrunken** case once with the flight recorder armed, so the
+    dump on disk matches the repro JSON next to it.
     """
     master = random.Random(seed)
     report = FuzzReport(seed=seed, iterations=iterations)
+    report.fast_forward = {key: 0 for key in _FF_TOTAL_KEYS}
     for _ in range(iterations):
         case_seed = master.randrange(1 << 31)
         case = generate_case(case_seed)
         result = run_case(case, max_tunnel_depth=max_tunnel_depth, cache=cache)
         report.cases_run += 1
+        for key in _FF_TOTAL_KEYS:
+            report.fast_forward[key] += result.fast_forward.get(key, 0)
         if result.ok:
             continue
         report.failed = True
@@ -411,6 +440,16 @@ def run_fuzz(
                 )
                 handle.write("\n")
             report.repro_path = out
+        if flightrec_path is not None:
+            # One extra run of the minimal world, ring armed: the
+            # violation re-fires (shrinking preserved it) and the
+            # Runner dumps the last moments to flightrec_path.
+            shrunk = FuzzCase.from_dict(report.shrunk_case)
+            replay = run_case(
+                shrunk, max_tunnel_depth=max_tunnel_depth,
+                flightrec_path=flightrec_path)
+            if not replay.ok:
+                report.flightrec_path = flightrec_path
         break
     return report
 

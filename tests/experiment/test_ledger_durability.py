@@ -1,0 +1,120 @@
+"""Crash durability: a SIGKILLed sweep leaves a valid ledger prefix.
+
+The ledger's append path is a single ``os.write`` on an ``O_APPEND``
+descriptor, so killing the writer mid-sweep can tear at most the final
+line.  This test runs a real ``repro-mobility sweep`` subprocess,
+SIGKILLs it once at least two cells have landed, and checks the ledger
+survives — then re-runs the grid and confirms the result cache resumes
+from the completed cells.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.obs.ledger import read_ledger, validate_record
+
+_GRID = {
+    "base": {
+        "duration": 30.0,
+        "seed": 1401,
+        "arm_invariants": True,
+        "traffic": {
+            "uniform": {
+                "datagrams": 120, "spacing": 0.1, "size": 100,
+                "direction": "both",
+            },
+        },
+    },
+    "axes": {"seed": [1401 + i for i in range(12)]},
+}
+
+
+def _env_with_absolute_pythonpath():
+    env = dict(os.environ)
+    paths = env.get("PYTHONPATH", "")
+    if paths:
+        env["PYTHONPATH"] = os.pathsep.join(
+            os.path.abspath(p) for p in paths.split(os.pathsep) if p)
+    return env
+
+
+def _sweep_argv(grid_path, ledger_path, cache_dir):
+    return [
+        sys.executable, "-m", "repro", "sweep",
+        "--grid", str(grid_path),
+        "--ledger", str(ledger_path),
+        "--cache-dir", str(cache_dir),
+        "--no-flightrec", "--jobs", "1",
+    ]
+
+
+def _run_records(path):
+    if not path.exists():
+        return []
+    records, _ = read_ledger(str(path))
+    return [r for r in records if r["kind"] == "run"]
+
+
+class TestLedgerCrashDurability:
+    def test_sigkill_leaves_valid_prefix_and_cache_resumes(self, tmp_path):
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text(json.dumps(_GRID))
+        ledger_path = tmp_path / "ledger.jsonl"
+        cache_dir = tmp_path / "cache"
+        env = _env_with_absolute_pythonpath()
+
+        proc = subprocess.Popen(
+            _sweep_argv(grid_path, ledger_path, cache_dir),
+            cwd=tmp_path, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if len(_run_records(ledger_path)) >= 2:
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.05)
+            killed = proc.poll() is None
+            if killed:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        records, skipped = read_ledger(str(ledger_path))
+        # Atomic appends: at most the very last line can be torn.
+        assert skipped <= 1
+        assert records, "no complete ledger records survived the kill"
+        assert records[0]["kind"] == "sweep-start"
+        assert records[0]["total"] == 12
+        for record in records:
+            assert validate_record(record) == []
+        completed = [r for r in records if r["kind"] == "run"]
+        assert len(completed) >= 2
+        assert all(r["provenance"] == "run" for r in completed)
+        if killed:
+            # The kill landed mid-grid: no sweep-end bookend.
+            assert records[-1]["kind"] != "sweep-end"
+
+        # Resume: the cache already holds every completed cell, so a
+        # fresh sweep replays them as cache hits.
+        ledger2 = tmp_path / "ledger-resume.jsonl"
+        result = subprocess.run(
+            _sweep_argv(grid_path, ledger2, cache_dir),
+            cwd=tmp_path, env=env, capture_output=True, text=True,
+            timeout=240)
+        assert result.returncode == 0, result.stderr
+        records2, skipped2 = read_ledger(str(ledger2))
+        assert skipped2 == 0
+        assert records2[-1]["kind"] == "sweep-end"
+        assert records2[-1]["completed"] == 12
+        cached = [r for r in records2
+                  if r["kind"] == "run" and r["provenance"] == "cache"]
+        assert len(cached) >= len(completed)

@@ -114,3 +114,21 @@ class TestDriverHook:
         result = Runner().run(
             canonical_traffic_spec(datagrams=5), lambda sc, sp: None)
         assert set(result.extras) == {"fast_forward"}
+
+
+class TestPhaseTimings:
+    def test_every_phase_is_timed(self):
+        result = Runner().run(canonical_traffic_spec(datagrams=5))
+        assert set(result.timings) == {
+            "build", "arm", "drive", "collect", "total"}
+        for phase, seconds in result.timings.items():
+            assert seconds >= 0.0, phase
+        assert result.timings["total"] >= result.timings["drive"]
+        phases = (result.timings["build"] + result.timings["arm"]
+                  + result.timings["drive"] + result.timings["collect"])
+        assert result.timings["total"] >= phases * 0.5
+
+    def test_timings_round_trip_as_plain_data(self):
+        result = Runner().run(canonical_traffic_spec(datagrams=5))
+        clone = RunResult.from_dict(result.to_dict())
+        assert clone.timings == result.timings

@@ -163,3 +163,75 @@ class TestExampleFiles:
         assert spec.arm_invariants and spec.max_tunnel_depth == 0
         result = SweepExecutor(jobs=1).run([spec])
         assert result.violation_count > 0
+
+
+class TestSweepTelemetry:
+    """The parent-side hooks: progress stream, ledger, flight dumps."""
+
+    def _specs(self, n=3, datagrams=5):
+        base = canonical_traffic_spec(datagrams=datagrams).to_dict()
+        del base["label"]
+        return SpecGrid(
+            base=base, axes={"seed": [1401 + i for i in range(n)]},
+        ).expand()
+
+    def test_progress_events_stream_per_cell(self):
+        events = []
+        executor = SweepExecutor(jobs=1, progress=events.append)
+        result = executor.run(self._specs(3))
+        assert len(events) == result.runs == 3
+        assert [e["completed"] for e in events] == [1, 2, 3]
+        assert all(e["total"] == 3 for e in events)
+        final = events[-1]
+        assert final["completed"] == final["total"]
+        assert final["eta_sec"] == 0.0
+        for event in events:
+            assert {"index", "label", "digest", "cache_hit", "violations",
+                    "elapsed", "cells_per_sec", "eta_sec", "cache_hits",
+                    "cache_hit_rate", "violations_total"} <= set(event)
+            assert event["cache_hit"] is False
+
+    def test_ledger_records_bookend_the_sweep(self, tmp_path):
+        from repro.experiment import ResultCache
+        from repro.obs.ledger import RunLedger, read_ledger, validate_record
+
+        specs = self._specs(2)
+        cache = ResultCache(str(tmp_path / "cache"))
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(str(path)) as ledger:
+            SweepExecutor(jobs=1, cache=cache, ledger=ledger).run(specs)
+            # Warm second pass: every cell should land as a cache hit.
+            SweepExecutor(jobs=1, cache=cache, ledger=ledger).run(specs)
+        records, skipped = read_ledger(str(path))
+        assert skipped == 0
+        assert [r["kind"] for r in records] == [
+            "sweep-start", "run", "run", "sweep-end",
+            "sweep-start", "run", "run", "sweep-end"]
+        assert all(validate_record(r) == [] for r in records)
+        assert [r["provenance"] for r in records if r["kind"] == "run"] == [
+            "run", "run", "cache", "cache"]
+        assert records[3]["cache"]["misses"] == 2
+        assert records[7]["cache"]["hits"] == 2
+
+    def test_per_cell_flightrec_paths(self):
+        executor = SweepExecutor(flightrec_path="out/flightrec.json")
+        assert executor._cell_flightrec_path(7, 16) == \
+            "out/flightrec-007.json"
+        assert executor._cell_flightrec_path(0, 1) == "out/flightrec.json"
+        assert SweepExecutor()._cell_flightrec_path(7, 16) is None
+
+    def test_violating_sweep_dumps_per_cell_flightrecs(self, tmp_path):
+        base = canonical_traffic_spec(
+            datagrams=5, arm_invariants=True, max_tunnel_depth=0).to_dict()
+        del base["label"]
+        specs = SpecGrid(base=base, axes={"seed": [1401, 1402]}).expand()
+        path = tmp_path / "flightrec.json"
+        executor = SweepExecutor(jobs=1, flightrec_path=str(path))
+        result = executor.run(specs)
+        assert result.violation_count > 0
+        dumps = result.flightrec_dumps()
+        assert dumps == [
+            str(tmp_path / "flightrec-000.json"),
+            str(tmp_path / "flightrec-001.json")]
+        for dump in dumps:
+            assert pathlib.Path(dump).exists()

@@ -1,0 +1,195 @@
+"""Tests for the violation flight recorder (:mod:`repro.obs.flightrec`)."""
+
+import json
+
+import pytest
+
+from repro.experiment import Runner, canonical_traffic_spec
+from repro.obs.flightrec import (
+    DEFAULT_FLIGHT_LIMIT,
+    FLIGHTREC_SCHEMA,
+    FlightRecorder,
+)
+from repro.obs.ledger import RunLedger
+
+# The canonical-workload digest pinned by tests/experiment/test_runner
+# and tests/netsim/test_golden_trace — telemetry must never move it.
+GOLDEN_DIGEST = "6c91661118a78681dfe5624d953ae85bb5a3f6e3b7e88fc4d166a9a121cf8a8f"
+GOLDEN_ENTRIES = 3618
+
+
+class _FakePacket:
+    def __init__(self, trace_id):
+        self.trace_id = trace_id
+        self.src = "10.0.0.1"
+        self.dst = "10.0.0.2"
+        self.wire_size = 120
+
+    def record(self, *_args):
+        """TraceLog.note mirrors every event onto the packet itself."""
+
+    def __repr__(self):
+        return f"<fake {self.trace_id}>"
+
+
+class TestRing:
+    def test_ring_is_bounded_and_keeps_the_tail(self, sim):
+        recorder = FlightRecorder(sim, limit=4)
+        recorder.attach(sim.trace)
+        for index in range(10):
+            sim.trace.note(float(index), "n", "send", _FakePacket(index))
+        assert recorder.recorded == 10
+        entries = recorder.entries()
+        assert len(entries) == 4
+        assert [e["trace_id"] for e in entries] == [6, 7, 8, 9]
+        assert entries[-1]["packet"] == "<fake 9>"
+
+    def test_limit_must_be_positive(self, sim):
+        with pytest.raises(ValueError, match="limit"):
+            FlightRecorder(sim, limit=0)
+
+    def test_default_limit(self, sim):
+        recorder = sim.enable_flight_recorder()
+        assert recorder.limit == DEFAULT_FLIGHT_LIMIT
+
+    def test_trace_stream_is_unmodified(self, sim):
+        recorder = FlightRecorder(sim, limit=8)
+        recorder.attach(sim.trace)
+        sim.trace.note(1.0, "n", "send", _FakePacket(1), "hi")
+        assert len(sim.trace.entries) == 1
+        assert sim.trace.entries[0].detail == "hi"
+        assert recorder.entries()[0]["detail"] == "hi"
+
+
+class TestAttachment:
+    def test_attach_detach_restores_class_method(self, sim):
+        trace = sim.trace
+        assert "note" not in trace.__dict__
+        recorder = FlightRecorder(sim, limit=4)
+        recorder.attach(trace)
+        assert "note" in trace.__dict__
+        recorder.detach()
+        assert "note" not in trace.__dict__
+
+    def test_attach_composes_with_an_existing_instance_wrap(self, sim):
+        # Another observer (invariants, spans) may already have rebound
+        # note on the instance; detach must restore *that*, not the
+        # class method.
+        trace = sim.trace
+        seen = []
+        original = trace.note
+
+        def outer(time, node, action, packet, detail=""):
+            seen.append(action)
+            original(time, node, action, packet, detail)
+
+        trace.note = outer
+        recorder = FlightRecorder(sim, limit=4)
+        recorder.attach(trace)
+        trace.note(1.0, "n", "send", _FakePacket(1))
+        assert seen == ["send"]
+        assert recorder.recorded == 1
+        recorder.detach()
+        assert trace.__dict__["note"] is outer
+
+    def test_double_attach_and_double_enable_raise(self, sim):
+        recorder = sim.enable_flight_recorder(limit=4)
+        with pytest.raises(RuntimeError):
+            recorder.attach(sim.trace)
+        with pytest.raises(RuntimeError, match="already enabled"):
+            sim.enable_flight_recorder()
+
+    def test_detach_is_idempotent(self, sim):
+        recorder = FlightRecorder(sim, limit=4)
+        recorder.attach(sim.trace)
+        recorder.detach()
+        recorder.detach()
+
+
+class TestDump:
+    def test_dump_payload_and_atomicity(self, tmp_path, sim):
+        recorder = FlightRecorder(sim, limit=4)
+        recorder.attach(sim.trace)
+        sim.segment("lan")
+        sim.trace.note(1.0, "n", "send", _FakePacket(3))
+        path = tmp_path / "deep" / "flightrec.json"
+        returned = recorder.dump(
+            str(path), reason="unit-test",
+            violations=[{"invariant": "x", "trace_id": 3}])
+        assert returned == str(path)
+        assert recorder.dumps == 1
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == FLIGHTREC_SCHEMA
+        assert payload["reason"] == "unit-test"
+        assert payload["limit"] == 4
+        assert payload["recorded"] == 1
+        assert payload["entries"][-1]["trace_id"] == 3
+        assert payload["violations"][0]["invariant"] == "x"
+        engine = payload["engine"]
+        assert set(engine) == {"clock", "events", "nodes", "segments"}
+        assert engine["segments"]["lan"]["up"] is True
+        # No leftover temp file from the write-then-rename.
+        assert list(path.parent.iterdir()) == [path]
+
+
+class TestRunnerIntegration:
+    def test_violating_run_dumps_the_violating_datagram(self, tmp_path):
+        path = tmp_path / "flightrec.json"
+        spec = canonical_traffic_spec(
+            datagrams=5, arm_invariants=True, max_tunnel_depth=0)
+        runner = Runner(flightrec_path=str(path))
+        result = runner.run(spec)
+        info = result.extras["flightrec"]
+        assert info["armed"] is True
+        assert info["dumped"] is True
+        assert info["reason"] == "invariant-violation"
+        assert info["path"] == str(path)
+        payload = json.loads(path.read_text())
+        assert payload["reason"] == "invariant-violation"
+        assert payload["violations"]
+        # The ring's recent entries include the violating datagram.
+        violating_ids = {v["trace_id"] for v in payload["violations"]}
+        ring_ids = {e["trace_id"] for e in payload["entries"]}
+        assert violating_ids & ring_ids
+        # Engine state was captured live, with mobility bindings.
+        assert payload["engine"]["nodes"]["ha"]["bindings"]
+
+    def test_clean_run_arms_but_does_not_dump(self, tmp_path):
+        path = tmp_path / "flightrec.json"
+        runner = Runner(flightrec_path=str(path), flightrec_limit=32)
+        result = runner.run(canonical_traffic_spec(datagrams=5))
+        info = result.extras["flightrec"]
+        assert info == {
+            "armed": True, "limit": 32, "recorded": info["recorded"],
+            "path": None, "dumped": False, "reason": None,
+        }
+        assert info["recorded"] > 0
+        assert not path.exists()
+
+    def test_fast_forwarder_stands_aside_when_armed(self, tmp_path):
+        runner = Runner(flightrec_path=str(tmp_path / "fr.json"))
+        result = runner.run(canonical_traffic_spec(datagrams=20))
+        assert result.extras["fast_forward"]["engaged_runs"] == 0
+        # The ring saw the live stream (replay would bypass note());
+        # build-phase registration entries predate the attach, so the
+        # count is bounded by, not equal to, the trace total.
+        recorder = runner.scenario.sim.flightrec
+        assert 0 < recorder.recorded <= result.trace_entries
+        trace = runner.scenario.sim.trace
+        last = recorder.entries()[-1]
+        assert last["trace_id"] == trace.entries[-1].trace_id
+        assert last["action"] == trace.entries[-1].action
+
+    def test_digest_neutral_with_ledger_and_flightrec_armed(self, tmp_path):
+        # The PR's acceptance pin: full telemetry on, canonical digest
+        # byte-identical to the golden value.
+        ledger = RunLedger(str(tmp_path / "ledger.jsonl"))
+        with ledger:
+            runner = Runner(
+                ledger=ledger,
+                flightrec_path=str(tmp_path / "flightrec.json"),
+            )
+            result = runner.run(canonical_traffic_spec())
+        assert result.digest == GOLDEN_DIGEST
+        assert result.trace_entries == GOLDEN_ENTRIES
+        assert ledger.appended == 1

@@ -5,6 +5,22 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cwd(tmp_path, monkeypatch):
+    """Run every CLI test from a scratch directory: the flight
+    recorder (armed by default on chaos/sweep/fuzz) dumps relative to
+    the CWD, and those artifacts must not land in the checkout.
+    PYTHONPATH entries are absolutized first so subprocess tests
+    (``python -m repro``) still resolve a relative ``src``."""
+    import os
+
+    paths = os.environ.get("PYTHONPATH", "")
+    if paths:
+        monkeypatch.setenv("PYTHONPATH", os.pathsep.join(
+            os.path.abspath(p) for p in paths.split(os.pathsep) if p))
+    monkeypatch.chdir(tmp_path)
+
+
 class TestCli:
     def test_grid_static(self, capsys):
         assert main(["grid"]) == 0
@@ -407,3 +423,147 @@ class TestSweepSubcommand:
     def test_sweep_bad_jobs_errors(self, capsys):
         assert main(["sweep", "--jobs", "0"]) == 1
         assert "--jobs" in capsys.readouterr().err
+
+
+class TestSweepProgress:
+    def test_progress_streams_to_stderr(self, tmp_path, capsys):
+        import json
+
+        from repro.experiment import canonical_traffic_spec
+
+        base = canonical_traffic_spec(datagrams=5).to_dict()
+        del base["label"]
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps(
+            {"base": base, "axes": {"seed": [1401, 1996]}}))
+        assert main(["sweep", "--grid", str(grid), "--no-cache",
+                     "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "[1/2]" in captured.err
+        assert "[2/2]" in captured.err
+        assert "cells/s" in captured.err
+        # The status line stays off stdout (results remain pipeable).
+        assert "cells/s" not in captured.out
+
+    def test_sweep_ledger_flag_appends_records(self, tmp_path, capsys):
+        from repro.experiment import canonical_traffic_spec
+        from repro.obs.ledger import read_ledger
+
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(canonical_traffic_spec(datagrams=5).to_json())
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(["sweep", "--spec", str(spec_file), "--no-cache",
+                     "--ledger", str(ledger)]) == 0
+        assert "run ledger: 3 record(s) appended" in capsys.readouterr().out
+        records, skipped = read_ledger(str(ledger))
+        assert skipped == 0
+        assert [r["kind"] for r in records] == [
+            "sweep-start", "run", "sweep-end"]
+
+
+class TestFlightrecAcceptance:
+    def test_violating_spec_sweep_dumps_the_flight_recorder(
+        self, tmp_path, capsys
+    ):
+        # The PR's acceptance pin: sweeping examples/violating_spec.json
+        # exits 1 and leaves flightrec.json in the CWD with the
+        # violating datagram among the last-N ring entries.
+        import json
+        import pathlib
+
+        spec = str(pathlib.Path(__file__).resolve().parents[1]
+                   / "examples" / "violating_spec.json")
+        assert main(["sweep", "--spec", spec, "--no-cache"]) == 1
+        captured = capsys.readouterr()
+        assert "flight recorder dumped to" in captured.out
+        payload = json.loads(
+            (pathlib.Path.cwd() / "flightrec.json").read_text())
+        assert payload["reason"] == "invariant-violation"
+        violating_ids = {v["trace_id"] for v in payload["violations"]}
+        ring_ids = {e["trace_id"] for e in payload["entries"]}
+        assert violating_ids & ring_ids
+
+    def test_no_flightrec_suppresses_the_dump(self, tmp_path, capsys):
+        import pathlib
+
+        spec = str(pathlib.Path(__file__).resolve().parents[1]
+                   / "examples" / "violating_spec.json")
+        assert main(["sweep", "--spec", spec, "--no-cache",
+                     "--no-flightrec"]) == 1
+        assert not (pathlib.Path.cwd() / "flightrec.json").exists()
+
+
+class TestReportSubcommand:
+    def _ledger_file(self, tmp_path):
+        from repro.experiment import Runner, canonical_traffic_spec
+        from repro.obs.ledger import (
+            RunLedger,
+            run_record,
+            sweep_end_record,
+            sweep_start_record,
+        )
+
+        result = Runner().run(canonical_traffic_spec(datagrams=5))
+        path = tmp_path / "ledger.jsonl"
+        with RunLedger(str(path)) as ledger:
+            ledger.append(sweep_start_record(total=1, jobs=1, cache=False))
+            ledger.append(run_record(result))
+            ledger.append(sweep_end_record(
+                completed=1, total=1, elapsed=0.5, violation_count=0,
+                cache=None))
+        return path
+
+    def test_report_renders_ledger_markdown(self, tmp_path, capsys):
+        path = self._ledger_file(tmp_path)
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Run-ledger report")
+        assert "## Phase-time breakdown" in out
+
+    def test_report_json_summary(self, tmp_path, capsys):
+        import json
+
+        path = self._ledger_file(tmp_path)
+        assert main(["report", str(path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["runs"] == 1
+        assert summary["invalid_records"] == 0
+
+    def test_report_out_writes_file(self, tmp_path, capsys):
+        path = self._ledger_file(tmp_path)
+        out_file = tmp_path / "report.md"
+        assert main(["report", str(path), "--out", str(out_file)]) == 0
+        assert "report written to" in capsys.readouterr().out
+        assert out_file.read_text().startswith("# Run-ledger report")
+
+    def test_report_strict_fails_on_garbage_line(self, tmp_path, capsys):
+        path = self._ledger_file(tmp_path)
+        with open(path, "a") as handle:
+            handle.write("this is not json\n")
+        assert main(["report", str(path)]) == 0
+        assert "1 invalid or torn record(s)" in capsys.readouterr().out
+        assert main(["report", str(path), "--strict"]) == 1
+        captured = capsys.readouterr()
+        assert "invalid ledger record" in captured.err
+
+    def test_report_renders_bench_trajectory(self, capsys):
+        import pathlib
+
+        bench = str(pathlib.Path(__file__).resolve().parents[1]
+                    / "BENCH_PR6.json")
+        assert main(["report", bench]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Bench trajectory report")
+        assert "## baseline" in out
+        assert "## optimized" in out
+        assert "x |" in out  # speedup column
+
+    def test_report_missing_file_errors(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_report_unrecognized_json_errors(self, tmp_path, capsys):
+        other = tmp_path / "other.json"
+        other.write_text('{"hello": "world"}')
+        assert main(["report", str(other)]) == 1
+        assert "neither a run ledger nor a bench" in capsys.readouterr().err
