@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..core.policy import MobilityPolicyTable
 from ..core.selection import ProbeStrategy
@@ -91,6 +91,9 @@ def build_scenario(
     trace_aggregates: bool = True,
     auth_key: Optional[str] = None,
     fast_forward: bool = True,
+    queue_capacity: Optional[int] = None,
+    queue_capacities: Optional[Dict[str, int]] = None,
+    link_bandwidths: Optional[Dict[str, float]] = None,
 ) -> Scenario:
     """Build the standard stage.
 
@@ -102,6 +105,19 @@ def build_scenario(
     :class:`repro.netsim.simulator.Simulator`; note that a fully dark
     run (``trace_aggregates=False``) makes ``analysis.snapshot``
     raise unless explicitly overridden.
+
+    The link knobs shape contention (see
+    :class:`repro.netsim.link.Segment`): ``queue_capacity`` puts every
+    segment on the bounded-queue transmission-line model with that
+    buffer depth (``None``, the default, keeps the historical
+    no-contention links — digest-neutral); ``queue_capacities`` maps
+    segment names to per-segment depths, overriding the global value;
+    ``link_bandwidths`` maps segment names to bits/second overrides —
+    the throttle that makes the canonical workload actually contend.
+    Unknown segment names in either mapping raise ``ValueError``
+    (segment names: ``{domain}-lan``, ``uplink-{domain}``,
+    ``p2p-bb{i}-bb{j}``).  Applied before the mobile host first moves,
+    so registration traffic crosses the shaped links too.
     """
     sim = Simulator(
         seed=seed,
@@ -177,6 +193,8 @@ def build_scenario(
         fa = ForeignAgent("fa", sim, scheme=scheme)
         net.add_host("visited", fa)
 
+    _shape_links(sim, queue_capacity, queue_capacities, link_bandwidths)
+
     scenario = Scenario(
         sim=sim,
         net=net,
@@ -199,6 +217,36 @@ def build_scenario(
             mh.move_to(net, "visited")
         scenario.settle()
     return scenario
+
+
+def _shape_links(
+    sim: Simulator,
+    queue_capacity: Optional[int],
+    queue_capacities: Optional[Dict[str, int]],
+    link_bandwidths: Optional[Dict[str, float]],
+) -> None:
+    """Apply the per-segment contention knobs to a built topology."""
+    for mapping, what in ((queue_capacities, "queue_capacities"),
+                          (link_bandwidths, "link_bandwidths")):
+        if mapping:
+            unknown = sorted(set(mapping) - set(sim.segments))
+            if unknown:
+                raise ValueError(
+                    f"{what} names unknown segment(s) {unknown} "
+                    f"(have: {sorted(sim.segments)})")
+    if link_bandwidths:
+        for name, bandwidth in link_bandwidths.items():
+            if bandwidth <= 0:
+                raise ValueError(
+                    f"link_bandwidths[{name!r}] must be positive, "
+                    f"got {bandwidth}")
+            sim.segments[name].bandwidth = bandwidth
+    if queue_capacity is not None:
+        for segment in sim.segments.values():
+            segment.queue_capacity = queue_capacity
+    if queue_capacities:
+        for name, capacity in queue_capacities.items():
+            sim.segments[name].set_queue_capacity(capacity)
 
 
 # The builder's real keyword surface, derived from the signature so it

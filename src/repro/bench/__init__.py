@@ -42,6 +42,7 @@ __all__ = [
     "run_obs_overhead",
     "run_chaos_recovery",
     "run_chaos_recovery_no_ff",
+    "run_congestion",
     "run_sweep_throughput",
     "run_sweep_throughput_parallel",
     "run_packet_sizing",
@@ -263,6 +264,34 @@ def run_chaos_recovery_no_ff(
     return report.trace_entries, "trace entries"
 
 
+def run_congestion(datagrams: int = 400, seed: int = 1402) -> Tuple[int, str]:
+    """The In-* modes contending for a throttled, bounded home uplink.
+
+    Three cells (In-IE, In-DE, In-DH) push the same paced CH→MH train
+    through the busy-line link model with the home uplink throttled to
+    T1 speed and an 8-frame transmit queue, invariants armed.  The
+    asserts pin the physics this workload exists to measure: the
+    bottleneck actually overflows, every overflow loss is a classified
+    terminal fate (no invariant violations), and the triangle route
+    (In-IE) pays more latency than the LAN-direct route (In-DH).  The
+    unit is datagrams offered across all cells.
+    """
+    from repro.analysis.congestion import run_congestion as run_cells
+
+    report = run_cells(seed=seed, datagrams=datagrams)
+    assert report.total_queue_dropped > 0, "bottleneck never overflowed"
+    assert report.violation_count == 0, (
+        "queue-overflow losses escaped invariant classification")
+    in_ie = report.cell("In-IE")
+    in_dh = report.cell("In-DH")
+    assert in_ie.latency_mean is not None and in_dh.latency_mean is not None
+    assert in_ie.latency_mean > in_dh.latency_mean, (
+        "triangle route did not pay more latency than the direct route")
+    assert in_ie.goodput < in_dh.goodput, (
+        "triangle route did not lose more goodput than the direct route")
+    return datagrams * len(report.cells), "datagrams"
+
+
 def run_sweep_throughput(
     jobs: int = 1, specs: int = 8, datagrams: int = 40
 ) -> Tuple[int, str]:
@@ -347,6 +376,7 @@ WORKLOADS: Dict[str, Callable[..., Tuple[int, str]]] = {
     "ledger_overhead": run_ledger_overhead,
     "chaos_recovery": run_chaos_recovery,
     "chaos_recovery_no_ff": run_chaos_recovery_no_ff,
+    "congestion": run_congestion,
     "sweep_throughput": run_sweep_throughput,
     "sweep_throughput_j4": run_sweep_throughput_parallel,
     "packet_sizing": run_packet_sizing,
@@ -370,6 +400,7 @@ _QUICK_ARGS: Dict[str, Dict[str, int]] = {
     "ledger_overhead": {"datagrams": 50},
     "chaos_recovery": {"duration": 130.0},
     "chaos_recovery_no_ff": {"duration": 130.0},
+    "congestion": {"datagrams": 200},
     "sweep_throughput": {"specs": 4, "datagrams": 20},
     "sweep_throughput_j4": {"specs": 4, "datagrams": 20},
     "packet_sizing": {"n": 4_000},

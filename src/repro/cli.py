@@ -20,6 +20,10 @@ Subcommands:
 * ``chaos``       — run the stage under a fault-injection script
   (``--fault-script faults.json``, or the built-in demo plan) and
   report how the recovery machinery fared.
+* ``congestion``  — throttle and bound the home uplink, run the same
+  paced CH→MH workload through each In-* delivery mode, and rank the
+  modes by goodput and latency (invariants armed: every queue-overflow
+  loss must be a classified terminal fate).
 * ``sweep``       — expand an experiment-spec grid (``--grid g.json``,
   or the built-in 4x4-coverage grid) and run every cell, optionally
   across worker processes (``--jobs N``); ``--spec repro.json``
@@ -342,6 +346,39 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if not report.registered:
         print("error: mobile host did not recover its registration",
               file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_congestion(args: argparse.Namespace) -> int:
+    """Run the In-* congestion cells and print the ranking."""
+    import json
+
+    from .analysis.congestion import run_congestion
+
+    report = run_congestion(
+        seed=args.seed,
+        datagrams=args.datagrams,
+        spacing=args.spacing,
+        size=args.size,
+        bandwidth=args.bandwidth,
+        queue=args.queue,
+    )
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"congestion report written to {args.json_out}")
+    # Nonzero exit when the stage was dishonest: an invariant violated,
+    # or the bottleneck never actually overflowed (no contention means
+    # the cells measured nothing).
+    if report.violation_count:
+        print(f"error: {report.violation_count} invariant violation(s) "
+              "across the cells", file=sys.stderr)
+        return 1
+    if not report.total_queue_dropped:
+        print("error: the bottleneck never overflowed — no contention "
+              "was exercised", file=sys.stderr)
         return 1
     return 0
 
@@ -691,6 +728,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--no-flightrec", action="store_true",
                        help="disarm the flight recorder")
     chaos.set_defaults(func=_cmd_chaos)
+
+    congestion = sub.add_parser(
+        "congestion",
+        help="rank the In-* modes under a throttled, bounded home uplink")
+    congestion.add_argument("--datagrams", type=int, default=400,
+                            help="datagrams per cell (default 400)")
+    congestion.add_argument("--spacing", type=float, default=0.002,
+                            help="seconds between sends (default 0.002)")
+    congestion.add_argument("--size", type=int, default=1000,
+                            help="datagram payload bytes (default 1000)")
+    congestion.add_argument("--bandwidth", type=float, default=1.5e6,
+                            help="bottleneck bandwidth in bits/s "
+                                 "(default 1.5e6)")
+    congestion.add_argument("--queue", type=int, default=8,
+                            help="bottleneck transmit-queue frames "
+                                 "(default 8)")
+    congestion.add_argument("--json-out", metavar="PATH", default=None,
+                            help="also write the report as JSON")
+    congestion.set_defaults(func=_cmd_congestion)
 
     sweep = sub.add_parser(
         "sweep",

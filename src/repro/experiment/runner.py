@@ -209,6 +209,7 @@ class Runner:
                 "dropped": counts.get("drop", 0),
                 "lost": counts.get("lost", 0),
                 "drops_by_reason": dict(trace.drops_by_reason),
+                "losses_by_reason": dict(trace.losses_by_reason),
             })
             overhead = {
                 "tunneled_by_ha": scenario.ha.packets_tunneled,

@@ -224,6 +224,13 @@ class ExperimentSpec:
     trace_aggregates: bool = True
     fast_forward: bool = True
     auth_key: Optional[str] = None
+    # Link contention (see repro.netsim.link.Segment): a global bounded
+    # transmit-queue depth, per-segment depth overrides, and per-segment
+    # bandwidth overrides.  All default off — the historical
+    # infinite-capacity links, digest-neutral.
+    queue_capacity: Optional[int] = None
+    queue_capacities: Optional[Dict[str, int]] = None
+    link_bandwidths: Optional[Dict[str, float]] = None
     # Programs
     traffic: Optional[TrafficProgram] = None
     faults: Optional[Dict[str, Any]] = None        # FaultPlan.to_dict()
@@ -338,6 +345,33 @@ class ExperimentSpec:
                      and self.invariant_grace >= 0,
                      f"invariant_grace must be >= 0, "
                      f"got {self.invariant_grace!r}")
+        if self.queue_capacity is not None:
+            _require(_is_int(self.queue_capacity)
+                     and self.queue_capacity >= 0,
+                     f"queue_capacity must be an int >= 0 or null, "
+                     f"got {self.queue_capacity!r}")
+        if self.queue_capacities is not None:
+            _require(isinstance(self.queue_capacities, dict),
+                     f"queue_capacities must be an object, "
+                     f"got {self.queue_capacities!r}")
+            for name, capacity in self.queue_capacities.items():
+                _require(isinstance(name, str),
+                         f"queue_capacities keys must be segment names, "
+                         f"got {name!r}")
+                _require(_is_int(capacity) and capacity >= 0,
+                         f"queue_capacities[{name!r}] must be an int >= 0, "
+                         f"got {capacity!r}")
+        if self.link_bandwidths is not None:
+            _require(isinstance(self.link_bandwidths, dict),
+                     f"link_bandwidths must be an object, "
+                     f"got {self.link_bandwidths!r}")
+            for name, bandwidth in self.link_bandwidths.items():
+                _require(isinstance(name, str),
+                         f"link_bandwidths keys must be segment names, "
+                         f"got {name!r}")
+                _require(_is_number(bandwidth) and bandwidth > 0,
+                         f"link_bandwidths[{name!r}] must be > 0, "
+                         f"got {bandwidth!r}")
 
     # ------------------------------------------------------------------
     # The bridge to the scenario builder
@@ -369,6 +403,9 @@ class ExperimentSpec:
             "trace_aggregates": self.trace_aggregates,
             "fast_forward": self.fast_forward,
             "auth_key": self.auth_key,
+            "queue_capacity": self.queue_capacity,
+            "queue_capacities": self.queue_capacities,
+            "link_bandwidths": self.link_bandwidths,
         }
         stray = set(kwargs) - SCENARIO_KNOBS
         if stray:  # pragma: no cover - a drift bug, caught by tests

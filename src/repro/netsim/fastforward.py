@@ -103,7 +103,9 @@ _NODE_COUNTERS = (
 )
 _REASSEMBLER_COUNTERS = ("timeouts", "reassembled", "duplicates", "overlaps")
 _TUNNEL_COUNTERS = ("encapsulated_count", "decapsulated_count", "bad_encap_count")
-_SEGMENT_COUNTERS = ("frames_carried", "bytes_carried", "frames_lost")
+_SEGMENT_COUNTERS = ("frames_carried", "bytes_carried", "frames_lost",
+                     "queue_dropped", "busy_bits")
+_INTERFACE_COUNTERS = ("frames_dropped",)
 
 
 class _IntCell:
@@ -201,16 +203,17 @@ class _Template:
     here and applied ``count`` times at flush.
     """
 
-    __slots__ = ("sig", "steps", "span", "n", "actions", "drops", "links",
-                 "cells", "count")
+    __slots__ = ("sig", "steps", "span", "n", "actions", "drops", "losses",
+                 "links", "cells", "count")
 
-    def __init__(self, sig, steps, span, actions, drops, links, cells):
+    def __init__(self, sig, steps, span, actions, drops, losses, links, cells):
         self.sig = sig
         self.steps = steps
         self.span = span
         self.n = len(steps)
         self.actions = actions
         self.drops = drops
+        self.losses = losses
         self.links = links
         self.cells = cells
         self.count = 0
@@ -349,8 +352,12 @@ class FastForwarder:
     # Quiescence
     # ------------------------------------------------------------------
     def _segments_clean(self) -> bool:
+        # A queueing segment (queue_capacity set) makes frame timing
+        # depend on cross-flow line state, so a per-flow cascade is no
+        # longer self-contained — stand aside, like for loss and down.
         return all(
             segment.up and not segment.loss_rate
+            and segment.queue_capacity is None
             for segment in self._sim.segments.values()
         )
 
@@ -614,6 +621,8 @@ class FastForwarder:
                     trace.action_counts[action] += n * count
                 for reason, n in template.drops.items():
                     trace.drops_by_reason[reason] += n * count
+                for reason, n in template.losses.items():
+                    trace.losses_by_reason[reason] += n * count
                 for link, n in template.links.items():
                     trace.bytes_by_link[link] += n * count
             for cell_index, delta in template.cells:
@@ -761,6 +770,7 @@ class FastForwarder:
             children[step.parent].append(i)
         actions: Counter = Counter()
         drops: Counter = Counter()
+        losses: Counter = Counter()
         links: Counter = Counter()
         cell_totals: Dict[int, Any] = {}
         enabled = self._sim.trace.enabled
@@ -774,6 +784,8 @@ class FastForwarder:
                     actions[e[1]] += 1
                     if e[1] == "drop":
                         drops[e[7]] += 1
+                    elif e[1] == "lost":
+                        losses[e[7]] += 1
                     if enabled:
                         # time/trace_id are filled per replayed event.
                         # digest_suffix rides along in the instance dict
@@ -805,7 +817,7 @@ class FastForwarder:
             compiled.append((step.delay, tuple(protos), tuple(invokes),
                              tuple(children[i])))
         return _Template(capture.sig, compiled, max(rel), actions, drops,
-                         links, tuple(cell_totals.items()))
+                         losses, links, tuple(cell_totals.items()))
 
     # ------------------------------------------------------------------
     # Instrumentation wrappers (installed per engaged run)
@@ -909,6 +921,9 @@ class FastForwarder:
             for attr in _NODE_COUNTERS:
                 if type(getattr(node, attr, None)) is int:
                     cells.append(_IntCell(node, attr))
+            for iface in node.interfaces.values():
+                for attr in _INTERFACE_COUNTERS:
+                    cells.append(_IntCell(iface, attr))
             reassembler = getattr(node, "reassembler", None)
             if reassembler is not None:
                 for attr in _REASSEMBLER_COUNTERS:

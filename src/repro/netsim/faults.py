@@ -18,6 +18,11 @@ Event vocabulary (``FaultKind``):
   back; a flap is both with a ``duration``.
 * ``loss-burst`` — raise a segment's ``loss_rate`` (up to 1.0, a total
   blackout) for a ``duration``, then restore the previous rate.
+* ``queue-shrink`` — shrink a segment's transmit queue to
+  ``queue_capacity`` frames (tail-dropping any excess already queued as
+  traced ``queue-overflow`` losses — bufferbloat relief, or a buffer
+  going bad); with a ``duration``, the previous capacity is restored
+  afterwards.
 * ``filter-toggle`` — flip a boundary router's §3.1 posture
   (``source_filtering`` / ``forbid_transit``) mid-run, the scenario
   where a working Out-DH path dies under new administration.
@@ -57,6 +62,7 @@ class FaultKind(Enum):
     LINK_UP = "link-up"
     LINK_FLAP = "link-flap"
     LOSS_BURST = "loss-burst"
+    QUEUE_SHRINK = "queue-shrink"
     FILTER_TOGGLE = "filter-toggle"
     NODE_DOWN = "node-down"
     NODE_UP = "node-up"
@@ -72,6 +78,7 @@ _PARAM_SPEC: Dict[FaultKind, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
     FaultKind.LINK_UP: ((), ()),
     FaultKind.LINK_FLAP: (("duration",), ()),
     FaultKind.LOSS_BURST: (("duration", "loss_rate"), ()),
+    FaultKind.QUEUE_SHRINK: (("queue_capacity",), ("duration",)),
     FaultKind.FILTER_TOGGLE: ((), ("source_filtering", "forbid_transit")),
     FaultKind.NODE_DOWN: ((), ()),
     FaultKind.NODE_UP: ((), ()),
@@ -81,7 +88,7 @@ _PARAM_SPEC: Dict[FaultKind, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
 
 _SEGMENT_KINDS = frozenset({
     FaultKind.LINK_DOWN, FaultKind.LINK_UP, FaultKind.LINK_FLAP,
-    FaultKind.LOSS_BURST,
+    FaultKind.LOSS_BURST, FaultKind.QUEUE_SHRINK,
 })
 
 
@@ -128,6 +135,14 @@ class FaultEvent:
         if loss is not None and not 0.0 <= loss <= 1.0:
             raise FaultError(
                 f"fault {self.kind.value} loss_rate must be in [0, 1], got {loss}"
+            )
+        capacity = self.params.get("queue_capacity")
+        if capacity is not None and not (
+                isinstance(capacity, int) and not isinstance(capacity, bool)
+                and capacity >= 0):
+            raise FaultError(
+                f"fault {self.kind.value} queue_capacity must be an "
+                f"int >= 0, got {capacity!r}"
             )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -315,6 +330,15 @@ class FaultInjector:
                 event.params["duration"], self._restore_loss, target, previous,
                 label=f"fault:restore:{event.target}",
             )
+        elif kind is FaultKind.QUEUE_SHRINK:
+            previous = target.queue_capacity
+            target.set_queue_capacity(event.params["queue_capacity"])
+            duration = event.params.get("duration")
+            if duration is not None:
+                self.sim.events.schedule(
+                    duration, self._restore_queue, target, previous,
+                    label=f"fault:restore:{event.target}",
+                )
         elif kind is FaultKind.FILTER_TOGGLE:
             target.set_posture(
                 source_filtering=event.params.get("source_filtering"),
@@ -339,3 +363,6 @@ class FaultInjector:
 
     def _restore_loss(self, segment: Any, previous: float) -> None:
         segment.loss_rate = previous
+
+    def _restore_queue(self, segment: Any, previous: Any) -> None:
+        segment.set_queue_capacity(previous)

@@ -17,8 +17,9 @@ wire size), both of which feed the latency benchmarks (§3.2).
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
 
 from .addressing import IPAddress, Network
 from .packet import Packet
@@ -47,7 +48,18 @@ BROADCAST_LINK_ADDR = LinkAddress(0xFFFF)
 
 
 def fresh_link_address() -> LinkAddress:
-    return LinkAddress(next(_link_addr_counter))
+    """Mint the next unicast link address.
+
+    The counter is open-ended (values past 16 bits format fine through
+    ``:04x``), but it must never mint ``0xFFFF``: that value *is* the
+    broadcast address, and an interface holding it would receive every
+    unicast frame sent to broadcast — interface #65535 of a large run
+    would silently become a packet sink.
+    """
+    value = next(_link_addr_counter)
+    if value == BROADCAST_LINK_ADDR.value:
+        value = next(_link_addr_counter)
+    return LinkAddress(value)
 
 
 @dataclass
@@ -84,6 +96,15 @@ class Interface:
         self.network: Optional[Network] = None
         self.secondary_ips: List[IPAddress] = []
         self.up = True
+        # Frames discarded because this interface was down at transmit
+        # or receive time.  The trace records each loss; the counter
+        # makes the total queryable without scanning entries.
+        self.frames_dropped = 0
+        node.simulator.metrics.counter(
+            "interface.frames_dropped",
+            read=lambda: self.frames_dropped,
+            node=node.name, interface=name,
+        )
 
     # ------------------------------------------------------------------
     def configure(self, ip: IPAddress, network: Network) -> None:
@@ -147,6 +168,7 @@ class Interface:
         self.node.frame_received(self, frame)
 
     def _note_lost(self, frame: Frame, detail: str) -> None:
+        self.frames_dropped += 1
         payload = frame.payload
         if isinstance(payload, Packet):
             sim = self.node.simulator
@@ -177,6 +199,7 @@ class Segment:
         bandwidth: float = 10e6,
         mtu: int = ETHERNET_MTU,
         loss_rate: float = 0.0,
+        queue_capacity: Optional[int] = None,
     ):
         """``loss_rate`` drops each frame independently with the given
         probability (from the simulator's seeded RNG) — a crude model of
@@ -190,13 +213,25 @@ class Segment:
         it without consuming randomness, so toggling a segment down and
         up around a window of simulated time leaves the RNG stream —
         and therefore every later loss draw — exactly where it would
-        have been (see :mod:`repro.netsim.faults`)."""
+        have been (see :mod:`repro.netsim.faults`).
+
+        ``queue_capacity`` selects the transmission-line model.  With
+        the default ``None`` every offered frame is scheduled
+        independently at ``latency + serialization`` — the historical
+        no-contention behaviour, preserved exactly so existing traces
+        (and the pinned golden digest) are unchanged.  With an integer,
+        the segment owns a real line: one frame serializes at a time, up
+        to ``queue_capacity`` further frames wait in a FIFO transmit
+        queue, and a frame offered to a full queue is dropped as a
+        traced ``queue-overflow`` loss."""
         if latency < 0:
             raise ValueError("latency must be non-negative")
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
         if not 0.0 <= loss_rate <= 1.0:
             raise ValueError("loss_rate must be in [0, 1]")
+        if queue_capacity is not None and queue_capacity < 0:
+            raise ValueError("queue_capacity must be >= 0 (or None)")
         self.name = name
         self.simulator = simulator
         self.latency = latency
@@ -204,10 +239,22 @@ class Segment:
         self.mtu = mtu
         self.loss_rate = loss_rate
         self.up = True
+        self.queue_capacity = queue_capacity
         self._interfaces: Dict[LinkAddress, Interface] = {}
+        self._queue: Deque[Tuple[Interface, Frame]] = deque()
+        # True while a frame is serializing on the line (queueing mode).
+        self._line_busy = False
         self.frames_carried = 0
         self.bytes_carried = 0
         self.frames_lost = 0
+        self.queue_dropped = 0
+        # Serialization occupancy, accumulated in *bits* so the counter
+        # stays an integer (exact, and fast-forward-safe: replay cells
+        # only track int attributes).  ``busy_seconds`` derives from it.
+        # In the legacy (queue_capacity=None) model the sum can exceed
+        # wall time — that is the infinite-capacity artifact, made
+        # visible.
+        self.busy_bits = 0
         metrics = simulator.metrics
         metrics.counter("link.bytes_carried",
                         read=lambda: self.bytes_carried, link=name)
@@ -215,6 +262,22 @@ class Segment:
                         read=lambda: self.frames_carried, link=name)
         metrics.counter("link.frames_lost",
                         read=lambda: self.frames_lost, link=name)
+        metrics.counter("link.queue_dropped",
+                        read=lambda: self.queue_dropped, link=name)
+        metrics.gauge("link.queue_depth",
+                      read=lambda: self.queue_depth, link=name)
+        metrics.gauge("link.busy_seconds",
+                      read=lambda: self.busy_seconds, link=name)
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames waiting behind the line (not the one serializing)."""
+        return len(self._queue)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total serialization time this line has been occupied."""
+        return self.busy_bits / self.bandwidth
 
     @property
     def interfaces(self) -> List[Interface]:
@@ -235,21 +298,110 @@ class Segment:
             self.frames_lost += 1
             self._note_lost(frame, "segment-down")
             return
-        size = frame.wire_size
-        self.frames_carried += 1
-        self.bytes_carried += size
-        self.simulator.trace.note_link_bytes(self.name, size)
         if self.loss_rate and self.simulator.rng.random() < self.loss_rate:
             self.frames_lost += 1
             # Vanished into the ether; transport recovers.  The loss is
-            # traced (after the RNG draw, so the stream is unchanged) to
-            # keep every datagram's fate observable.
+            # traced to keep every datagram's fate observable, and the
+            # carried counters are *not* touched: a frame the medium ate
+            # never occupied the line, so counting its bytes would
+            # inflate link utilization.  The RNG draw stays the first
+            # (and only) draw per offered frame, so fault-window
+            # determinism is unchanged.
             self._note_lost(frame, "link-loss")
             return
-        delay = self.latency + (size * 8) / self.bandwidth
+        if self.queue_capacity is None:
+            # Historical no-contention model: every frame gets the line
+            # to itself.  Kept bit-exact (same float arithmetic, same
+            # scheduling) so default-link traces are unchanged.
+            size = frame.wire_size
+            self.frames_carried += 1
+            self.bytes_carried += size
+            self.busy_bits += size * 8
+            self.simulator.trace.note_link_bytes(self.name, size)
+            delay = self.latency + (size * 8) / self.bandwidth
+            self.simulator.events.schedule(
+                delay, self._deliver, sender, frame, label=f"link:{self.name}"
+            )
+            return
+        if self._line_busy:
+            if len(self._queue) >= self.queue_capacity:
+                # Tail drop: the transmit buffer is full.  Traced as a
+                # ``lost`` with detail ``queue-overflow`` so the
+                # invariant monitor accounts for the datagram; never
+                # counted as carried (it never reached the line).
+                self.queue_dropped += 1
+                self.frames_lost += 1
+                self._note_lost(frame, "queue-overflow")
+                return
+            self._queue.append((sender, frame))
+            return
+        self._start_frame(sender, frame)
+
+    def _start_frame(self, sender: Interface, frame: Frame) -> None:
+        """Begin serializing one frame on the (idle) line.
+
+        Carried accounting happens here — at line occupancy, not at
+        offer — so queued frames later discarded (queue shrink, segment
+        down) never inflate the byte counters.  Delivery lands at
+        ``latency + serialization`` from now, the identical float chain
+        the no-queue model uses, so an uncontended queueing run is
+        trace-identical to a default run.
+        """
+        size = frame.wire_size
+        self.frames_carried += 1
+        self.bytes_carried += size
+        self.busy_bits += size * 8
+        self.simulator.trace.note_link_bytes(self.name, size)
+        serialization = (size * 8) / self.bandwidth
+        self._line_busy = True
         self.simulator.events.schedule(
-            delay, self._deliver, sender, frame, label=f"link:{self.name}"
+            self.latency + serialization, self._deliver, sender, frame,
+            label=f"link:{self.name}",
         )
+        self.simulator.events.schedule(
+            serialization, self._line_free, label=f"link-free:{self.name}"
+        )
+
+    def _line_free(self) -> None:
+        """The line finished a frame: start the next queued one."""
+        self._line_busy = False
+        if not self._queue:
+            return
+        if not self.up:
+            # The medium died while frames waited.  Flush them as
+            # segment-down losses (no RNG consumed, same as an offer to
+            # a downed segment) instead of serializing onto a dead wire.
+            while self._queue:
+                _sender, frame = self._queue.popleft()
+                self.frames_lost += 1
+                self._note_lost(frame, "segment-down")
+            return
+        sender, frame = self._queue.popleft()
+        self._start_frame(sender, frame)
+
+    def set_queue_capacity(self, capacity: Optional[int]) -> int:
+        """Resize the transmit queue in place (the bufferbloat knob).
+
+        Shrinking below the current depth tail-drops the excess as
+        traced ``queue-overflow`` losses — the frames a smaller buffer
+        would never have admitted.  Returns the number of frames
+        dropped.  Growing (or disabling with ``None``) never drops;
+        already-queued frames keep draining through the line even when
+        the capacity goes to ``None``, since the line-free chain is
+        already scheduled.
+        """
+        if capacity is not None and capacity < 0:
+            raise ValueError("queue_capacity must be >= 0 (or None)")
+        self.queue_capacity = capacity
+        dropped = 0
+        if capacity is not None:
+            while len(self._queue) > capacity:
+                _sender, frame = self._queue.pop()
+                self.queue_dropped += 1
+                self.frames_lost += 1
+                self._note_lost(frame, "queue-overflow")
+                dropped += 1
+        return dropped
 
     def _deliver(self, sender: Interface, frame: Frame) -> None:
         if frame.dst == BROADCAST_LINK_ADDR:

@@ -75,6 +75,8 @@ class Simulator:
         self.metrics.family(
             "trace.drops_by_reason", lambda: dict(trace.drops_by_reason))
         self.metrics.family(
+            "trace.losses_by_reason", lambda: dict(trace.losses_by_reason))
+        self.metrics.family(
             "trace.bytes_by_link", lambda: dict(trace.bytes_by_link))
 
     # ------------------------------------------------------------------
@@ -95,12 +97,14 @@ class Simulator:
         bandwidth: float = 10e6,
         mtu: int = 1500,
         loss_rate: float = 0.0,
+        queue_capacity: Optional[int] = None,
     ) -> Segment:
         """Create (and register) a named segment."""
         if name in self.segments:
             raise ValueError(f"duplicate segment name {name!r}")
         seg = Segment(name, self, latency=latency, bandwidth=bandwidth,
-                      mtu=mtu, loss_rate=loss_rate)
+                      mtu=mtu, loss_rate=loss_rate,
+                      queue_capacity=queue_capacity)
         self.segments[name] = seg
         return seg
 

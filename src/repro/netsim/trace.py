@@ -68,6 +68,11 @@ class TraceLog:
         self.bytes_by_link: Counter = Counter()
         self.action_counts: Counter = Counter()
         self.drops_by_reason: Counter = Counter()
+        # ``lost`` events (link loss, interface/segment down, queue
+        # overflow) keyed by detail — the loss-side twin of
+        # ``drops_by_reason``, so congestion drops are queryable without
+        # scanning entries.
+        self.losses_by_reason: Counter = Counter()
         if not self.aggregates:
             # Rebinding on the instance makes the disabled path a plain
             # no-op call — no flag checks on the hot path.
@@ -92,6 +97,8 @@ class TraceLog:
         self.action_counts[action] += 1
         if action == "drop":
             self.drops_by_reason[detail] += 1
+        elif action == "lost":
+            self.losses_by_reason[detail] += 1
         if self.enabled:
             entries = self.entries
             self._entries_by_id[packet.trace_id].append(len(entries))
@@ -265,4 +272,6 @@ class TraceLog:
                 log.action_counts[entry.action] += 1
                 if entry.action == "drop":
                     log.drops_by_reason[entry.detail] += 1
+                elif entry.action == "lost":
+                    log.losses_by_reason[entry.detail] += 1
         return log

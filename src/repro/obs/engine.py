@@ -8,8 +8,9 @@ configurable cadence of *simulation* time and recording:
 * the cancelled-entry ratio (how much of the heap is lazy-deletion
   corpses — the quantity PR 1's compaction threshold acts on);
 * per-node queue depths (reassembly buffers awaiting fragments);
-* per-link utilization (bits carried in the last interval over the
-  link's bandwidth-delay budget).
+* per-link utilization (line-busy bits accumulated in the last
+  interval over the link's bandwidth budget), transmit-queue depth,
+  and queue-overflow drops.
 
 Samples are plain dicts so they serialize straight into the ``obs``
 report.  The sampler caps itself at ``max_samples`` so an unbounded
@@ -45,6 +46,7 @@ class EngineSampler:
         self.max_samples = max_samples
         self.samples: List[Dict[str, Any]] = []
         self._last_link_bytes: Dict[str, int] = {}
+        self._last_busy_bits: Dict[str, int] = {}
         self._last_replayed = 0
         self._timer = None
         self._running = False
@@ -58,6 +60,7 @@ class EngineSampler:
         # first interval, not all traffic since t=0.
         for name, segment in self.sim.segments.items():
             self._last_link_bytes[name] = segment.bytes_carried
+            self._last_busy_bits[name] = segment.busy_bits
         self._timer = self.sim.events.schedule(
             self.cadence, self._tick, label="obs:engine-sample"
         )
@@ -109,11 +112,20 @@ class EngineSampler:
         links = {}
         for name, segment in self.sim.segments.items():
             carried = segment.bytes_carried
-            delta = carried - self._last_link_bytes.get(name, 0)
             self._last_link_bytes[name] = carried
+            # Utilization comes from the line-occupancy accumulator, not
+            # the byte counter: with bounded-queue links the line serializes
+            # exactly busy_bits over the interval, and on the legacy
+            # infinite-capacity path busy_bits == bytes * 8, so this is
+            # numerically identical to the old bytes-based reading.
+            busy = segment.busy_bits
+            delta_bits = busy - self._last_busy_bits.get(name, 0)
+            self._last_busy_bits[name] = busy
             links[name] = {
                 "bytes_carried": carried,
-                "utilization": (delta * 8.0 / segment.bandwidth) / self.cadence,
+                "utilization": (delta_bits / segment.bandwidth) / self.cadence,
+                "queue_depth": segment.queue_depth,
+                "queue_dropped": segment.queue_dropped,
             }
         sample = {
             "time": self.sim.now,
@@ -146,10 +158,14 @@ class EngineSampler:
         if not self.samples:
             return {"samples": 0}
         peak_links: Dict[str, float] = {}
+        peak_queues: Dict[str, int] = {}
         for sample in self.samples:
             for name, link in sample["links"].items():
                 if link["utilization"] > peak_links.get(name, 0.0):
                     peak_links[name] = link["utilization"]
+                depth = link.get("queue_depth", 0)
+                if depth > peak_queues.get(name, 0):
+                    peak_queues[name] = depth
         count = len(self.samples)
         fast_forwarded = sum(
             1 for s in self.samples if s.get("fast_forwarded"))
@@ -166,6 +182,8 @@ class EngineSampler:
                 default=0,
             ),
             "peak_link_utilization": dict(sorted(peak_links.items())),
+            "peak_queue_depth": dict(sorted(
+                (k, v) for k, v in peak_queues.items() if v)),
         }
         if fast_forwarded:
             out["fast_forwarded_samples"] = fast_forwarded

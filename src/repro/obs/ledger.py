@@ -149,7 +149,8 @@ def run_record(
         "fast_forward": extras.get("fast_forward"),
         "deliverability": {
             key: result.deliverability.get(key)
-            for key in ("sent", "delivered", "dropped", "lost")
+            for key in ("sent", "delivered", "dropped", "lost",
+                        "losses_by_reason")
         },
         "metrics": result.metrics,
         "flightrec": extras.get("flightrec"),

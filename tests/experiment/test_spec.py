@@ -45,6 +45,19 @@ class TestJsonRoundTrip:
         assert clone == spec
         assert clone.to_dict() == spec.to_dict()
 
+    def test_link_shaping_knobs_round_trip(self):
+        spec = ExperimentSpec(
+            queue_capacity=16,
+            queue_capacities={"uplink-home": 4},
+            link_bandwidths={"uplink-home": 1.5e6},
+        )
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+        kwargs = spec.scenario_kwargs()
+        assert kwargs["queue_capacity"] == 16
+        assert kwargs["queue_capacities"] == {"uplink-home": 4}
+        assert kwargs["link_bandwidths"] == {"uplink-home": 1.5e6}
+
     def test_traffic_dict_is_coerced(self):
         spec = ExperimentSpec(traffic={"uniform": {"datagrams": 3}})
         assert isinstance(spec.traffic, TrafficProgram)
@@ -94,6 +107,14 @@ class TestValidation:
         ({"faults": {"events": [{"time": 1.0, "kind": "meteor",
                                  "target": "x"}]}}, "invalid fault plan"),
         ({"arm_invariants": "yes"}, "must be a bool"),
+        ({"queue_capacity": -1}, "queue_capacity"),
+        ({"queue_capacity": True}, "queue_capacity"),
+        ({"queue_capacities": {"lan": -2}}, "queue_capacities"),
+        ({"queue_capacities": {3: 4}}, "queue_capacities"),
+        ({"queue_capacities": "lots"}, "queue_capacities"),
+        ({"link_bandwidths": {"lan": 0}}, "link_bandwidths"),
+        ({"link_bandwidths": {"lan": -1e6}}, "link_bandwidths"),
+        ({"link_bandwidths": [1e6]}, "link_bandwidths"),
     ])
     def test_bad_field_raises(self, changes, match):
         with pytest.raises(SpecError, match=match):

@@ -125,6 +125,30 @@ class TestFaultInjector:
         sim.run(until=3.5)
         assert segment.loss_rate == 0.05
 
+    def test_queue_shrink_drops_excess_and_restores(self, lan):
+        sim, segment, host_a, host_b = lan
+        segment.set_queue_capacity(8)
+        injector = FaultInjector(sim)
+        plan = FaultPlan().add(1.0, FaultKind.QUEUE_SHRINK, "lan",
+                               queue_capacity=1, duration=2.0)
+        injector.inject(plan)
+        sim.run(until=1.5)
+        assert segment.queue_capacity == 1
+        sim.run(until=3.5)
+        # The previous capacity (8, from before the fault) comes back.
+        assert segment.queue_capacity == 8
+        assert injector.applied == {"queue-shrink": 1}
+
+    def test_queue_shrink_validates_capacity(self):
+        with pytest.raises(FaultError, match="queue_capacity"):
+            FaultEvent(1.0, FaultKind.QUEUE_SHRINK, "lan",
+                       params={"queue_capacity": -1})
+        with pytest.raises(FaultError, match="queue_capacity"):
+            FaultEvent(1.0, FaultKind.QUEUE_SHRINK, "lan",
+                       params={"queue_capacity": True})
+        with pytest.raises(FaultError):
+            FaultEvent(1.0, FaultKind.QUEUE_SHRINK, "lan", params={})
+
     def test_unknown_segment_rejected_at_inject_time(self, sim):
         injector = FaultInjector(sim)
         plan = FaultPlan().add(1.0, FaultKind.LINK_DOWN, "nope")

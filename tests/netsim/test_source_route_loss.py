@@ -171,8 +171,12 @@ class TestLossyLinks:
         sim.run(until=10)
         assert seen == []
         seg = sim.segments["p2p-bb0-bb1"]
-        # Every frame offered to the wire (data and ARP alike) is lost.
-        assert seg.frames_lost == seg.frames_carried > 0
+        # Every frame offered to the wire (data and ARP alike) is lost,
+        # and a lost frame is never *carried*: the byte/frame counters
+        # only tick for frames that actually occupy the line.
+        assert seg.frames_lost > 0
+        assert seg.frames_carried == 0
+        assert seg.bytes_carried == 0
 
     def test_segment_down_discards_without_rng(self):
         sim, a, ip_a, b, ip_b = self.build(0.0)

@@ -56,6 +56,37 @@ class TestEngineSampler:
         peak = sampler.summary()["peak_link_utilization"]
         assert any(value > 0 for value in peak.values())
 
+    def test_link_samples_carry_queue_fields(self):
+        scenario = build_scenario(seed=31, ch_awareness=Awareness.CONVENTIONAL)
+        sampler = EngineSampler(scenario.sim, cadence=1.0)
+        sampler.start()
+        scenario.sim.run_for(2)
+        sampler.stop()
+        for link in sampler.samples[-1]["links"].values():
+            assert "queue_depth" in link
+            assert "queue_dropped" in link
+
+    def test_peak_queue_depth_reports_contended_segment(self):
+        scenario = build_scenario(
+            seed=31, ch_awareness=Awareness.CONVENTIONAL,
+            link_bandwidths={"uplink-home": 1.5e6},
+            queue_capacities={"uplink-home": 8})
+        sampler = EngineSampler(scenario.sim, cadence=0.05)
+        sampler.start()
+        sock = scenario.mh.stack.udp_socket(7000)
+        sock.on_receive(lambda *_: None)
+        ch_sock = scenario.ch.stack.udp_socket()
+        for index in range(40):
+            scenario.sim.events.schedule(
+                index * 0.001,
+                lambda: ch_sock.sendto("x", 1000, MH_HOME_ADDRESS, 7000))
+        scenario.sim.run_for(2)
+        sampler.stop()
+        peaks = sampler.summary()["peak_queue_depth"]
+        assert peaks.get("uplink-home", 0) > 0
+        # Uncontended segments are elided from the peak map entirely.
+        assert all(depth > 0 for depth in peaks.values())
+
     def test_max_samples_stops_rescheduling(self):
         sim = Simulator(seed=3)
         sampler = EngineSampler(sim, cadence=0.1, max_samples=5)
