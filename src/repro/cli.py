@@ -30,6 +30,11 @@ Subcommands:
   replays a single spec, including one embedded in a fuzz repro.
   ``--progress`` streams per-cell completion to stderr and
   ``--ledger run.jsonl`` appends one durable JSONL record per cell.
+  Parallel runs are supervised: ``--cell-timeout``/``--max-retries``
+  bound misbehaving cells (quarantined as ``failed`` results unless
+  ``--strict-cells``), ``--checkpoint``/``--resume`` journal and skip
+  completed cells across crashes, and Ctrl-C drains gracefully
+  (partial results written, exit 130).
 * ``report``      — render a run ledger (or a committed
   ``BENCH_PR*.json`` trajectory) as markdown or JSON: phase-time
   breakdown, slowest cells, fast-forward/cache efficacy, violation
@@ -387,12 +392,16 @@ def _progress_renderer():
     """A :data:`ProgressCallback` painting one stderr status line."""
 
     def render(event):
+        failed_note = (
+            f"fail {event['failures_total']} "
+            if event.get("failures_total") else "")
         line = (
             f"[{event['completed']}/{event['total']}] "
             f"{event['cells_per_sec']:.2f} cells/s "
             f"eta {event['eta_sec']:5.1f}s "
             f"cache {event['cache_hit_rate']:.0%} "
             f"viol {event['violations_total']} "
+            f"{failed_note}"
             f"{(event['label'] or '')[:28]}"
         )
         print(f"\r{line:<79}", end="", file=sys.stderr, flush=True)
@@ -405,9 +414,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     import json
 
     from .experiment import (
+        CellFailedError,
         ExperimentSpec,
         ResultCache,
         SpecGrid,
+        SweepCheckpoint,
         SweepExecutor,
         aggregate_fast_forward,
         demo_grid,
@@ -416,6 +427,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 1
+    if args.max_retries < 0:
+        print(f"error: --max-retries must be >= 0, got {args.max_retries}",
               file=sys.stderr)
         return 1
     if args.spec and args.grid:
@@ -440,6 +455,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not args.no_cache:
         cache = ResultCache(root=args.cache_dir)
     ledger = RunLedger(args.ledger) if args.ledger else None
+    resume_map = None
+    if args.resume:
+        resume_map, torn = SweepCheckpoint.load(args.resume)
+        if resume_map or torn:
+            print(f"resuming: {len(resume_map)} checkpointed cell(s) "
+                  f"loaded from {args.resume}"
+                  + (f" ({torn} torn line(s) skipped)" if torn else ""),
+                  file=sys.stderr)
+        else:
+            print(f"resuming: no completed cells in {args.resume}; "
+                  "running the full grid", file=sys.stderr)
+    # --resume without --checkpoint keeps journaling to the same file,
+    # so a sweep interrupted twice still converges.
+    checkpoint_path = args.checkpoint or args.resume
+    checkpoint = SweepCheckpoint(checkpoint_path) if checkpoint_path else None
     try:
         executor = SweepExecutor(
             jobs=args.jobs,
@@ -447,14 +477,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ledger=ledger,
             progress=_progress_renderer() if args.progress else None,
             flightrec_path=None if args.no_flightrec else args.flightrec,
+            cell_timeout=args.cell_timeout,
+            max_retries=args.max_retries,
+            retry_backoff=args.retry_backoff,
+            strict_cells=args.strict_cells,
+            checkpoint=checkpoint,
+            resume=resume_map,
+            grace=args.grace,
         )
         result = executor.run(specs)
+    except CellFailedError as exc:
+        if args.progress:
+            print(file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     finally:
         if ledger is not None:
             ledger.close()
+        if checkpoint is not None:
+            checkpoint.close()
     if args.progress:
         print(file=sys.stderr)  # leave the \r status line behind
     print(result.render())
+    if checkpoint is not None:
+        print(f"sweep checkpoint: {checkpoint.appended} cell(s) journaled "
+              f"to {checkpoint_path}")
     if cache is not None:
         stats = cache.stats()
         print(f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
@@ -491,6 +538,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "violation_count": result.violation_count,
             "metrics": registry.collect(),
         })
+    if result.failed_count:
+        # Quarantined cells are surfaced, not fatal: the exit status
+        # reflects only real invariant violations (and interruption).
+        print(f"warning: {result.failed_count} cell(s) quarantined after "
+              "exhausting retries (see `failures` in --json-out / the "
+              "ledger report)", file=sys.stderr)
+    if result.interrupted:
+        print("interrupted: sweep drained early; partial results "
+              "written", file=sys.stderr)
+        return 130
     if result.violation_count:
         print(f"error: {result.violation_count} invariant violation(s) "
               "across the sweep", file=sys.stderr)
@@ -790,6 +847,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "violating cell)")
     sweep.add_argument("--no-flightrec", action="store_true",
                        help="disarm the flight recorder")
+    sweep.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SEC",
+                       help="wall-clock seconds per cell before its worker "
+                            "is killed and the cell retried (default: no "
+                            "timeout; needs --jobs >= 2)")
+    sweep.add_argument("--max-retries", type=int, default=2,
+                       help="re-dispatches per failing cell before it is "
+                            "quarantined as a failed result (default 2)")
+    sweep.add_argument("--retry-backoff", type=float, default=0.5,
+                       metavar="SEC",
+                       help="base of the exponential retry backoff "
+                            "(default 0.5: retries wait 0.5s, 1s, 2s...)")
+    sweep.add_argument("--strict-cells", action="store_true",
+                       help="fail fast: the first cell failure aborts the "
+                            "sweep instead of retrying and quarantining")
+    sweep.add_argument("--checkpoint", metavar="PATH", default=None,
+                       help="journal completed cells to this JSONL file "
+                            "(atomic appends; survives SIGKILL)")
+    sweep.add_argument("--resume", metavar="PATH", default=None,
+                       help="skip cells already completed in this "
+                            "checkpoint file, and keep journaling to it "
+                            "(unless --checkpoint names another)")
+    sweep.add_argument("--grace", type=float, default=5.0, metavar="SEC",
+                       help="seconds in-flight cells get to finish when "
+                            "SIGINT/SIGTERM drains the sweep (default 5)")
     sweep.set_defaults(func=_cmd_sweep)
 
     fuzz = sub.add_parser(
@@ -867,6 +949,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Long-running subcommands (sweep, chaos, fuzz) must not
+        # traceback on Ctrl-C: one line, conventional 128+SIGINT exit.
+        print("interrupted", file=sys.stderr)
+        return 130
     if getattr(args, "obs_out", None) and args._obs:
         import json
 

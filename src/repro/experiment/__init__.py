@@ -8,9 +8,12 @@
   :class:`RunResult`;
 * :mod:`repro.experiment.sweep` — :class:`SpecGrid` expansion and the
   :class:`SweepExecutor` that fans runs out across worker processes
-  with byte-identical-to-serial per-run trace digests.
+  with byte-identical-to-serial per-run trace digests;
+* :mod:`repro.experiment.supervise` — the fault-tolerant worker
+  backend: :class:`WorkerSupervisor` (timeouts, crash requeue, retry,
+  quarantine) and :class:`SweepCheckpoint` (crash-safe resume journal).
 
-See docs/ARCHITECTURE.md §10.
+See docs/ARCHITECTURE.md §10 and §14.
 """
 
 from .cache import CACHE_SALT, ResultCache, default_cache_dir, spec_digest
@@ -22,18 +25,28 @@ from .spec import (
     TrafficProgram,
     canonical_traffic_spec,
 )
+from .supervise import (
+    FAULT_ENV,
+    CellFailedError,
+    SweepCheckpoint,
+    WorkerSupervisor,
+    maybe_inject_fault,
+)
 from .sweep import (
     SpecGrid,
     SweepExecutor,
     SweepResult,
     aggregate_fast_forward,
     demo_grid,
+    failed_result,
 )
 
 __all__ = [
     "ADVERSARY_KINDS",
     "CACHE_SALT",
+    "CellFailedError",
     "Driver",
+    "FAULT_ENV",
     "aggregate_fast_forward",
     "ExperimentSpec",
     "ResultCache",
@@ -41,11 +54,15 @@ __all__ = [
     "RunResult",
     "SpecError",
     "SpecGrid",
+    "SweepCheckpoint",
     "SweepExecutor",
     "SweepResult",
     "TrafficProgram",
+    "WorkerSupervisor",
     "canonical_traffic_spec",
     "default_cache_dir",
     "demo_grid",
+    "failed_result",
+    "maybe_inject_fault",
     "spec_digest",
 ]

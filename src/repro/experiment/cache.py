@@ -130,7 +130,14 @@ class ResultCache:
         return result
 
     def store(self, spec: ExperimentSpec, result: RunResult) -> None:
-        """Persist ``result`` under ``spec``'s digest and log it."""
+        """Persist ``result`` under ``spec``'s digest and log it.
+
+        Failed (quarantined) results are never cached: a failure is an
+        environmental accident, not a pure function of the spec, and a
+        resumed or retried sweep must re-run the cell.
+        """
+        if result.failure is not None:
+            return
         key = self.key_for(spec)
         path = self._entry_path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -158,8 +165,39 @@ class ResultCache:
             },
             sort_keys=True,
         )
-        with open(self.index_path, "a") as handle:
-            handle.write(index_line + "\n")
+        # Single O_APPEND write of one complete line (the ledger's
+        # durability discipline): concurrent sweeps sharing a cache dir
+        # interleave whole lines, never torn ones, and a killed writer
+        # leaves at most one torn trailing line for read_index to skip.
+        fd = os.open(
+            self.index_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, (index_line + "\n").encode())
+        finally:
+            os.close(fd)
+
+    def read_index(self) -> tuple:
+        """All parseable index entries, plus the torn/invalid line count.
+
+        Append-only JSONL written under concurrency: skip (and count)
+        anything that does not parse rather than failing.
+        """
+        entries = []
+        torn = 0
+        try:
+            handle = open(self.index_path)
+        except OSError:
+            return [], 0
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError:
+                    torn += 1
+        return entries, torn
 
     # ------------------------------------------------------------------
     # Accounting

@@ -69,11 +69,26 @@ class RunResult:
     # drive / collect / total, in seconds.  Defaulted so result dicts
     # cached before the profiler existed still deserialize.
     timings: Dict[str, float] = field(default_factory=dict)
+    # Non-None marks a quarantined sweep cell that never produced a
+    # real result: {"reason": "exception"|"crash"|"timeout",
+    # "attempts": N, "message": ..., "history": [...]}.  Defaulted so
+    # result dicts written before fault tolerance still deserialize.
+    failure: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
-        """No invariant violations (vacuously true when unarmed)."""
-        return not self.invariants.get("violation_count")
+        """Ran to completion with no invariant violations."""
+        return (self.failure is None
+                and not self.invariants.get("violation_count"))
+
+    @property
+    def outcome(self) -> str:
+        """``"ok"`` | ``"violations"`` | ``"failed"`` — one word per cell."""
+        if self.failure is not None:
+            return "failed"
+        if self.invariants.get("violation_count"):
+            return "violations"
+        return "ok"
 
     @property
     def violations(self) -> List[Dict[str, Any]]:
@@ -96,10 +111,16 @@ class RunResult:
             "obs": self.obs,
             "extras": self.extras,
             "timings": self.timings,
+            "failure": self.failure,
+            "outcome": self.outcome,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        data = dict(data)
+        # outcome is derived, not stored state; older dicts lack it
+        # (and failure), newer readers of older dicts default both.
+        data.pop("outcome", None)
         return cls(**data)
 
 

@@ -16,6 +16,15 @@ counters), so a parallel sweep produces **byte-identical per-run trace
 digests** to the same specs run serially.  The executor only moves
 plain dicts across the process boundary, which is also why specs and
 results must be plain data.
+
+Fault tolerance is supervised, not hoped for: ``jobs>1`` runs cells
+through :class:`~repro.experiment.supervise.WorkerSupervisor`
+(per-cell wall-clock timeouts, crash requeue + worker respawn, bounded
+retries with backoff, poison-cell quarantine), completed cells can be
+journaled to a :class:`~repro.experiment.supervise.SweepCheckpoint`
+and skipped on ``--resume``, and SIGINT/SIGTERM drain gracefully
+instead of tracebacking — the interrupted sweep still merges, records,
+and reports everything that finished.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -30,12 +40,20 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from ..obs.ledger import (
     RunLedger,
     run_record,
+    spec_content_digest,
     sweep_end_record,
     sweep_start_record,
 )
 from .cache import ResultCache
 from .runner import Runner, RunResult
 from .spec import ExperimentSpec, SpecError, TrafficProgram
+from .supervise import (
+    CellFailedError,
+    SweepCheckpoint,
+    WorkerSupervisor,
+    describe_exception,
+    maybe_inject_fault,
+)
 
 __all__ = [
     "SpecGrid",
@@ -43,6 +61,7 @@ __all__ = [
     "SweepExecutor",
     "aggregate_fast_forward",
     "demo_grid",
+    "failed_result",
 ]
 
 # One per-cell completion event, delivered to SweepExecutor's progress
@@ -139,6 +158,12 @@ class SweepResult:
     elapsed: float
     # Cache counters for this sweep (None when no cache was wired).
     cache: Optional[Dict[str, int]] = None
+    # True when the sweep drained early on SIGINT/SIGTERM: results
+    # hold only the cells that completed before the stop.
+    interrupted: bool = False
+    # Cell re-dispatches the supervisor performed (timeouts, crashes,
+    # worker exceptions that later succeeded or quarantined).
+    retries: int = 0
 
     @property
     def runs(self) -> int:
@@ -146,7 +171,9 @@ class SweepResult:
 
     @property
     def runs_per_sec(self) -> float:
-        return self.runs / self.elapsed if self.elapsed > 0 else float("inf")
+        # 0.0 (not inf) for a zero-elapsed sweep: float("inf") is not
+        # valid JSON and would corrupt --json-out.
+        return self.runs / self.elapsed if self.elapsed > 0 else 0.0
 
     @property
     def violation_count(self) -> int:
@@ -154,8 +181,18 @@ class SweepResult:
             r.invariants.get("violation_count", 0) for r in self.results)
 
     @property
+    def failures(self) -> List[RunResult]:
+        """Quarantined cells (outcome ``failed``), in spec order."""
+        return [r for r in self.results if r.failure is not None]
+
+    @property
+    def failed_count(self) -> int:
+        return len(self.failures)
+
+    @property
     def ok(self) -> bool:
-        return self.violation_count == 0
+        return (self.violation_count == 0 and not self.failures
+                and not self.interrupted)
 
     def digests(self) -> List[str]:
         return [r.digest for r in self.results]
@@ -176,8 +213,19 @@ class SweepResult:
             "elapsed": self.elapsed,
             "runs_per_sec": self.runs_per_sec,
             "violation_count": self.violation_count,
+            "failed": self.failed_count,
+            "retries": self.retries,
+            "interrupted": self.interrupted,
             "cache": self.cache,
             "flightrec_dumps": self.flightrec_dumps(),
+            "failures": [
+                {
+                    "label": r.label,
+                    "seed": r.seed,
+                    **(r.failure or {}),
+                }
+                for r in self.failures
+            ],
             "results": [r.to_dict() for r in self.results],
         }
 
@@ -187,23 +235,37 @@ class SweepResult:
             cache_note = (
                 f", cache {self.cache['hits']} hit(s) / "
                 f"{self.cache['misses']} miss(es)")
+        failure_note = (
+            f", {self.failed_count} quarantined" if self.failed_count else "")
+        retry_note = f", {self.retries} retry(ies)" if self.retries else ""
         lines = [
             f"sweep: {self.runs} runs, jobs={self.jobs}, "
             f"{self.elapsed:.2f}s wall ({self.runs_per_sec:.2f} runs/s), "
             f"{self.violation_count} invariant violation(s)"
-            f"{cache_note}",
+            f"{failure_note}{retry_note}{cache_note}",
             f"  {'label':<44} {'digest':<14} {'deliv':>6} {'drop':>5} "
             f"{'viol':>5}",
         ]
         for result in self.results:
             label = result.label or f"seed={result.seed}"
             deliverability = result.deliverability
+            digest = result.digest[:12] if result.digest else "FAILED"
             lines.append(
-                f"  {label[:44]:<44} {result.digest[:12]:<14} "
+                f"  {label[:44]:<44} {digest:<14} "
                 f"{deliverability.get('delivered', '-'):>6} "
                 f"{deliverability.get('dropped', '-'):>5} "
                 f"{result.invariants.get('violation_count', 0) if result.invariants.get('armed') else '-':>5}"
             )
+        for result in self.failures:
+            failure = result.failure or {}
+            lines.append(
+                f"  quarantined: {result.label or result.seed} — "
+                f"{failure.get('reason', '?')} after "
+                f"{failure.get('attempts', '?')} attempt(s): "
+                f"{failure.get('message', '')}")
+        if self.interrupted:
+            lines.append(
+                "  interrupted: sweep drained early; results are partial")
         return "\n".join(lines)
 
 
@@ -223,29 +285,84 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     return {"index": payload["index"], "result": runner.run(spec).to_dict()}
 
 
+def failed_result(spec: ExperimentSpec, failure: Dict[str, Any]) -> RunResult:
+    """A ``failed``-outcome placeholder for a quarantined cell.
+
+    The sweep's contract is one :class:`RunResult` per spec in spec
+    order; a cell that exhausted its retries still occupies its slot,
+    carrying the failure reason instead of a digest so ``--json-out``,
+    the ledger, and ``report`` can surface it.
+    """
+    return RunResult(
+        spec=spec.to_dict(),
+        label=spec.label,
+        seed=spec.seed,
+        sim_time=0.0,
+        digest="",
+        trace_entries=0,
+        deliverability={"aggregates": False},
+        overhead={},
+        metrics={},
+        invariants={"armed": False},
+        registered=None,
+        failure=dict(failure),
+    )
+
+
 class SweepExecutor:
-    """Run a list of specs, optionally across worker processes.
+    """Run a list of specs, optionally across supervised workers.
 
     ``jobs=1`` executes inline (no multiprocessing at all — the
-    debugging and determinism baseline).  ``jobs>1`` uses a ``spawn``
-    pool: spawn is the only start method that is safe everywhere
-    (fork duplicates arbitrary parent state; the simulator holds
-    nothing process-global that matters, but spawn proves it), and the
-    workers exchange only JSON-clean dicts.  Results always come back
-    in spec order regardless of completion order.
+    debugging and determinism baseline; worker exceptions still get
+    retries and quarantine, but timeouts need real workers).
+    ``jobs>1`` runs cells through a
+    :class:`~repro.experiment.supervise.WorkerSupervisor`: explicit
+    ``spawn``-context workers pulling one cell at a time (spawn is the
+    only start method that is safe everywhere — fork duplicates
+    arbitrary parent state; the simulator holds nothing process-global
+    that matters, but spawn proves it), exchanging only JSON-clean
+    dicts.  Results always come back in spec order regardless of
+    completion order.
+
+    Fault-tolerance knobs:
+
+    * ``cell_timeout`` — wall-clock seconds per cell; an overrunning
+      cell's worker is SIGKILLed and the cell retried.
+    * ``max_retries`` / ``retry_backoff`` — every cell failure
+      (exception, crash, timeout) requeues the cell with exponential
+      backoff until retries are spent; then the cell is quarantined as
+      a ``failed`` :class:`RunResult` (see :func:`failed_result`) and
+      the sweep continues.
+    * ``strict_cells`` — restore fail-fast: the first cell failure
+      raises :class:`~repro.experiment.supervise.CellFailedError`
+      (no retries, no quarantine).
+    * ``checkpoint`` — a
+      :class:`~repro.experiment.supervise.SweepCheckpoint`; every
+      completed (non-failed) cell is journaled as it lands, so a
+      killed sweep can be resumed.
+    * ``resume`` — a ``spec_content_digest → result dict`` map (from
+      :meth:`SweepCheckpoint.load`); matching cells are absorbed with
+      provenance ``"checkpoint"`` instead of re-running.  Composes
+      with (but does not depend on) the salted result cache.
+    * SIGINT/SIGTERM during :meth:`run` drain gracefully: dispatch
+      stops, in-flight cells get ``grace`` seconds, and the partial
+      sweep returns with ``interrupted=True`` (the CLI maps that to
+      exit 130).
 
     Telemetry hooks (all optional, all parent-side):
 
     * ``ledger`` — a :class:`~repro.obs.ledger.RunLedger`; the sweep
       appends a ``sweep-start`` record, one ``run`` record per cell
-      **as it completes** (provenance ``"cache"`` or ``"run"``), and a
-      ``sweep-end`` record.  Because cells are recorded at completion
-      and appends are atomic, a killed sweep leaves exactly the
-      completed cells as valid JSONL.
+      **as it completes** (provenance ``"cache"``, ``"checkpoint"``,
+      or ``"run"``; outcome ``"failed"`` for quarantined cells), and a
+      ``sweep-end`` record flagged ``interrupted`` when the sweep
+      drained early.  Because cells are recorded at completion and
+      appends are atomic, a killed sweep leaves exactly the completed
+      cells as valid JSONL.
     * ``progress`` — a callback receiving one dict per completed cell:
       completed/total, cells/sec, ETA, cache-hit rate, cumulative
-      violations, plus the cell's label/digest (the CLI renders these
-      to stderr behind ``--progress``).
+      violations/failures/retries, plus the cell's label/digest (the
+      CLI renders these to stderr behind ``--progress``).
     * ``flightrec_path`` — arm the per-run flight recorder in every
       worker; multi-cell sweeps write per-cell dumps next to the base
       path (``flightrec-007.json``).  Cache hits never re-dump: the
@@ -261,9 +378,18 @@ class SweepExecutor:
         progress: Optional[ProgressCallback] = None,
         flightrec_path: Optional[str] = None,
         flightrec_limit: Optional[int] = None,
+        cell_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        strict_cells: bool = False,
+        checkpoint: Optional[SweepCheckpoint] = None,
+        resume: Optional[Dict[str, Dict[str, Any]]] = None,
+        grace: float = 5.0,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.jobs = jobs
         self.mp_context = mp_context
         self.cache = cache
@@ -271,6 +397,14 @@ class SweepExecutor:
         self.progress = progress
         self.flightrec_path = flightrec_path
         self.flightrec_limit = flightrec_limit
+        self.cell_timeout = cell_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.strict_cells = strict_cells
+        self.checkpoint = checkpoint
+        self.resume = resume
+        self.grace = grace
+        self._stop_requested = False
 
     def _cell_flightrec_path(self, index: int, total: int) -> Optional[str]:
         if self.flightrec_path is None:
@@ -285,30 +419,46 @@ class SweepExecutor:
         cache = self.cache
         ledger = self.ledger
         progress = self.progress
+        checkpoint = self.checkpoint
+        resume_map = self.resume or {}
         total = len(specs)
         results: List[Optional[RunResult]] = [None] * total
         completed = 0
         cache_hits = 0
         violations_total = 0
+        failed_total = 0
+        retries_total = 0
+        self._stop_requested = False
+        supervisor: Optional[WorkerSupervisor] = None
         if ledger is not None:
             ledger.append(sweep_start_record(
                 total=total, jobs=self.jobs, cache=cache is not None))
 
-        def finish_cell(index: int, result: RunResult,
-                        cache_hit: bool) -> None:
-            # The single completion path: every cell — cached or live,
-            # inline or from a worker — lands here the moment it is
-            # known, so the ledger and progress stream see the sweep
-            # cell-by-cell rather than at the final merge.
-            nonlocal completed, cache_hits, violations_total
+        def finish_cell(index: int, result: RunResult, provenance: str,
+                        attempts: Optional[int] = None) -> None:
+            # The single completion path: every cell — cached,
+            # checkpointed, quarantined, inline, or from a worker —
+            # lands here the moment it is known, so the checkpoint,
+            # ledger, and progress stream see the sweep cell-by-cell
+            # rather than at the final merge.
+            nonlocal completed, cache_hits, violations_total, failed_total
             results[index] = result
             completed += 1
-            cache_hits += 1 if cache_hit else 0
+            cache_hits += 1 if provenance == "cache" else 0
             cell_violations = result.invariants.get("violation_count", 0)
             violations_total += cell_violations
+            failed = result.failure is not None
+            failed_total += 1 if failed else 0
+            if (checkpoint is not None and not failed
+                    and provenance != "checkpoint"):
+                # Failed cells are never journaled: a resume should
+                # retry them, not replay the failure.
+                checkpoint.record(
+                    spec_content_digest(specs[index].to_dict()),
+                    result.to_dict())
             if ledger is not None:
                 ledger.append(run_record(
-                    result, provenance="cache" if cache_hit else "run"))
+                    result, provenance=provenance, attempts=attempts))
             if progress is not None:
                 elapsed = time.perf_counter() - start
                 rate = completed / elapsed if elapsed > 0 else 0.0
@@ -316,7 +466,9 @@ class SweepExecutor:
                     "index": index,
                     "label": result.label,
                     "digest": result.digest,
-                    "cache_hit": cache_hit,
+                    "cache_hit": provenance == "cache",
+                    "provenance": provenance,
+                    "failed": failed,
                     "violations": cell_violations,
                     "completed": completed,
                     "total": total,
@@ -327,73 +479,180 @@ class SweepExecutor:
                     "cache_hits": cache_hits,
                     "cache_hit_rate": cache_hits / completed,
                     "violations_total": violations_total,
+                    "failures_total": failed_total,
+                    "retries_total": retries_total,
                 })
 
-        # Parent-side cache lookups happen before any pool dispatch, so
-        # a fully-warm grid never pays worker spawn cost.  Cached cells
-        # flow through the same result list, so invariant accounting
-        # (SweepResult.violation_count) sees them like live runs.
-        pending: List[int] = []
-        if cache is not None:
-            for index, spec in enumerate(specs):
-                hit = cache.lookup(spec)
-                if hit is not None:
-                    finish_cell(index, hit, True)
-                else:
-                    pending.append(index)
-        else:
-            pending = list(range(total))
-        payloads = [
-            {
-                "index": index,
-                "spec": specs[index].to_dict(),
-                "flightrec_path": self._cell_flightrec_path(index, total),
-                "flightrec_limit": self.flightrec_limit,
-            }
-            for index in pending
-        ]
+        def on_signal(_signum, _frame):
+            # Async-signal-safe: set flags, let the run loop drain.
+            self._stop_requested = True
+            if supervisor is not None:
+                supervisor.request_stop()
 
-        def absorb(data: Dict[str, Any]) -> None:
-            index = data["index"]
-            result = RunResult.from_dict(data["result"])
-            if cache is not None:
-                cache.store(specs[index], result)
-            finish_cell(index, result, False)
-
-        if not payloads:
+        installed: List[Any] = []
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                installed.append((signum, signal.signal(signum, on_signal)))
+        except ValueError:
+            # Not the main thread: run without drain-on-signal.
             pass
-        elif self.jobs == 1 or len(payloads) <= 1:
-            for payload in payloads:
-                absorb(_execute_payload(payload))
-        else:
-            for data in self._stream_pool(payloads):
-                absorb(data)
+
+        try:
+            # Parent-side checkpoint and cache lookups happen before
+            # any worker dispatch, so a fully-warm grid never pays
+            # spawn cost.  Absorbed cells flow through the same result
+            # list, so invariant accounting sees them like live runs.
+            pending: List[int] = []
+            for index, spec in enumerate(specs):
+                if resume_map:
+                    hit = self._from_checkpoint(
+                        resume_map.get(spec_content_digest(spec.to_dict())))
+                    if hit is not None:
+                        finish_cell(index, hit, "checkpoint")
+                        continue
+                if cache is not None:
+                    cached = cache.lookup(spec)
+                    if cached is not None:
+                        finish_cell(index, cached, "cache")
+                        continue
+                pending.append(index)
+            payloads = [
+                {
+                    "index": index,
+                    "spec": specs[index].to_dict(),
+                    "flightrec_path": self._cell_flightrec_path(index, total),
+                    "flightrec_limit": self.flightrec_limit,
+                }
+                for index in pending
+            ]
+
+            def absorb(index: int, result_data: Dict[str, Any],
+                       attempts: int) -> None:
+                result = RunResult.from_dict(result_data)
+                if cache is not None:
+                    cache.store(specs[index], result)
+                finish_cell(index, result, "run", attempts=attempts)
+
+            def absorb_failure(index: int, failure: Dict[str, Any]) -> None:
+                if self.strict_cells:
+                    raise CellFailedError(specs[index].label, failure)
+                finish_cell(
+                    index, failed_result(specs[index], failure), "run",
+                    attempts=failure.get("attempts"))
+
+            if not payloads:
+                pass
+            elif self.jobs == 1 or len(payloads) <= 1:
+                for payload in payloads:
+                    if self._stop_requested:
+                        break
+                    outcome = self._run_inline(
+                        payload, specs[payload["index"]])
+                    if outcome is None:
+                        break  # interrupted mid-retry-backoff
+                    retries_total += outcome.get("retries", 0)
+                    if "result" in outcome:
+                        absorb(payload["index"], outcome["result"],
+                               outcome["attempts"])
+                    else:
+                        absorb_failure(payload["index"], outcome["failure"])
+            else:
+                supervisor = WorkerSupervisor(
+                    jobs=self.jobs,
+                    mp_context=self.mp_context,
+                    cell_timeout=self.cell_timeout,
+                    max_retries=0 if self.strict_cells else self.max_retries,
+                    retry_backoff=self.retry_backoff,
+                    grace=self.grace,
+                )
+                if self._stop_requested:
+                    supervisor.request_stop()
+                for event in supervisor.run(payloads):
+                    if event["kind"] == "result":
+                        absorb(event["index"], event["result"],
+                               event["attempts"])
+                    elif event["kind"] == "failed":
+                        absorb_failure(event["index"], event["failure"])
+                    elif event["kind"] == "retry":
+                        retries_total += 1
+        finally:
+            for signum, previous in installed:
+                signal.signal(signum, previous)
+
+        interrupted = self._stop_requested
         elapsed = time.perf_counter() - start
         if ledger is not None:
             ledger.append(sweep_end_record(
                 completed=completed, total=total, elapsed=elapsed,
                 violation_count=violations_total,
-                cache=cache.stats() if cache is not None else None))
+                cache=cache.stats() if cache is not None else None,
+                interrupted=interrupted, failed=failed_total))
         return SweepResult(
             results=[r for r in results if r is not None],
             jobs=self.jobs,
             elapsed=elapsed,
             cache=cache.stats() if cache is not None else None,
+            interrupted=interrupted,
+            retries=retries_total,
         )
 
-    def _stream_pool(self, payloads: List[Dict[str, Any]]):
-        import multiprocessing
+    @staticmethod
+    def _from_checkpoint(data: Optional[Dict[str, Any]]) -> Optional[RunResult]:
+        """Deserialize a checkpointed result; unusable payloads are a miss."""
+        if data is None:
+            return None
+        try:
+            result = RunResult.from_dict(data)
+        except (TypeError, ValueError):
+            return None
+        if result.failure is not None:
+            return None
+        return result
 
-        context = multiprocessing.get_context(self.mp_context)
-        workers = min(self.jobs, len(payloads))
-        with context.Pool(processes=workers) as pool:
-            # imap_unordered streams completions back as they happen —
-            # the live-progress contract; the payload index restores
-            # spec order.  chunksize=1 keeps the longest-running specs
-            # from serializing behind each other.
-            for data in pool.imap_unordered(
-                    _execute_payload, payloads, chunksize=1):
-                yield data
+    def _run_inline(
+        self, payload: Dict[str, Any], spec: ExperimentSpec
+    ) -> Optional[Dict[str, Any]]:
+        """One cell inline, with the supervisor's retry/quarantine policy.
+
+        Timeouts need a killable worker, so ``cell_timeout`` does not
+        apply inline; exceptions (including injected poison faults) are
+        retried with the same backoff schedule and quarantined the same
+        way.  Returns ``None`` when a stop request lands mid-backoff.
+        """
+        attempt = 0
+        retries = 0
+        failures: List[Dict[str, Any]] = []
+        while True:
+            try:
+                maybe_inject_fault(spec.label or "", attempt)
+                data = _execute_payload(payload)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:  # noqa: BLE001 - the failure policy
+                detail = describe_exception(exc)
+                failures.append({"reason": "exception", "attempt": attempt,
+                                 "detail": detail})
+                failure = {
+                    "reason": "exception",
+                    "attempts": attempt + 1,
+                    "message": detail["message"],
+                    "history": list(failures),
+                }
+                if self.strict_cells:
+                    raise CellFailedError(spec.label, failure) from exc
+                if attempt >= self.max_retries:
+                    return {"failure": failure, "retries": retries}
+                attempt += 1
+                retries += 1
+                deadline = time.monotonic() + (
+                    self.retry_backoff * (2 ** (attempt - 1)))
+                while time.monotonic() < deadline:
+                    if self._stop_requested:
+                        return None
+                    time.sleep(0.02)
+            else:
+                return {"result": data["result"], "attempts": attempt + 1,
+                        "retries": retries}
 
 
 def aggregate_fast_forward(results: Sequence[RunResult]) -> Dict[str, int]:

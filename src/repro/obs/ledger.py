@@ -101,8 +101,25 @@ _REQUIRED: Dict[str, Dict[str, tuple]] = {
     },
 }
 
-_OUTCOMES = ("ok", "violations")
-_PROVENANCES = ("run", "cache")
+# Optional per-kind fields: validated when present, never required, so
+# ledgers written before fault tolerance existed stay schema-valid.
+_OPTIONAL: Dict[str, Dict[str, tuple]] = {
+    "run": {
+        # Quarantine detail for outcome "failed" cells.
+        "failure": (dict, type(None)),
+        # Dispatch attempts the supervisor spent on this cell (>= 1).
+        "attempts": (int,),
+    },
+    "sweep-end": {
+        # True when the sweep drained early on SIGINT/SIGTERM.
+        "interrupted": (bool,),
+        # Count of quarantined (outcome "failed") cells.
+        "failed": (int,),
+    },
+}
+
+_OUTCOMES = ("ok", "violations", "failed")
+_PROVENANCES = ("run", "cache", "checkpoint")
 
 
 def spec_content_digest(spec: Dict[str, Any]) -> str:
@@ -123,13 +140,17 @@ def run_record(
     result: Any,
     provenance: str = "run",
     ts: Optional[float] = None,
+    attempts: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Build a ``run`` record from a RunResult (duck-typed: no import
     of the experiment layer, so the obs package stays dependency-free).
     """
     invariants = result.invariants
     extras = result.extras
-    return {
+    outcome = getattr(result, "outcome", None)
+    if outcome is None:
+        outcome = "ok" if result.ok else "violations"
+    record = {
         "schema": LEDGER_SCHEMA,
         "kind": "run",
         "ts": _time.time() if ts is None else ts,
@@ -139,7 +160,7 @@ def run_record(
         "digest": result.digest,
         "sim_time": result.sim_time,
         "trace_entries": result.trace_entries,
-        "outcome": "ok" if result.ok else "violations",
+        "outcome": outcome,
         "invariants_armed": bool(invariants.get("armed")),
         "violation_count": invariants.get("violation_count", 0),
         "violations": list(invariants.get("violations", ())),
@@ -155,6 +176,12 @@ def run_record(
         "metrics": result.metrics,
         "flightrec": extras.get("flightrec"),
     }
+    failure = getattr(result, "failure", None)
+    if failure is not None:
+        record["failure"] = failure
+    if attempts is not None:
+        record["attempts"] = attempts
+    return record
 
 
 def sweep_start_record(
@@ -177,8 +204,10 @@ def sweep_end_record(
     violation_count: int,
     cache: Optional[Dict[str, int]],
     ts: Optional[float] = None,
+    interrupted: bool = False,
+    failed: int = 0,
 ) -> Dict[str, Any]:
-    return {
+    record = {
         "schema": LEDGER_SCHEMA,
         "kind": "sweep-end",
         "ts": _time.time() if ts is None else ts,
@@ -188,6 +217,11 @@ def sweep_end_record(
         "violation_count": violation_count,
         "cache": dict(cache) if cache is not None else None,
     }
+    if interrupted:
+        record["interrupted"] = True
+    if failed:
+        record["failed"] = failed
+    return record
 
 
 # ----------------------------------------------------------------------
@@ -210,6 +244,14 @@ def validate_record(record: Any) -> List[str]:
         if name not in record:
             errors.append(f"{kind}: missing field {name!r}")
         elif not isinstance(record[name], types) or (
+                isinstance(record[name], bool) and bool not in types):
+            errors.append(
+                f"{kind}: field {name!r} has type "
+                f"{type(record[name]).__name__}")
+    for name, types in _OPTIONAL.get(kind, {}).items():
+        if name not in record:
+            continue
+        if not isinstance(record[name], types) or (
                 isinstance(record[name], bool) and bool not in types):
             errors.append(
                 f"{kind}: field {name!r} has type "
@@ -311,6 +353,20 @@ def summarize_ledger(records: List[Dict[str, Any]]) -> Dict[str, Any]:
         for key in ff_totals:
             ff_totals[key] += stats.get(key, 0)
     cache_hits = sum(1 for r in runs if r.get("provenance") == "cache")
+    checkpoint_hits = sum(
+        1 for r in runs if r.get("provenance") == "checkpoint")
+    failures = [
+        {
+            "label": r.get("label") or f"seed={r.get('seed')}",
+            "seed": r.get("seed"),
+            "reason": (r.get("failure") or {}).get("reason", "?"),
+            "attempts": (r.get("failure") or {}).get("attempts"),
+            "message": (r.get("failure") or {}).get("message", ""),
+        }
+        for r in runs if r.get("outcome") == "failed"
+    ]
+    retried = sum(1 for r in runs if (r.get("attempts") or 1) > 1)
+    retries = sum(max(0, (r.get("attempts") or 1) - 1) for r in runs)
     violation_index: Dict[str, Dict[str, Any]] = {}
     for record in runs:
         for violation in record.get("violations", ()):
@@ -331,12 +387,20 @@ def summarize_ledger(records: List[Dict[str, Any]]) -> Dict[str, Any]:
             "ok": sum(1 for r in runs if r.get("outcome") == "ok"),
             "violations": sum(
                 1 for r in runs if r.get("outcome") == "violations"),
+            "failed": len(failures),
         },
         "provenance": {
-            "run": len(runs) - cache_hits,
+            "run": len(runs) - cache_hits - checkpoint_hits,
             "cache": cache_hits,
+            "checkpoint": checkpoint_hits,
         },
         "cache_hit_rate": (cache_hits / len(runs)) if runs else 0.0,
+        "failures": failures,
+        "retried_runs": retried,
+        "retries": retries,
+        "interrupted_sweeps": sum(
+            1 for r in records
+            if r.get("kind") == "sweep-end" and r.get("interrupted")),
         "phase_totals": phase_totals,
         "phase_means": {
             phase: (total / timed if timed else 0.0)
@@ -367,16 +431,31 @@ def render_ledger_markdown(summary: Dict[str, Any]) -> str:
     """The ``repro-mobility report`` markdown rendering of a summary."""
     outcomes = summary["outcomes"]
     provenance = summary["provenance"]
+    checkpoint_note = (
+        f", {provenance.get('checkpoint', 0)} checkpoint"
+        if provenance.get("checkpoint") else "")
     lines = [
         "# Run-ledger report",
         "",
         f"- records: {summary['records']} "
         f"({summary['runs']} runs, {summary['sweeps']} sweep(s))",
         f"- outcomes: {outcomes['ok']} ok, "
-        f"{outcomes['violations']} with violations",
+        f"{outcomes['violations']} with violations, "
+        f"{outcomes.get('failed', 0)} failed",
         f"- provenance: {provenance['run']} live, {provenance['cache']} "
-        f"cache hits ({summary['cache_hit_rate']:.0%} hit rate)",
+        f"cache hits ({summary['cache_hit_rate']:.0%} hit rate)"
+        f"{checkpoint_note}",
         f"- wall clock: {summary['wall']['elapsed']:.2f}s across records",
+    ]
+    if summary.get("retries"):
+        lines.append(
+            f"- retries: {summary['retries']} re-dispatch(es) across "
+            f"{summary['retried_runs']} cell(s)")
+    if summary.get("interrupted_sweeps"):
+        lines.append(
+            f"- interrupted: {summary['interrupted_sweeps']} sweep(s) "
+            f"drained early (partial results)")
+    lines += [
         "",
         "## Phase-time breakdown",
         "",
@@ -409,6 +488,15 @@ def render_ledger_markdown(summary: Dict[str, Any]) -> str:
         f"- cache: {provenance['cache']}/{summary['runs']} runs served "
         f"from cache",
     ]
+    if summary.get("failures"):
+        lines += ["", "## Failed / quarantined cells", ""]
+        for failure in summary["failures"]:
+            attempts = failure.get("attempts")
+            attempt_note = (
+                f" after {attempts} attempt(s)" if attempts else "")
+            lines.append(
+                f"- `{failure['label']}`: {failure['reason']}"
+                f"{attempt_note} — {failure['message']}")
     if summary["violation_index"]:
         lines += ["", "## Violation index", ""]
         for name, entry in sorted(summary["violation_index"].items()):

@@ -102,6 +102,54 @@ class TestResultCache:
         assert fresh.lookup(spec) is None
         assert fresh.stats()["invalidations"] == 1
 
+    def test_index_appends_are_single_complete_lines(
+            self, tmp_path, monkeypatch):
+        # The satellite contract: index appends go through one os.write
+        # on an O_APPEND descriptor, so two sweeps sharing a cache dir
+        # interleave whole lines, never torn ones.
+        import os
+
+        writes = []
+        real_write = os.write
+
+        def spy_write(fd, data):
+            writes.append(data)
+            return real_write(fd, data)
+
+        monkeypatch.setattr(os, "write", spy_write)
+        cache = ResultCache(root=str(tmp_path))
+        spec = _specs(1, datagrams=5)[0]
+        cache.store(spec, Runner().run(spec))
+        index_writes = [w for w in writes if w.endswith(b"\n")
+                        and b'"key"' in w]
+        assert len(index_writes) == 1
+        assert index_writes[0].count(b"\n") == 1
+
+    def test_read_index_tolerates_torn_lines(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        for spec in _specs(2, datagrams=5):
+            cache.store(spec, Runner().run(spec))
+        with open(cache.index_path, "a") as handle:
+            handle.write('{"torn half of a lin')
+        entries, torn = cache.read_index()
+        assert len(entries) == 2
+        assert torn == 1
+        assert {e["label"] for e in entries} == {"cell-0", "cell-1"}
+
+    def test_read_index_of_missing_file_is_empty(self, tmp_path):
+        assert ResultCache(root=str(tmp_path)).read_index() == ([], 0)
+
+    def test_failed_results_are_never_cached(self, tmp_path):
+        from repro.experiment import failed_result
+
+        cache = ResultCache(root=str(tmp_path))
+        spec = _specs(1, datagrams=5)[0]
+        cache.store(spec, failed_result(spec, {
+            "reason": "exception", "attempts": 3, "message": "boom",
+            "history": []}))
+        assert cache.stats()["stores"] == 0
+        assert cache.lookup(spec) is None
+
     def test_register_metrics_family(self, tmp_path):
         from repro.obs.metrics import MetricsRegistry
 

@@ -2,10 +2,11 @@
 
 The ledger's append path is a single ``os.write`` on an ``O_APPEND``
 descriptor, so killing the writer mid-sweep can tear at most the final
-line.  This test runs a real ``repro-mobility sweep`` subprocess,
-SIGKILLs it once at least two cells have landed, and checks the ledger
-survives — then re-runs the grid and confirms the result cache resumes
-from the completed cells.
+line.  These tests run real ``repro-mobility sweep`` subprocesses,
+SIGKILL them mid-grid, and check what survives: the ledger as a valid
+prefix (cache-based resume), and the sweep checkpoint as a resumable
+journal whose ``--resume`` pass lands the byte-identical digest set of
+an uninterrupted serial run.
 """
 
 import json
@@ -15,6 +16,7 @@ import subprocess
 import sys
 import time
 
+from repro.experiment.supervise import SweepCheckpoint
 from repro.obs.ledger import read_ledger, validate_record
 
 _GRID = {
@@ -118,3 +120,83 @@ class TestLedgerCrashDurability:
         cached = [r for r in records2
                   if r["kind"] == "run" and r["provenance"] == "cache"]
         assert len(cached) >= len(completed)
+
+
+class TestCheckpointResumeAfterSigkill:
+    """The tentpole's determinism bar, live: SIGKILL a ``--checkpoint``
+    sweep mid-grid, ``--resume`` it, and the merged digest set must be
+    byte-identical to an undisturbed serial run (no cache involved)."""
+
+    def test_resume_after_sigkill_matches_serial_digests(self, tmp_path):
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text(json.dumps(_GRID))
+        checkpoint_path = tmp_path / "checkpoint.jsonl"
+        env = _env_with_absolute_pythonpath()
+
+        def argv(json_out, extra):
+            return [
+                sys.executable, "-m", "repro", "sweep",
+                "--grid", str(grid_path), "--no-cache", "--no-flightrec",
+                "--json-out", str(json_out), *extra,
+            ]
+
+        proc = subprocess.Popen(
+            argv(tmp_path / "killed.json",
+                 ["--jobs", "1", "--checkpoint", str(checkpoint_path)]),
+            cwd=tmp_path, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                completed, _ = SweepCheckpoint.load(str(checkpoint_path))
+                if len(completed) >= 2:
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.05)
+            killed = proc.poll() is None
+            if killed:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        completed, torn = SweepCheckpoint.load(str(checkpoint_path))
+        # Atomic single-write appends: at most one torn trailing line.
+        assert torn <= 1
+        assert len(completed) >= 2
+        if killed:
+            assert len(completed) < 12, "kill landed after the grid finished"
+
+        resumed_out = tmp_path / "resumed.json"
+        result = subprocess.run(
+            argv(resumed_out,
+                 ["--jobs", "1", "--resume", str(checkpoint_path),
+                  "--ledger", str(tmp_path / "resume-ledger.jsonl")]),
+            cwd=tmp_path, env=env, capture_output=True, text=True,
+            timeout=240)
+        assert result.returncode == 0, result.stderr
+        assert "resuming:" in result.stderr
+
+        serial_out = tmp_path / "serial.json"
+        result = subprocess.run(
+            argv(serial_out, ["--jobs", "1"]),
+            cwd=tmp_path, env=env, capture_output=True, text=True,
+            timeout=240)
+        assert result.returncode == 0, result.stderr
+
+        resumed = json.load(open(resumed_out))
+        serial = json.load(open(serial_out))
+        assert [r["digest"] for r in resumed["results"]] == \
+            [r["digest"] for r in serial["results"]]
+
+        # The resumed ledger shows the split: checkpointed cells carry
+        # provenance "checkpoint", the rest ran live.
+        records, _ = read_ledger(str(tmp_path / "resume-ledger.jsonl"))
+        assert all(validate_record(r) == [] for r in records)
+        provenance = [r["provenance"] for r in records
+                      if r["kind"] == "run"]
+        assert provenance.count("checkpoint") == len(completed)
+        assert provenance.count("run") == 12 - len(completed)

@@ -127,6 +127,43 @@ class TestSweepExecutor:
         assert payload["runs"] == 2
         assert len(payload["results"]) == 2
 
+    def test_zero_elapsed_result_round_trips_as_json(self):
+        # Regression: runs_per_sec was runs/elapsed, so elapsed == 0
+        # produced float("inf") and json.dumps emitted the non-standard
+        # "Infinity" token into --json-out.
+        import json
+
+        from repro.experiment.sweep import SweepResult
+
+        empty = SweepResult(results=[], jobs=1, elapsed=0.0)
+        payload = json.loads(json.dumps(empty.to_dict()))
+        assert payload["runs_per_sec"] == 0.0
+        assert json.loads(
+            json.dumps(payload)) == payload  # strictly valid JSON
+
+    def test_quarantined_cell_surfaces_in_dict_and_render(self):
+        import json
+
+        from repro.experiment import failed_result
+        from repro.experiment.sweep import SweepResult
+
+        spec = canonical_traffic_spec(datagrams=5)
+        failed = failed_result(spec, {
+            "reason": "timeout", "attempts": 3,
+            "message": "cell exceeded 2.0s wall clock", "history": []})
+        result = SweepResult(results=[failed], jobs=2, elapsed=1.0,
+                             retries=2)
+        assert result.failed_count == 1
+        assert not result.ok
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["failed"] == 1
+        assert payload["retries"] == 2
+        assert payload["failures"][0]["reason"] == "timeout"
+        rendered = result.render()
+        assert "1 quarantined" in rendered
+        assert "FAILED" in rendered
+        assert "timeout after 3 attempt(s)" in rendered
+
     def test_single_spec_skips_the_pool(self):
         # jobs>1 with one spec must not pay spawn cost; digest still
         # matches the inline path.

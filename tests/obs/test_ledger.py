@@ -100,6 +100,30 @@ class TestValidation:
         assert any("outcome" in e for e in errors)
         assert any("provenance" in e for e in errors)
 
+    def test_optional_fields_validate_when_present(self, small_result):
+        # Fault-tolerance fields are schema-optional: pre-existing
+        # ledgers without them stay valid, new ones are type-checked.
+        record = run_record(small_result, attempts=2)
+        record["failure"] = {"reason": "timeout"}
+        assert validate_record(record) == []
+        record["attempts"] = "two"
+        assert any("attempts" in e for e in validate_record(record))
+        record["attempts"] = True  # bool must not pass as int
+        assert any("attempts" in e for e in validate_record(record))
+        end = sweep_end_record(
+            completed=1, total=2, elapsed=0.5, violation_count=0,
+            cache=None, interrupted=True, failed=1)
+        assert validate_record(end) == []
+        assert end["interrupted"] is True
+        assert end["failed"] == 1
+
+    def test_failed_outcome_is_valid(self, small_result):
+        record = run_record(small_result)
+        record["outcome"] = "failed"
+        assert validate_record(record) == []
+        record["provenance"] = "checkpoint"
+        assert validate_record(record) == []
+
 
 class TestRunLedger:
     def test_append_read_round_trip(self, tmp_path, small_result):
@@ -184,8 +208,12 @@ class TestSummarizeAndRender:
         assert summary["records"] == 5
         assert summary["runs"] == 3
         assert summary["sweeps"] == 1
-        assert summary["outcomes"] == {"ok": 2, "violations": 1}
-        assert summary["provenance"] == {"run": 2, "cache": 1}
+        assert summary["outcomes"] == {"ok": 2, "violations": 1, "failed": 0}
+        assert summary["provenance"] == {"run": 2, "cache": 1,
+                                         "checkpoint": 0}
+        assert summary["failures"] == []
+        assert summary["retries"] == 0
+        assert summary["interrupted_sweeps"] == 0
         assert summary["cache_hit_rate"] == pytest.approx(1 / 3)
         assert summary["timed_runs"] == 3
         assert summary["phase_totals"]["total"] > 0

@@ -424,6 +424,55 @@ class TestSweepSubcommand:
         assert main(["sweep", "--jobs", "0"]) == 1
         assert "--jobs" in capsys.readouterr().err
 
+    def test_sweep_bad_max_retries_errors(self, capsys):
+        assert main(["sweep", "--max-retries", "-1"]) == 1
+        assert "--max-retries" in capsys.readouterr().err
+
+    def test_sweep_checkpoint_then_resume_round_trip(self, tmp_path, capsys):
+        grid = self._grid_file(tmp_path)
+        checkpoint = tmp_path / "ck.jsonl"
+        assert main(["sweep", "--grid", grid, "--no-cache",
+                     "--checkpoint", str(checkpoint)]) == 0
+        captured = capsys.readouterr()
+        assert "sweep checkpoint: 2 cell(s)" in captured.out
+        assert main(["sweep", "--grid", grid, "--no-cache",
+                     "--resume", str(checkpoint)]) == 0
+        captured = capsys.readouterr()
+        assert "resuming: 2 checkpointed cell(s)" in captured.err
+        assert "sweep: 2 runs" in captured.out
+
+    def test_sweep_resume_from_empty_checkpoint_runs_full_grid(
+            self, tmp_path, capsys):
+        checkpoint = tmp_path / "empty.jsonl"
+        checkpoint.write_text("")
+        assert main(["sweep", "--grid", self._grid_file(tmp_path),
+                     "--no-cache", "--resume", str(checkpoint)]) == 0
+        captured = capsys.readouterr()
+        assert "no completed cells" in captured.err
+        assert "sweep: 2 runs" in captured.out
+
+    def test_sweep_quarantined_cell_warns_but_exits_zero(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.experiment import FAULT_ENV
+
+        monkeypatch.setenv(FAULT_ENV, "fail:seed=1401:99")
+        assert main(["sweep", "--grid", self._grid_file(tmp_path),
+                     "--no-cache", "--max-retries", "1",
+                     "--retry-backoff", "0.05"]) == 0
+        captured = capsys.readouterr()
+        assert "warning: 1 cell(s) quarantined" in captured.err
+        assert "quarantined: seed=1401" in captured.out
+
+    def test_sweep_strict_cells_fails_the_run(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.experiment import FAULT_ENV
+
+        monkeypatch.setenv(FAULT_ENV, "fail:seed=1401:99")
+        assert main(["sweep", "--grid", self._grid_file(tmp_path),
+                     "--no-cache", "--strict-cells", "--max-retries", "0",
+                     ]) == 1
+        assert "seed=1401" in capsys.readouterr().err
+
 
 class TestSweepProgress:
     def test_progress_streams_to_stderr(self, tmp_path, capsys):
