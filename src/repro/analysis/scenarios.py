@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from ..core.policy import MobilityPolicyTable
 from ..core.selection import ProbeStrategy
@@ -58,6 +58,9 @@ class Scenario:
     dns: Optional[DNSServer] = None
     dns_ip: Optional[IPAddress] = None
     fa: Optional[ForeignAgent] = None
+    # The flyweight host population riding this world, when built with
+    # the ``population`` knob (see repro.netsim.population).
+    population: Optional[Any] = None
 
     def settle(self, duration: float = 5.0) -> None:
         """Run the simulator long enough for registrations to finish."""
@@ -94,6 +97,7 @@ def build_scenario(
     queue_capacity: Optional[int] = None,
     queue_capacities: Optional[Dict[str, int]] = None,
     link_bandwidths: Optional[Dict[str, float]] = None,
+    population: Optional[Dict[str, Any]] = None,
 ) -> Scenario:
     """Build the standard stage.
 
@@ -118,6 +122,13 @@ def build_scenario(
     (segment names: ``{domain}-lan``, ``uplink-{domain}``,
     ``p2p-bb{i}-bb{j}``).  Applied before the mobile host first moves,
     so registration traffic crosses the shaped links too.
+
+    ``population`` grows a flyweight host population onto the stage
+    (see :func:`repro.netsim.population.install_population`): a dict
+    with ``hosts`` (required), and optional ``domains``, ``mode``
+    (``"pooled"``/``"materialized"``), ``lifetime``, ``wheel_buckets``.
+    ``None`` — the default — builds exactly the historical world,
+    digest-identical to before the knob existed.
     """
     sim = Simulator(
         seed=seed,
@@ -193,6 +204,12 @@ def build_scenario(
         fa = ForeignAgent("fa", sim, scheme=scheme)
         net.add_host("visited", fa)
 
+    population_layer = None
+    if population is not None:
+        from ..netsim.population import install_population
+
+        population_layer = install_population(sim, net, population)
+
     _shape_links(sim, queue_capacity, queue_capacities, link_bandwidths)
 
     scenario = Scenario(
@@ -209,6 +226,7 @@ def build_scenario(
         dns=dns_server,
         dns_ip=dns_ip,
         fa=fa,
+        population=population_layer,
     )
     if mobile_starts_away:
         if with_foreign_agent and fa is not None:

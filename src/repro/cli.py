@@ -39,6 +39,11 @@ Subcommands:
   ``BENCH_PR*.json`` trajectory) as markdown or JSON: phase-time
   breakdown, slowest cells, fast-forward/cache efficacy, violation
   index.
+* ``mega``        — build a flyweight million-host world (see
+  ``repro.netsim.population``), aim the canonical conversation at one
+  pooled host, and report build time, bytes/host, and wheel
+  throughput; ``--verify`` re-runs the world with every host
+  materialized and insists the trace digests match.
 
 The global ``--obs-out report.json`` flag enables the observability
 layer (metrics registry snapshot, packet-lifecycle spans, engine
@@ -595,6 +600,53 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if report.failed else 0
 
 
+def _cmd_mega(args: argparse.Namespace) -> int:
+    """Build a pooled mega world, converse with one host, report."""
+    import json
+
+    from .analysis.mega import run_mega
+
+    if args.hosts < 1:
+        print(f"error: --hosts must be >= 1, got {args.hosts}",
+              file=sys.stderr)
+        return 1
+    runner = None
+    observe = bool(getattr(args, "obs_out", None))
+    try:
+        from .experiment import Runner
+
+        runner = Runner()
+        report = run_mega(
+            hosts=args.hosts,
+            domains=args.domains,
+            mode=args.mode,
+            seed=args.seed,
+            duration=args.duration,
+            datagrams=args.datagrams,
+            target_index=min(args.target, args.hosts - 1),
+            verify=args.verify,
+            observe=observe,
+            runner=runner,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if observe and runner.scenario is not None \
+            and runner.scenario.sim.obs is not None:
+        args._obs.append(runner.scenario.sim.obs)
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"mega report written to {args.json_out}")
+    if args.verify and not report.verified:
+        print("error: pooled and materialized digests differ — "
+              "aggregation changed the wire", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Render a run ledger or bench trajectory as markdown/JSON."""
     import json
@@ -902,6 +954,36 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--no-flightrec", action="store_true",
                       help="disarm the flight recorder")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    mega = sub.add_parser(
+        "mega",
+        help="build a flyweight million-host world and converse with it")
+    mega.add_argument("--hosts", type=int, default=1_000_000,
+                      help="pooled mobile hosts to build (default 1000000)")
+    mega.add_argument("--domains", type=int, default=None,
+                      help="visited domains to spread them over "
+                           "(default: about one per 60k hosts)")
+    mega.add_argument("--mode", choices=["pooled", "materialized"],
+                      default="pooled",
+                      help="pooled: flyweight arrays + timer wheel "
+                           "(default); materialized: promote every host "
+                           "to a full node (expensive — small --hosts "
+                           "only)")
+    mega.add_argument("--duration", type=float, default=30.0,
+                      help="simulated seconds to run (default 30)")
+    mega.add_argument("--datagrams", type=int, default=40,
+                      help="conversation datagrams with the target host "
+                           "(default 40; 0 builds the world silently)")
+    mega.add_argument("--target", type=int, default=123,
+                      help="pool index of the host the conversation "
+                           "promotes and talks to (default 123)")
+    mega.add_argument("--verify", action="store_true",
+                      help="also run the materialized twin and require "
+                           "byte-identical trace digests (keep --hosts "
+                           "modest: every host becomes a full node)")
+    mega.add_argument("--json-out", metavar="PATH", default=None,
+                      help="also write the mega report as JSON")
+    mega.set_defaults(func=_cmd_mega)
 
     report = sub.add_parser(
         "report",

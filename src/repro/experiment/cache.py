@@ -46,7 +46,7 @@ __all__ = ["CACHE_SALT", "ResultCache", "default_cache_dir", "spec_digest"]
 # Code-version salt folded into every cache key.  Bump whenever a
 # change alters what any spec *produces* (trace format, digest line,
 # metrics shape, invariant semantics...) so stale entries self-retire.
-CACHE_SALT = "repro-mobility-cache-v3"
+CACHE_SALT = "repro-mobility-cache-v4"
 
 
 def default_cache_dir() -> str:

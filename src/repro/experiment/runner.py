@@ -307,6 +307,30 @@ def _traffic_sink(*_args) -> None:
 _traffic_sink.ff_pure = True
 
 
+def _resolve_traffic_target(scenario: Scenario, target: Optional[str]):
+    """The mobile-side traffic endpoint: ``scenario.mh`` by default, or
+    the node named by ``TrafficProgram.target``.
+
+    A target name that belongs to a pooled flyweight host promotes it
+    to a full node here, at arm time — before any packet flows, so the
+    trace is identical to a world where the host was always full (see
+    repro.netsim.population).
+    """
+    if target is None:
+        return scenario.mh
+    node = scenario.sim.nodes.get(target)
+    if node is None and scenario.population is not None:
+        node = scenario.population.promote_name(target)
+    if node is None:
+        raise ValueError(
+            f"traffic target {target!r} names no node (and no pooled host)")
+    if not hasattr(node, "stack") or not hasattr(node, "home_address"):
+        raise ValueError(
+            f"traffic target {target!r} is not a mobile endpoint "
+            f"(needs a transport stack and a home address)")
+    return node
+
+
 def _schedule_traffic(scenario: Scenario, spec: ExperimentSpec) -> None:
     """Install the spec's UDP program on the scenario's sockets.
 
@@ -322,14 +346,15 @@ def _schedule_traffic(scenario: Scenario, spec: ExperimentSpec) -> None:
     sim = scenario.sim
     assert scenario.ch is not None and scenario.ch_ip is not None, (
         "traffic program needs a correspondent")
+    mobile = _resolve_traffic_target(scenario, program.target)
     if program.ch_bind:
         ch_sock = scenario.ch.stack.udp_socket(program.port)
         ch_sock.on_receive(_traffic_sink)
-        mh_sock = scenario.mh.stack.udp_socket(program.port)
+        mh_sock = mobile.stack.udp_socket(program.port)
         mh_sock.on_receive(_traffic_sink)
         dst_port = program.port
     else:
-        mh_sock = scenario.mh.stack.udp_socket(program.port)
+        mh_sock = mobile.stack.udp_socket(program.port)
         mh_sock.on_receive(_traffic_sink)
         ch_sock = scenario.ch.stack.udp_socket()
         ch_sock.on_receive(_traffic_sink)
@@ -338,14 +363,14 @@ def _schedule_traffic(scenario: Scenario, spec: ExperimentSpec) -> None:
     ff = sim.fast_forward
     if ff is not None:
         ff.register_traffic(
-            stacks=(scenario.mh.stack, scenario.ch.stack),
+            stacks=(mobile.stack, scenario.ch.stack),
             sockets=(mh_sock, ch_sock),
         )
     for index, event in enumerate(program.resolved_events()):
         if event["direction"] == "mh->ch":
-            origin, socket, dst = scenario.mh, mh_sock, scenario.ch_ip
+            origin, socket, dst = mobile, mh_sock, scenario.ch_ip
         else:
-            origin, socket, dst = ch_sock.stack.node, ch_sock, scenario.mh.home_address
+            origin, socket, dst = ch_sock.stack.node, ch_sock, mobile.home_address
         payload = ("fuzz", index) if indexed else "x"
         handle = sim.events.schedule(
             event["at"],

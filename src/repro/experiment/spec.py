@@ -100,6 +100,12 @@ class TrafficProgram:
     payload_style: str = "plain"
     events: List[Dict[str, Any]] = field(default_factory=list)
     uniform: Optional[Dict[str, Any]] = None
+    # Mobile-side endpoint override: the name of another node to use in
+    # place of the scenario's ``mh``.  A name belonging to a pooled
+    # host (``mega-h{i}``, see repro.netsim.population) promotes it to
+    # a full node at arm time — the "traffic targets a pooled host"
+    # expansion path.
+    target: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -112,6 +118,10 @@ class TrafficProgram:
         _require(self.payload_style in _PAYLOAD_STYLES,
                  f"traffic payload_style must be one of {_PAYLOAD_STYLES}, "
                  f"got {self.payload_style!r}")
+        _require(self.target is None
+                 or (isinstance(self.target, str) and self.target),
+                 f"traffic target must be a non-empty node name or null, "
+                 f"got {self.target!r}")
         _require(not (self.events and self.uniform),
                  "traffic takes either explicit events or a uniform "
                  "program, not both")
@@ -231,6 +241,11 @@ class ExperimentSpec:
     queue_capacity: Optional[int] = None
     queue_capacities: Optional[Dict[str, int]] = None
     link_bandwidths: Optional[Dict[str, float]] = None
+    # Flyweight host population (see repro.netsim.population):
+    # {"hosts": N, "domains": D, "mode": "pooled"|"materialized",
+    #  "lifetime": secs, "wheel_buckets": B}.  None — the default —
+    # builds the historical world, digest-identical.
+    population: Optional[Dict[str, Any]] = None
     # Programs
     traffic: Optional[TrafficProgram] = None
     faults: Optional[Dict[str, Any]] = None        # FaultPlan.to_dict()
@@ -345,6 +360,13 @@ class ExperimentSpec:
                      and self.invariant_grace >= 0,
                      f"invariant_grace must be >= 0, "
                      f"got {self.invariant_grace!r}")
+        if self.population is not None:
+            from ..netsim.population import validate_population
+
+            try:
+                validate_population(self.population)
+            except ValueError as exc:
+                raise SpecError(str(exc)) from None
         if self.queue_capacity is not None:
             _require(_is_int(self.queue_capacity)
                      and self.queue_capacity >= 0,
@@ -406,6 +428,7 @@ class ExperimentSpec:
             "queue_capacity": self.queue_capacity,
             "queue_capacities": self.queue_capacities,
             "link_bandwidths": self.link_bandwidths,
+            "population": self.population,
         }
         stray = set(kwargs) - SCENARIO_KNOBS
         if stray:  # pragma: no cover - a drift bug, caught by tests

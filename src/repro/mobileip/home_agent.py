@@ -25,7 +25,7 @@ Implemented behaviours:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from ..netsim.addressing import IPAddress, Network
 from ..netsim.encap import EncapError, EncapScheme
@@ -34,7 +34,7 @@ from ..netsim.link import Interface
 from ..netsim.node import Node
 from ..netsim.packet import Packet
 from ..transport.sockets import TransportStack
-from .binding import BindingTable
+from .binding import BindingTable, PoolBlock
 from .registration import (
     MOBILE_IP_PORT,
     RegistrationReply,
@@ -76,6 +76,10 @@ class HomeAgent(Node):
         # one the agent is as trusting as the paper's original design.
         self.auth_key = auth_key
         self._last_ident: Dict[IPAddress, int] = {}
+        # Aggregate-expansion hook (see repro.netsim.population): called
+        # with a captured destination before tunneling so a pooled host
+        # can be promoted to a full node in time to receive the packet.
+        self.promoter: Optional[Callable[[IPAddress], None]] = None
         self.tunnel = TunnelEndpoint(self, scheme=scheme, on_inner=self._reverse_inner)
         # Locally-originated traffic to a bound home address must be
         # captured too (ip_input only sees *arriving* packets).
@@ -175,6 +179,34 @@ class HomeAgent(Node):
         self.arp.add_proxy(iface, home_address)
         self.arp.announce(iface, home_address)
 
+    # ------------------------------------------------------------------
+    # Bulk (pooled) registration — the SoA-backed path
+    # ------------------------------------------------------------------
+    def register_many(self, pool) -> PoolBlock:
+        """Administratively install bindings for a whole host pool.
+
+        ``pool`` is a :class:`~repro.netsim.population.HostPool` (or
+        anything with ``home_base``/``size`` and ``care_of``/
+        ``registered_at``/``lifetime`` arrays).  The arrays are adopted
+        by reference into one :class:`~repro.mobileip.binding.PoolBlock`
+        — a million bindings without a million ``Binding`` objects —
+        and the whole home-address block is captured with a single
+        proxy-ARP range entry instead of per-host proxy state.
+
+        Silent by design: no registration packets, no trace entries, no
+        gratuitous announces.  Both the pooled and the eagerly
+        materialized build modes install registrations this way with
+        identical timestamps, which is half of the digest-neutrality
+        argument (the other half is that promotion writes no trace).
+        """
+        block = self.bindings.register_many(
+            pool.home_base, pool.size, pool.care_of,
+            pool.registered_at, pool.lifetime,
+        )
+        iface = self._home_iface()
+        self.arp.add_proxy_range(iface, pool.home_base, pool.size)
+        return block
+
     def _remove_binding(self, home_address: IPAddress) -> None:
         self.bindings.deregister(home_address)
         iface = self._home_iface()
@@ -198,6 +230,8 @@ class HomeAgent(Node):
             iface = self._home_iface()
             for binding in list(self.bindings.active(self.now)):
                 self.arp.remove_proxy(iface, binding.home_address)
+            for base, count in self.arp.proxy_ranges_on(iface):
+                self.arp.remove_proxy_range(iface, base, count)
             self.bindings.flush()
             self._last_advisory.clear()
         for iface in self.interfaces.values():
@@ -213,6 +247,11 @@ class HomeAgent(Node):
         if not self.owns_address(packet.dst):
             binding = self.bindings.lookup(packet.dst, self.now)
             if binding is not None:
+                if self.promoter is not None:
+                    # Aggregate expansion: the destination may be a
+                    # pooled flyweight — materialize it before the
+                    # tunneled packet needs it on the visited LAN.
+                    self.promoter(packet.dst)
                 if packet.more_fragments or packet.frag_offset:
                     # A fragment cannot be encapsulated (the tunnel
                     # header describes a whole datagram); reassemble at
@@ -237,6 +276,8 @@ class HomeAgent(Node):
         binding = self.bindings.lookup(packet.dst, self.now)
         if binding is None:
             return None
+        if self.promoter is not None:
+            self.promoter(packet.dst)
         care_of = binding.care_of_address
         return VirtualRoute(
             handler=lambda p: self._forward_to_mobile(p, care_of),
@@ -267,10 +308,7 @@ class HomeAgent(Node):
         # instead of tunneled; beyond an advisory rate-limit boundary
         # the same packet would additionally emit an advisory.  Either
         # way the cascade changes, so replay must stop short of both.
-        horizon = super().ff_time_horizon(now)
-        for binding in self.bindings._bindings.values():
-            if binding.expires_at < horizon:
-                horizon = binding.expires_at
+        horizon = self.bindings.earliest_expiry(super().ff_time_horizon(now))
         if self.notify_correspondents and self._last_advisory:
             gate = min(self._last_advisory.values()) + ADVISORY_MIN_INTERVAL
             if gate < horizon:
@@ -311,6 +349,8 @@ class HomeAgent(Node):
         next_binding = self.bindings.lookup(inner.dst, self.now)
         if next_binding is not None:
             # Mobile-to-mobile: re-tunnel toward the destination MH.
+            if self.promoter is not None:
+                self.promoter(inner.dst)
             self._forward_to_mobile(inner, next_binding.care_of_address)
             return
         self.packets_reverse_forwarded += 1

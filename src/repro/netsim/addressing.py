@@ -337,32 +337,79 @@ class AddressAllocator:
     def __init__(self, network: Network, reserve: int = 1):
         """``reserve`` low host addresses are skipped (routers, servers)."""
         self.network = network
-        self._hosts = network.hosts()
+        first = network.prefix + 1
+        last = int(network.broadcast_address) - 1
+        if network.prefix_len >= 31:  # point-to-point: use all addresses
+            first, last = network.prefix, int(network.broadcast_address)
+        # Integer cursor over the usable host range.  Allocation order is
+        # identical to the generator this replaced (low to high, skipping
+        # claimed addresses), but the cursor can also hand out contiguous
+        # *blocks* — million-address reservations for host pools — without
+        # materializing a million IPAddress objects.
+        self._cursor = first + reserve
+        self._last = last
         self._released: list[IPAddress] = []
         self._allocated: set[IPAddress] = set()
-        for _ in range(reserve):
-            next(self._hosts, None)
+        self._blocks: list[tuple[int, int]] = []  # (base, count) ranges
+
+    def _in_block(self, value: int) -> bool:
+        return any(base <= value < base + count for base, count in self._blocks)
 
     def allocate(self) -> IPAddress:
         """Return a fresh (or recycled) address; raises when exhausted."""
         if self._released:
             address = self._released.pop(0)
         else:
-            # Skip over addresses that were claim()ed statically — the
-            # sequential generator does not know about them.
-            address = next(self._hosts, None)
-            while address is not None and address in self._allocated:
-                address = next(self._hosts, None)
-            if address is None:
+            # Skip over addresses that were claim()ed statically or
+            # swallowed by a block reservation — the sequential cursor
+            # does not know about them.
+            value = self._cursor
+            while value <= self._last and (
+                self._in_block(value) or IPAddress(value) in self._allocated
+            ):
+                value += 1
+            if value > self._last:
                 raise AddressError(f"address pool exhausted in {self.network}")
+            self._cursor = value + 1
+            address = IPAddress(value)
         self._allocated.add(address)
         return address
+
+    def reserve_block(self, count: int) -> int:
+        """Reserve ``count`` contiguous addresses; returns the base value.
+
+        The block is returned (and tracked) as a plain integer base, not
+        as ``count`` ``IPAddress`` objects: a million-host pool must not
+        thrash the intern cache or allocate per-address bookkeeping.
+        Subsequent :meth:`allocate`/:meth:`claim` calls skip the block.
+        """
+        if count <= 0:
+            raise AddressError(f"block size must be positive, got {count}")
+        base = self._cursor
+        moved = True
+        while moved:  # slide past anything already taken in the range
+            moved = False
+            for block_base, block_count in self._blocks:
+                if block_base < base + count and base < block_base + block_count:
+                    base = block_base + block_count
+                    moved = True
+            for address in self._allocated:
+                if base <= address.value < base + count:
+                    base = address.value + 1
+                    moved = True
+        if base + count - 1 > self._last:
+            raise AddressError(
+                f"no room for a {count}-address block in {self.network}"
+            )
+        self._blocks.append((base, count))
+        self._cursor = max(self._cursor, base + count)
+        return base
 
     def claim(self, address: IPAddress) -> IPAddress:
         """Mark a specific address as allocated (static assignment)."""
         if not self.network.contains(address):
             raise AddressError(f"{address} is not inside {self.network}")
-        if address in self._allocated:
+        if address in self._allocated or self._in_block(address.value):
             raise AddressError(f"{address} already allocated")
         self._allocated.add(address)
         return address

@@ -73,6 +73,11 @@ class ArpService:
         # Addresses this node answers ARP for on behalf of others
         # (the home agent's proxy entries), per interface name.
         self._proxy_for: Dict[str, set[IPAddress]] = {}
+        # Contiguous address ranges proxied wholesale, per interface
+        # name: (base, count) pairs.  A home agent fronting a pooled
+        # block of a million absent hosts answers for the whole range
+        # from one entry instead of a million set members.
+        self._proxy_ranges: Dict[str, List[Tuple[int, int]]] = {}
 
     # ------------------------------------------------------------------
     # Cache access
@@ -105,8 +110,39 @@ class ArpService:
     def remove_proxy(self, iface: Interface, ip: IPAddress) -> None:
         self._proxy_for.get(iface.name, set()).discard(IPAddress(ip))
 
+    def add_proxy_range(self, iface: Interface, base: int, count: int) -> None:
+        """Answer ARP for every address in ``[base, base + count)``.
+
+        The range is stored as two integers, never expanded: this is
+        the capture mechanism for pooled host blocks, where per-address
+        proxy entries would cost more than the hosts themselves.
+        """
+        if count <= 0:
+            raise ValueError(f"proxy range count must be positive, got {count}")
+        self._proxy_ranges.setdefault(iface.name, []).append((int(base), count))
+
+    def remove_proxy_range(self, iface: Interface, base: int, count: int) -> None:
+        ranges = self._proxy_ranges.get(iface.name)
+        if ranges is not None:
+            try:
+                ranges.remove((int(base), count))
+            except ValueError:
+                pass
+
     def proxies_on(self, iface: Interface) -> frozenset[IPAddress]:
         return frozenset(self._proxy_for.get(iface.name, set()))
+
+    def proxy_ranges_on(self, iface: Interface) -> Tuple[Tuple[int, int], ...]:
+        return tuple(self._proxy_ranges.get(iface.name, ()))
+
+    def _proxied(self, iface_name: str, target: IPAddress) -> bool:
+        if target in self._proxy_for.get(iface_name, ()):
+            return True
+        value = target.value
+        return any(
+            base <= value < base + count
+            for base, count in self._proxy_ranges.get(iface_name, ())
+        )
 
     # ------------------------------------------------------------------
     # Resolution
@@ -181,8 +217,8 @@ class ArpService:
         # Learn opportunistically from every ARP message seen (RFC 826).
         self.learn(iface, message.sender_ip, message.sender_link)
         if message.op == "request":
-            answers = iface.owns(message.target_ip) or (
-                message.target_ip in self._proxy_for.get(iface.name, set())
+            answers = iface.owns(message.target_ip) or self._proxied(
+                iface.name, message.target_ip
             )
             if answers:
                 reply = ArpMessage(

@@ -280,6 +280,14 @@ class FaultInjector:
                 )
             return segment
         node = self.sim.nodes.get(event.target)
+        if node is None and self.net is not None:
+            population = getattr(self.net, "population", None)
+            if population is not None:
+                # A fault targeting a pooled flyweight host promotes it
+                # to a full node (repro.netsim.population); promotion
+                # writes no trace, so eager validation-time promotion
+                # is as digest-safe as doing it at fault time.
+                node = population.promote_name(event.target)
         if node is None:
             raise FaultError(
                 f"fault {event.kind.value}: no node named {event.target!r}"

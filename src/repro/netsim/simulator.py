@@ -62,6 +62,9 @@ class Simulator:
         self.obs: Optional["Observability"] = None
         self.invariants: Optional["InvariantMonitor"] = None
         self.flightrec: Optional["FlightRecorder"] = None
+        # Attached by repro.netsim.population when the run carries a
+        # flyweight host population (pool + timer wheel).
+        self.population = None
         self.fast_forward: Optional[FastForwarder] = (
             FastForwarder(self) if fast_forward else None
         )

@@ -45,6 +45,11 @@ class Domain:
     allocator: AddressAllocator
     attach_index: int
     hosts: List[Node] = field(default_factory=list)
+    # Flyweight host pool riding this domain's LAN (see
+    # repro.netsim.population): ``pool_size`` care-of addresses are
+    # reserved as one contiguous block starting at ``pool_base``.
+    pool_size: int = 0
+    pool_base: Optional[int] = None
 
     @property
     def gateway_ip(self) -> IPAddress:
@@ -73,6 +78,19 @@ class Internet:
         self._infra_subnets = self._subnet_source()
         self._adjacency: Dict[str, List[Tuple[str, str, IPAddress]]] = {}
         # (router -> list of (neighbor, out_iface, neighbor_ip))
+        # Host attachment bookkeeping: node name -> (domain name, index
+        # into domain.hosts), kept so detach_host is O(1) instead of a
+        # scan over every domain's host list.
+        self._host_slots: Dict[str, Tuple[str, int]] = {}
+        # Prefix index for domain_of: (masked prefix value, prefix len)
+        # -> domain, plus the distinct (len, mask) pairs in use.  Domain
+        # prefixes cannot overlap (add_domain enforces it), so at most
+        # one entry matches a given address.
+        self._prefix_index: Dict[Tuple[int, int], Domain] = {}
+        self._prefix_masks: List[Tuple[int, int]] = []  # (len, mask)
+        # Attached by repro.netsim.population when the world carries a
+        # flyweight host population.
+        self.population = None
 
         previous: Optional[Router] = None
         for index in range(backbone_size):
@@ -128,12 +146,16 @@ class Internet:
         lan_bandwidth: float = 10e6,
         lan_mtu: int = 1500,
         extra_rules: Sequence[FilterRule] = (),
+        pool_size: int = 0,
     ) -> Domain:
         """Create a domain LAN behind a boundary router.
 
         ``attach_at`` picks the backbone router; distance between two
         domains is the chain distance between their attachment points.
         ``source_filtering``/``forbid_transit`` set the §3.1 posture.
+        ``pool_size`` reserves that many contiguous care-of addresses
+        for a flyweight host pool (see :mod:`repro.netsim.population`);
+        the block base lands on ``Domain.pool_base``.
         """
         if name in self.domains:
             raise ValueError(f"duplicate domain {name!r}")
@@ -188,7 +210,15 @@ class Internet:
             allocator=allocator,
             attach_index=attach_at,
         )
+        if pool_size:
+            domain.pool_size = pool_size
+            domain.pool_base = allocator.reserve_block(pool_size)
         self.domains[name] = domain
+        key = (prefix.prefix, prefix.prefix_len)
+        self._prefix_index[key] = domain
+        mask_entry = (prefix.prefix_len, prefix._mask)
+        if mask_entry not in self._prefix_masks:
+            self._prefix_masks.append(mask_entry)
         self._install_backbone_routes(domain)
         return domain
 
@@ -249,11 +279,17 @@ class Internet:
         iface.configure(ip, domain.prefix)
         host.routes.add(domain.prefix, iface_name)
         host.routes.add_default(iface_name, domain.gateway_ip)
+        self._host_slots[host.name] = (domain.name, len(domain.hosts))
         domain.hosts.append(host)
         return ip
 
     def detach_host(self, host: Node, iface_name: str = "eth0") -> None:
-        """Unplug a host (it keeps its node identity; routes are cleared)."""
+        """Unplug a host (it keeps its node identity; routes are cleared).
+
+        O(1): the owning domain and list position were recorded on
+        attach, and removal swaps the last host into the vacated slot
+        instead of scanning every domain.
+        """
         iface = host.interfaces.get(iface_name)
         if iface is None:
             return
@@ -261,9 +297,14 @@ class Internet:
         iface.deconfigure()
         host.routes.clear()
         host.arp.flush()
-        for domain in self.domains.values():
-            if host in domain.hosts:
-                domain.hosts.remove(host)
+        slot = self._host_slots.pop(host.name, None)
+        if slot is not None:
+            domain_name, index = slot
+            hosts = self.domains[domain_name].hosts
+            last = hosts.pop()
+            if last is not host:
+                hosts[index] = last
+                self._host_slots[last.name] = (domain_name, index)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -273,7 +314,17 @@ class Internet:
         return abs(self.domains[a].attach_index - self.domains[b].attach_index)
 
     def domain_of(self, address: IPAddress) -> Optional[Domain]:
-        for domain in self.domains.values():
-            if domain.prefix.contains(address):
+        """The domain whose prefix contains ``address``, if any.
+
+        Indexed by masked prefix bits: one dict probe per distinct
+        prefix length in use, instead of a linear scan over every
+        domain.  Semantics match the scan this replaced — ``None`` when
+        no domain prefix contains the address.
+        """
+        value = int(address)
+        index = self._prefix_index
+        for length, mask in self._prefix_masks:
+            domain = index.get((value & mask, length))
+            if domain is not None:
                 return domain
         return None

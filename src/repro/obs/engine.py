@@ -139,6 +139,20 @@ class EngineSampler:
             "nodes": nodes,
             "links": links,
         }
+        # Worlds carrying a flyweight population (see
+        # repro.netsim.population) get a compact gauge block: pooled
+        # hosts never appear in ``nodes`` above, so without this the
+        # sampler would report a million-host world as a dozen nodes.
+        population = getattr(self.sim, "population", None)
+        if population is not None:
+            pool = population.pool
+            sample["population"] = {
+                "hosts": pool.size,
+                "live": pool.live,
+                "promoted": pool.promoted_count,
+                "refreshes": pool.refreshes,
+                "wheel_depth": population.wheel.depth,
+            }
         # Fast-forward replay advances the clock without executing
         # events, so depth/processed readings are misleading while a
         # template replays: tag such samples instead of pretending the
@@ -185,6 +199,11 @@ class EngineSampler:
             "peak_queue_depth": dict(sorted(
                 (k, v) for k, v in peak_queues.items() if v)),
         }
+        last_population = next(
+            (s["population"] for s in reversed(self.samples)
+             if "population" in s), None)
+        if last_population is not None:
+            out["population"] = dict(last_population)
         if fast_forwarded:
             out["fast_forwarded_samples"] = fast_forwarded
             out["replayed_in_samples"] = sum(

@@ -1,6 +1,8 @@
 """Tests for binding tables and registration message semantics."""
 
 
+import pytest
+
 from repro.mobileip.binding import Binding, BindingTable
 from repro.mobileip.registration import (
     RegistrationReply,
@@ -149,3 +151,144 @@ class TestRegistrationMessages:
             ReplyCode.DENIED_UNKNOWN_HOME_ADDRESS, HOME, 0.0, ident=2
         )
         assert not reply.accepted
+
+
+def _block_table(count=8, base=None, now=0.0, lifetime=100.0):
+    """A table with one PoolBlock covering HOME..HOME+count-1."""
+    from array import array
+
+    base = HOME.value if base is None else base
+    table = BindingTable()
+    block = table.register_many(
+        base, count,
+        care_of=array("I", range(COA.value, COA.value + count)),
+        registered_at=array("d", [now] * count),
+        lifetime=array("d", [lifetime] * count),
+    )
+    return table, block
+
+
+class TestPoolBlocks:
+    def test_register_many_counts_as_registrations(self):
+        table, block = _block_table(count=8)
+        assert table.registrations == 8
+        assert block.live == 8
+        assert len(table) == 8
+        assert table.pool_stats()["pooled"] == 8
+
+    def test_lookup_materializes_a_binding_lazily(self):
+        table, _ = _block_table()
+        target = IPAddress(HOME.value + 3)
+        binding = table.lookup(target, now=50.0)
+        assert binding is not None
+        assert binding.home_address == target
+        assert binding.care_of_address.value == COA.value + 3
+        # The dict tier stays empty: blocks never leak Binding objects
+        # into per-host storage.
+        assert table.active(now=50.0) == []
+
+    def test_contains_sees_block_entries(self):
+        table, _ = _block_table(count=4)
+        assert IPAddress(HOME.value + 3) in table
+        assert IPAddress(HOME.value + 4) not in table
+
+    def test_block_entry_expires_exactly_at_the_boundary(self):
+        # Same strict boundary the dict tier pins above: valid through,
+        # not at, expires_at.
+        table, block = _block_table(now=10.0, lifetime=100.0)
+        target = IPAddress(HOME.value)
+        assert table.lookup(target, now=109.999) is not None
+        assert table.lookup(target, now=110.0) is None
+        assert table.expirations == 1
+        assert block.live == 7
+        # The slot stays dead on later lookups.
+        assert table.lookup(target, now=10.0) is None
+
+    def test_overlapping_blocks_rejected(self):
+        from array import array
+
+        table, _ = _block_table(count=8)
+        with pytest.raises(ValueError):
+            table.register_many(
+                HOME.value + 4, 8,
+                care_of=array("I", [COA.value] * 8),
+                registered_at=array("d", [0.0] * 8),
+                lifetime=array("d", [100.0] * 8),
+            )
+
+    def test_explicit_register_shadows_and_retires_the_slot(self):
+        table, block = _block_table()
+        target = IPAddress(HOME.value + 2)
+        table.register(target, COA2, now=5.0, lifetime=100.0)
+        assert block.alive[2] == 0
+        assert block.live == 7
+        binding = table.lookup(target, now=50.0)
+        assert binding.care_of_address == COA2
+        assert table.deregistrations == 0  # replacement, not removal
+        assert len(table) == 8  # 7 pooled + 1 dict
+
+    def test_deregister_kills_the_slot(self):
+        table, block = _block_table()
+        target = IPAddress(HOME.value + 1)
+        removed = table.deregister(target)
+        assert removed is not None
+        assert removed.care_of_address.value == COA.value + 1
+        assert block.live == 7
+        assert table.deregistrations == 1
+        assert table.lookup(target, now=0.0) is None
+
+    def test_prune_respects_the_expiry_floor(self):
+        table, block = _block_table(now=0.0, lifetime=100.0)
+        assert table.prune(now=99.0) == 0  # floor ahead of clock: no scan
+        assert block.live == 8
+        assert table.prune(now=100.0) == 8
+        assert block.live == 0
+        assert table.expirations == 8
+
+    def test_prune_boundary_is_exact(self):
+        table, block = _block_table(now=10.0, lifetime=100.0)
+        # Refresh half the block to a later timestamp, as the wheel would.
+        for index in range(4):
+            block.registered_at[index] = 60.0
+        pruned = table.prune(now=110.0)
+        assert pruned == 4  # exactly the unrefreshed half, at the boundary
+        assert [bool(b) for b in block.alive] == [True] * 4 + [False] * 4
+        # The floor now reflects the survivors' expiry.
+        assert block.expiry_floor == 160.0
+
+    def test_prune_is_safe_during_active_snapshot_iteration(self):
+        # prune() collects then deletes: mutating while a caller walks a
+        # snapshot of active() must not blow up or skip entries.
+        table = BindingTable()
+        for offset in range(6):
+            table.register(IPAddress(HOME.value + offset), COA,
+                           now=0.0, lifetime=10.0 if offset % 2 else 1000.0)
+        snapshot = table.active(now=0.0)
+        for binding in snapshot:
+            table.prune(now=500.0)  # expires the short-lived half
+            assert binding.home_address is not None
+        assert len(table) == 3
+        assert table.expirations == 3
+
+    def test_earliest_expiry_sees_block_floor(self):
+        table, block = _block_table(now=0.0, lifetime=100.0)
+        assert table.earliest_expiry() == 100.0
+        table.register(IPAddress("10.9.0.1"), COA, now=0.0, lifetime=40.0)
+        assert table.earliest_expiry() == 40.0
+        # A dead block contributes nothing.
+        table.prune(now=200.0)
+        assert table.earliest_expiry(horizon=999.0) == 999.0
+
+    def test_flush_counts_block_entries(self):
+        table, _ = _block_table(count=5)
+        table.register(IPAddress("10.9.0.1"), COA, now=0.0)
+        assert table.flush() == 6
+        assert len(table) == 0
+        assert table.pool_stats()["blocks"] == 0
+
+    def test_peek_reads_without_expiring(self):
+        table, block = _block_table(now=0.0, lifetime=100.0)
+        target = IPAddress(HOME.value)
+        binding = table.peek(target)
+        assert binding is not None and binding.lifetime == 100.0
+        assert block.live == 8  # peek never kills

@@ -129,3 +129,75 @@ class TestConnectivity:
         # claim=False: reuse without touching allocator bookkeeping.
         ip = net.add_host("a", again, address=IPAddress("10.1.0.200"), claim=False)
         assert str(ip) == "10.1.0.200"
+
+
+class TestHostSlotIndex:
+    """detach_host is O(1): slot bookkeeping survives swap-removal."""
+
+    def test_swap_remove_updates_the_moved_hosts_slot(self, sim):
+        net = Internet(sim)
+        net.add_domain("a", "10.1.0.0/16")
+        hosts = [Node(f"h{i}", sim) for i in range(4)]
+        for h in hosts:
+            net.add_host("a", h)
+        net.detach_host(hosts[0])  # h3 swaps into slot 0
+        assert net.domains["a"].hosts == [hosts[3], hosts[1], hosts[2]]
+        # The moved host can still be detached cleanly afterwards.
+        net.detach_host(hosts[3])
+        assert net.domains["a"].hosts == [hosts[2], hosts[1]]
+        assert net._host_slots == {"h1": ("a", 1), "h2": ("a", 0)}
+
+    def test_detach_last_host_is_a_plain_pop(self, sim):
+        net = Internet(sim)
+        net.add_domain("a", "10.1.0.0/16")
+        a, b = Node("h1", sim), Node("h2", sim)
+        net.add_host("a", a)
+        net.add_host("a", b)
+        net.detach_host(b)
+        assert net.domains["a"].hosts == [a]
+        assert net._host_slots == {"h1": ("a", 0)}
+
+    def test_detach_unknown_host_is_noop(self, sim):
+        net = Internet(sim)
+        net.add_domain("a", "10.1.0.0/16")
+        stranger = Node("x", sim)
+        net.detach_host(stranger)  # no iface -> ignored
+        assert net._host_slots == {}
+
+
+class TestDomainIndex:
+    def test_mixed_prefix_lengths(self, sim):
+        net = Internet(sim)
+        net.add_domain("wide", "10.0.0.0/8")
+        net.add_domain("narrow", "192.168.4.0/24")
+        assert net.domain_of(IPAddress("10.200.1.1")).name == "wide"
+        assert net.domain_of(IPAddress("192.168.4.9")).name == "narrow"
+        assert net.domain_of(IPAddress("192.168.5.1")) is None
+        assert net.domain_of(IPAddress("11.0.0.1")) is None
+
+    def test_index_tracks_added_domains(self, sim):
+        net = Internet(sim)
+        net.add_domain("a", "10.1.0.0/16")
+        assert net.domain_of(IPAddress("10.2.0.1")) is None
+        net.add_domain("b", "10.2.0.0/16")
+        assert net.domain_of(IPAddress("10.2.0.1")).name == "b"
+
+
+class TestPoolReservation:
+    def test_pool_size_reserves_a_block(self, sim):
+        net = Internet(sim)
+        net.add_domain("a", "10.1.0.0/24", pool_size=100)
+        domain = net.domains["a"]
+        assert domain.pool_size == 100
+        assert domain.pool_base is not None
+        # Subsequent allocations skip the reserved block entirely.
+        host = Node("h", sim)
+        ip = net.add_host("a", host)
+        assert not (domain.pool_base <= ip.value < domain.pool_base + 100)
+
+    def test_pool_too_big_for_prefix_rejected(self, sim):
+        from repro.netsim.addressing import AddressError
+
+        net = Internet(sim)
+        with pytest.raises(AddressError):
+            net.add_domain("a", "10.1.0.0/24", pool_size=1000)
